@@ -1,0 +1,367 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 5), plus ablations and Bechamel microbenchmarks of
+   the hot data structures.
+
+   Usage: main.exe [table1|fig6a|fig6b|fig6c|fig6d|fig7a|fig7b|fig8|fig9|
+                    ablate-mtu|ablate-indirect|ablate-slo|micro|all]
+
+   Absolute numbers come from a calibrated cost model (lib/sim/costs.ml);
+   the claim checked here is the paper's shape: who wins, by what factor,
+   and where the crossovers fall.  Paper values quoted inline. *)
+
+module T = Sim.Time
+module A = Workloads.All_to_all
+
+let section name = Printf.printf "\n=== %s ===\n%!" name
+
+let spreading = Engine.Spreading { runtime_pct = 1.0 }
+let compacting = Engine.Compacting { slo = T.us 25; max_threads = 10 }
+
+(* -- Table 1 ------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: single-thread streaming throughput (paper values in [])";
+  Printf.printf "%-26s %8s %12s %10s\n" "system" "streams" "CPU/sec" "Gbps";
+  let row name paper_cpu paper_gbps (r : Workloads.Streaming.result) =
+    Printf.printf "%-26s %8d %6.2f [%s] %6.1f [%s]\n%!" name
+      r.Workloads.Streaming.streams r.cpu paper_cpu r.gbps paper_gbps
+  in
+  let window = T.ms 25 in
+  row "Linux TCP" "1.17" "22.0" (Workloads.Streaming.run_tcp ~window ());
+  row "Linux TCP" "1.15" "12.4" (Workloads.Streaming.run_tcp ~window ~streams:200 ());
+  row "Snap/Pony" "1.05" "38.5" (Workloads.Streaming.run_pony ~window ());
+  row "Snap/Pony" "1.05" "39.1" (Workloads.Streaming.run_pony ~window ~streams:200 ());
+  row "Snap/Pony 5k MTU" "1.05" "67.5" (Workloads.Streaming.run_pony ~window ~mtu:5000 ());
+  row "Snap/Pony 5k MTU" "1.05" "65.7"
+    (Workloads.Streaming.run_pony ~window ~mtu:5000 ~streams:200 ());
+  row "Snap/Pony 5k+I/OAT" "1.05" "82.2"
+    (Workloads.Streaming.run_pony ~window ~mtu:5000 ~use_copy_engine:true ());
+  row "Snap/Pony 5k+I/OAT" "1.05" "80.5"
+    (Workloads.Streaming.run_pony ~window ~mtu:5000 ~use_copy_engine:true
+       ~streams:200 ())
+
+(* -- Figure 6(a) --------------------------------------------------------- *)
+
+let fig6a () =
+  section "Figure 6(a): mean small-op round-trip latency (paper values in [])";
+  let row name paper v =
+    Printf.printf "%-34s %7.1f us  [%s]\n%!" name (T.to_float_us v) paper
+  in
+  row "TCP_RR" "23" (Workloads.Rr.mean_rtt (Workloads.Rr.Tcp_rr { busy_poll = false }));
+  row "TCP_RR busy-poll" "18"
+    (Workloads.Rr.mean_rtt (Workloads.Rr.Tcp_rr { busy_poll = true }));
+  row "Snap/Pony (app blocks)" "18"
+    (Workloads.Rr.mean_rtt (Workloads.Rr.Pony_rr { app_spin = false }));
+  row "Snap/Pony (app spins)" "<10"
+    (Workloads.Rr.mean_rtt (Workloads.Rr.Pony_rr { app_spin = true }));
+  row "Snap/Pony one-sided" "8.8" (Workloads.Rr.mean_rtt Workloads.Rr.Pony_one_sided)
+
+(* -- Figures 6(b)/(c): CPU and tail latency vs offered load --------------- *)
+
+let loads = [ 8.0; 24.0; 48.0; 72.0 ]
+
+let fig6bc () =
+  section
+    "Figures 6(b)+(c): all-to-all 1MB RPCs - per-host CPU and 99p tiny-RPC \
+     latency vs offered load";
+  Printf.printf
+    "(8 hosts x 10 jobs, 50G NICs; paper: 42 hosts; at 80G Snap is >3x more \
+     CPU-efficient than TCP; spreading has the best tail under load)\n";
+  Printf.printf "%-10s %18s %18s %18s\n" "load" "TCP" "Snap/spreading"
+    "Snap/compacting";
+  Printf.printf "%-10s %9s %9s %9s %9s %9s %9s\n" "Gbps/host" "cores" "p99us"
+    "cores" "p99us" "cores" "p99us";
+  List.iter
+    (fun load ->
+      let cfg =
+        {
+          A.default_config with
+          A.offered_gbps_per_host = load;
+          A.jobs_per_host = 10;
+          A.window = T.ms 25;
+        }
+      in
+      let tcp = A.run A.Tcp cfg in
+      let spread = A.run (A.Pony spreading) cfg in
+      let compact = A.run (A.Pony compacting) cfg in
+      let p99 r = T.to_float_us (Stats.Histogram.percentile r.A.prober 99.) in
+      Printf.printf "%-10.0f %9.2f %9.0f %9.2f %9.0f %9.2f %9.0f\n%!" load
+        tcp.A.cpu_cores (p99 tcp) spread.A.cpu_cores (p99 spread)
+        compact.A.cpu_cores (p99 compact))
+    loads
+
+(* -- Figure 6(d): antagonists, MicroQuanta vs CFS ------------------------- *)
+
+let fig6d () =
+  section
+    "Figure 6(d): 99p latency with MD5 antagonists - MicroQuanta vs CFS(-20) \
+     spreading engines";
+  Printf.printf "%-10s %16s %16s\n" "load" "MicroQuanta" "CFS nice -20";
+  Printf.printf "%-10s %16s %16s\n" "Gbps/host" "p99 us" "p99 us";
+  List.iter
+    (fun load ->
+      let base =
+        {
+          A.default_config with
+          A.offered_gbps_per_host = load;
+          A.jobs_per_host = 10;
+          A.window = T.ms 25;
+          A.antagonist = A.Md5 12;
+        }
+      in
+      let mq = A.run (A.Pony spreading) base in
+      let cfs =
+        A.run (A.Pony (Engine.Spreading_class (Cpu.Sched.Cfs { nice = -20 }))) base
+      in
+      let p99 r = T.to_float_us (Stats.Histogram.percentile r.A.prober 99.) in
+      Printf.printf "%-10.0f %16.0f %16.0f\n%!" load (p99 mq) (p99 cfs))
+    [ 8.0; 48.0 ]
+
+(* -- Figures 7(a)/(b) ------------------------------------------------------ *)
+
+let fig7 interference title =
+  section title;
+  Printf.printf "%-18s %10s %10s %10s\n" "system" "p50 us" "p99 us" "p99.9 us";
+  let row name h =
+    Printf.printf "%-18s %10.1f %10.1f %10.1f\n%!" name
+      (T.to_float_us (Stats.Histogram.percentile h 50.))
+      (T.to_float_us (Stats.Histogram.percentile h 99.))
+      (T.to_float_us (Stats.Histogram.percentile h 99.9))
+  in
+  let dur = T.sec 1 in
+  row "TCP" (Workloads.Rr.prober ~duration:dur ~interference Workloads.Rr.Prober_tcp);
+  row "Snap/spreading"
+    (Workloads.Rr.prober ~duration:dur ~interference (Workloads.Rr.Prober_pony spreading));
+  row "Snap/compacting"
+    (Workloads.Rr.prober ~duration:dur ~interference
+       (Workloads.Rr.Prober_pony compacting))
+
+let fig7a () =
+  fig7 Workloads.Rr.Idle
+    "Figure 7(a): 1000-QPS prober on idle machines (C-state wakeups; \
+     compacting spin-polls and avoids them)"
+
+let fig7b () =
+  fig7 (Workloads.Rr.Mmap_antagonist 8)
+    "Figure 7(b): 1000-QPS prober under mmap antagonist (non-preemptible \
+     kernel sections)"
+
+(* -- Figure 8 -------------------------------------------------------------- *)
+
+let fig8 () =
+  section
+    "Figure 8: one-sided batched-indirect-read service (paper: up to 5M \
+     IOPS on one engine core)";
+  let r = Workloads.Analytics.run () in
+  Printf.printf "server engine cores: %.2f\n" r.Workloads.Analytics.server_engine_cores;
+  Printf.printf "mean: %.2f M IOPS   peak: %.2f M IOPS\n" (r.mean_iops /. 1e6)
+    (r.peak_iops /. 1e6);
+  Printf.printf "%10s  %12s\n" "t (ms)" "IOPS";
+  Stats.Series.iter r.iops_series (fun t v ->
+      Printf.printf "%10.1f  %12.0f\n" (T.to_float_ms t) v);
+  Printf.printf "%!"
+
+(* -- Figure 9 -------------------------------------------------------------- *)
+
+let fig9 () =
+  section
+    "Figure 9: transparent-upgrade blackout distribution (paper: median \
+     250 ms, heavy tail)";
+  let r = Workloads.Upgrade_fleet.run () in
+  Printf.printf "engines migrated: %d; messages delivered during upgrades: %d\n"
+    r.Workloads.Upgrade_fleet.engines_migrated r.messages_delivered_during;
+  Printf.printf "blackout: p25=%.0fms p50=%.0fms [250] p75=%.0fms p90=%.0fms p99=%.0fms\n%!"
+    (T.to_float_ms (Stats.Histogram.percentile r.blackouts 25.))
+    (T.to_float_ms r.median)
+    (T.to_float_ms (Stats.Histogram.percentile r.blackouts 75.))
+    (T.to_float_ms (Stats.Histogram.percentile r.blackouts 90.))
+    (T.to_float_ms (Stats.Histogram.percentile r.blackouts 99.))
+
+(* -- Ablations -------------------------------------------------------------- *)
+
+let ablate_mtu () =
+  section "Ablation: MTU sweep for Snap/Pony single-stream throughput";
+  List.iter
+    (fun mtu ->
+      let r = Workloads.Streaming.run_pony ~window:(T.ms 20) ~mtu () in
+      Printf.printf "MTU %5d: %6.1f Gbps at %.2f cores\n%!" mtu
+        r.Workloads.Streaming.gbps r.cpu)
+    [ 1500; 4096; 5000; 9000 ]
+
+let ablate_indirect () =
+  section
+    "Ablation: batched indirect read vs application-level pointer chase \
+     (section 3.2: 'an indirect read effectively doubles the achievable \
+     operation rate and halves the latency')";
+  (* One logical lookup = resolve a table entry, then read the target.
+     Client-side chase: two dependent one-sided reads (2 RTT).  Indirect
+     read: one operation. *)
+  let run_chase ~indirect =
+    let loop = Sim.Loop.create ~seed:3 () in
+    let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+    let dir = Pony.Express.Directory.create () in
+    let mk addr =
+      Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr
+        ~mode:(Engine.Dedicating { cores = 1 }) ()
+    in
+    let hs = mk 0 and hc = mk 1 in
+    let table = Memory.Region.create ~id:1 ~size:65536 ~owner:"srv" () in
+    let data = Memory.Region.create ~id:2 ~size:65536 ~owner:"srv" () in
+    for i = 0 to (65536 / 8) - 1 do
+      Memory.Region.write_int64 table (8 * i) (Int64.of_int (8 * i mod 65000))
+    done;
+    ignore
+      (Snap.Host.spawn_app hs ~name:"srv" (fun ctx ->
+           let c = Pony.Express.create_client ctx hs.Snap.Host.pony ~name:"srv" () in
+           Pony.Express.register_region ctx c table;
+           Pony.Express.register_region ctx c data;
+           Cpu.Thread.sleep ctx (T.sec 2)));
+    let sum = ref 0 and n = ref 0 in
+    ignore
+      (Snap.Host.spawn_app hc ~name:"cli" ~spin:true (fun ctx ->
+           let c = Pony.Express.create_client ctx hc.Snap.Host.pony ~name:"cli" () in
+           Cpu.Thread.sleep ctx (T.us 500);
+           let conn = Pony.Express.connect ctx c ~dst_host:0 ~dst_client:0 in
+           for i = 1 to 200 do
+             let t0 = Cpu.Thread.now ctx in
+             if indirect then begin
+               ignore
+                 (Pony.Express.indirect_read ctx conn ~table_region:1
+                    ~data_region:2 ~indices:[ i mod 1000 ] ~len:64);
+               ignore (Pony.Express.await_completion ctx c)
+             end
+             else begin
+               ignore
+                 (Pony.Express.one_sided_read ctx conn ~region:1
+                    ~off:(8 * (i mod 1000)) ~len:8);
+               let c1 = Pony.Express.await_completion ctx c in
+               let target =
+                 match c1.Pony.Express.value with
+                 | Some v -> Int64.to_int v
+                 | None -> 0
+               in
+               ignore (Pony.Express.one_sided_read ctx conn ~region:2 ~off:target ~len:64);
+               ignore (Pony.Express.await_completion ctx c)
+             end;
+             sum := !sum + (Cpu.Thread.now ctx - t0);
+             incr n
+           done));
+    Sim.Loop.run ~until:(T.ms 100) loop;
+    !sum / max 1 !n
+  in
+  let chase = run_chase ~indirect:false in
+  let ind = run_chase ~indirect:true in
+  Printf.printf "pointer chase (2 RTT): %.1f us\n" (T.to_float_us chase);
+  Printf.printf "indirect read (1 op):  %.1f us  (%.2fx lower latency)\n%!"
+    (T.to_float_us ind)
+    (float_of_int chase /. float_of_int ind)
+
+let ablate_slo () =
+  section "Ablation: compacting-scheduler SLO (latency/CPU trade, 48G load)";
+  List.iter
+    (fun slo_us ->
+      let cfg =
+        {
+          A.default_config with
+          A.offered_gbps_per_host = 48.0;
+          A.jobs_per_host = 10;
+          A.window = T.ms 25;
+        }
+      in
+      let r =
+        A.run (A.Pony (Engine.Compacting { slo = T.us slo_us; max_threads = 10 })) cfg
+      in
+      Printf.printf "SLO %4dus: cpu=%.2f cores  p99=%.0fus\n%!" slo_us
+        r.A.cpu_cores
+        (T.to_float_us (Stats.Histogram.percentile r.A.prober 99.)))
+    [ 10; 50; 200 ]
+
+(* -- Bechamel microbenchmarks ---------------------------------------------- *)
+
+let micro () =
+  section "Microbenchmarks (Bechamel): hot data structures";
+  let open Bechamel in
+  let heap_test =
+    Test.make ~name:"heap push+pop x100"
+      (Staged.stage (fun () ->
+           let h = Sim.Heap.create () in
+           for i = 0 to 99 do
+             Sim.Heap.add h ~key:((i * 7919) mod 100) i
+           done;
+           for _ = 0 to 99 do
+             ignore (Sim.Heap.pop h)
+           done))
+  in
+  let spsc_test =
+    let q = Squeue.Spsc.create ~capacity:1024 () in
+    Test.make ~name:"spsc push+pop"
+      (Staged.stage (fun () ->
+           ignore (Squeue.Spsc.push q ~now:0 1);
+           ignore (Squeue.Spsc.pop q)))
+  in
+  let hist = Stats.Histogram.create () in
+  let hist_test =
+    Test.make ~name:"histogram record"
+      (Staged.stage (fun () -> Stats.Histogram.record hist 123_456))
+  in
+  let cc = Pony.Timely.create ~max_rate_gbps:100.0 () in
+  let timely_test =
+    Test.make ~name:"timely rtt sample"
+      (Staged.stage (fun () -> Pony.Timely.on_rtt_sample cc 20_000))
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |])
+        (Toolkit.Instance.monotonic_clock) raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-24s %10.1f ns/op\n%!" name est
+        | _ -> Printf.printf "%-24s (no estimate)\n%!" name)
+      results
+  in
+  List.iter
+    (fun t -> benchmark (Test.make_grouped ~name:"g" [ t ]))
+    [ heap_test; spsc_test; hist_test; timely_test ]
+
+(* -- Driver ------------------------------------------------------------------ *)
+
+let all_benches =
+  [
+    ("table1", table1);
+    ("fig6a", fig6a);
+    ("fig6b", fig6bc);
+    ("fig6c", fig6bc);
+    ("fig6d", fig6d);
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("ablate-mtu", ablate_mtu);
+    ("ablate-indirect", ablate_indirect);
+    ("ablate-slo", ablate_slo);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] ->
+      (* fig6b and fig6c share one run; don't execute twice. *)
+      List.iter
+        (fun (name, f) -> if name <> "fig6c" then f ())
+        all_benches
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all_benches with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown bench %s; known: %s\n" name
+                (String.concat ", " (List.map fst all_benches)))
+        names

@@ -1,0 +1,208 @@
+(* snapsim: command-line driver for the Snap reproduction experiments.
+
+   Exposes each workload with its interesting knobs; the bench harness
+   (bench/main.exe) runs the fixed paper configurations, while this tool
+   is for exploration:
+
+     snapsim table1 --streams 200 --mtu 5000 --ioat
+     snapsim rr --system pony-spin
+     snapsim a2a --transport pony-compacting --load 48 --hosts 8
+     snapsim prober --system tcp --mmap 8
+     snapsim analytics --clients 8 --batch 8
+     snapsim upgrade --machines 10 *)
+
+open Cmdliner
+module T = Sim.Time
+
+let pf fmt = Printf.printf fmt
+
+(* -- table1 ----------------------------------------------------------- *)
+
+let table1_cmd =
+  let run tcp streams mtu ioat =
+    let r =
+      if tcp then Workloads.Streaming.run_tcp ~streams ~mtu ()
+      else Workloads.Streaming.run_pony ~streams ~mtu ~use_copy_engine:ioat ()
+    in
+    pf "%s streams=%d mtu=%d%s: %.1f Gbps, cpu tx=%.2f rx=%.2f avg=%.2f\n"
+      (if tcp then "TCP" else "Snap/Pony")
+      streams mtu
+      (if ioat then "+I/OAT" else "")
+      r.Workloads.Streaming.gbps r.sender_cpu r.receiver_cpu r.cpu
+  in
+  let tcp = Arg.(value & flag & info [ "tcp" ] ~doc:"Use the kernel TCP baseline.") in
+  let streams =
+    Arg.(value & opt int 1 & info [ "streams" ] ~doc:"Simultaneous streams.")
+  in
+  let mtu = Arg.(value & opt int 4096 & info [ "mtu" ] ~doc:"MTU in bytes.") in
+  let ioat = Arg.(value & flag & info [ "ioat" ] ~doc:"Enable the copy engine.") in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Two-machine streaming throughput (Table 1).")
+    Term.(const run $ tcp $ streams $ mtu $ ioat)
+
+(* -- rr ---------------------------------------------------------------- *)
+
+let rr_cmd =
+  let run system =
+    let sys =
+      match system with
+      | "tcp" -> Workloads.Rr.Tcp_rr { busy_poll = false }
+      | "tcp-busypoll" -> Workloads.Rr.Tcp_rr { busy_poll = true }
+      | "pony" -> Workloads.Rr.Pony_rr { app_spin = false }
+      | "pony-spin" -> Workloads.Rr.Pony_rr { app_spin = true }
+      | "pony-onesided" -> Workloads.Rr.Pony_one_sided
+      | s -> failwith ("unknown system " ^ s)
+    in
+    pf "%s mean RTT: %.1f us\n" system (T.to_float_us (Workloads.Rr.mean_rtt sys))
+  in
+  let system =
+    Arg.(
+      value
+      & opt string "pony-spin"
+      & info [ "system" ]
+          ~doc:
+            "One of tcp, tcp-busypoll, pony, pony-spin, pony-onesided.")
+  in
+  Cmd.v
+    (Cmd.info "rr" ~doc:"Small-op round-trip latency (Figure 6(a)).")
+    Term.(const run $ system)
+
+(* -- a2a ---------------------------------------------------------------- *)
+
+let a2a_cmd =
+  let run transport load hosts jobs antagonists =
+    let t =
+      match transport with
+      | "tcp" -> Workloads.All_to_all.Tcp
+      | "pony-spreading" ->
+          Workloads.All_to_all.Pony (Engine.Spreading { runtime_pct = 1.0 })
+      | "pony-compacting" ->
+          Workloads.All_to_all.Pony
+            (Engine.Compacting { slo = T.us 25; max_threads = 10 })
+      | "pony-cfs" ->
+          Workloads.All_to_all.Pony
+            (Engine.Spreading_class (Cpu.Sched.Cfs { nice = -20 }))
+      | s -> failwith ("unknown transport " ^ s)
+    in
+    let cfg =
+      {
+        Workloads.All_to_all.default_config with
+        Workloads.All_to_all.offered_gbps_per_host = load;
+        hosts;
+        jobs_per_host = jobs;
+        antagonist =
+          (if antagonists > 0 then Workloads.All_to_all.Md5 antagonists
+           else Workloads.All_to_all.No_antagonist);
+      }
+    in
+    let r = Workloads.All_to_all.run t cfg in
+    pf "%s at %.0f Gbps/host: cpu=%.2f cores, achieved=%.1f Gbps, prober p50=%.0fus p99=%.0fus (%d RPCs)\n"
+      transport load r.Workloads.All_to_all.cpu_cores r.achieved_gbps
+      (T.to_float_us (Stats.Histogram.percentile r.prober 50.))
+      (T.to_float_us (Stats.Histogram.percentile r.prober 99.))
+      r.rpcs
+  in
+  let transport =
+    Arg.(
+      value
+      & opt string "pony-spreading"
+      & info [ "transport" ]
+          ~doc:"tcp | pony-spreading | pony-compacting | pony-cfs.")
+  in
+  let load =
+    Arg.(value & opt float 8.0 & info [ "load" ] ~doc:"Offered Gbps per host.")
+  in
+  let hosts = Arg.(value & opt int 8 & info [ "hosts" ] ~doc:"Rack size.") in
+  let jobs = Arg.(value & opt int 10 & info [ "jobs" ] ~doc:"Jobs per host.") in
+  let antag =
+    Arg.(value & opt int 0 & info [ "md5" ] ~doc:"MD5 antagonist threads per host.")
+  in
+  Cmd.v
+    (Cmd.info "a2a" ~doc:"All-to-all 1MB RPC rack workload (Figures 6(b)-(d)).")
+    Term.(const run $ transport $ load $ hosts $ jobs $ antag)
+
+(* -- prober ------------------------------------------------------------- *)
+
+let prober_cmd =
+  let run system mmap =
+    let sys =
+      match system with
+      | "tcp" -> Workloads.Rr.Prober_tcp
+      | "spreading" ->
+          Workloads.Rr.Prober_pony (Engine.Spreading { runtime_pct = 1.0 })
+      | "compacting" ->
+          Workloads.Rr.Prober_pony
+            (Engine.Compacting { slo = T.us 25; max_threads = 4 })
+      | s -> failwith ("unknown system " ^ s)
+    in
+    let interference =
+      if mmap > 0 then Workloads.Rr.Mmap_antagonist mmap else Workloads.Rr.Idle
+    in
+    let h = Workloads.Rr.prober ~interference sys in
+    pf "%s%s: p50=%.1fus p99=%.1fus p99.9=%.1fus (%d probes)\n" system
+      (if mmap > 0 then Printf.sprintf " +mmap(%d)" mmap else " idle")
+      (T.to_float_us (Stats.Histogram.percentile h 50.))
+      (T.to_float_us (Stats.Histogram.percentile h 99.))
+      (T.to_float_us (Stats.Histogram.percentile h 99.9))
+      (Stats.Histogram.count h)
+  in
+  let system =
+    Arg.(value & opt string "compacting"
+         & info [ "system" ] ~doc:"tcp | spreading | compacting.")
+  in
+  let mmap =
+    Arg.(value & opt int 0 & info [ "mmap" ] ~doc:"mmap antagonist threads.")
+  in
+  Cmd.v
+    (Cmd.info "prober" ~doc:"Low-QPS latency prober (Figures 7(a)/(b)).")
+    Term.(const run $ system $ mmap)
+
+(* -- analytics ------------------------------------------------------------ *)
+
+let analytics_cmd =
+  let run clients batch outstanding =
+    let r = Workloads.Analytics.run ~clients ~batch ~outstanding () in
+    pf "analytics: mean=%.2fM IOPS peak=%.2fM IOPS on %.2f engine cores\n"
+      (r.Workloads.Analytics.mean_iops /. 1e6)
+      (r.peak_iops /. 1e6) r.server_engine_cores
+  in
+  let clients = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client hosts.") in
+  let batch = Arg.(value & opt int 8 & info [ "batch" ] ~doc:"Indirections per op.") in
+  let outstanding =
+    Arg.(value & opt int 32 & info [ "outstanding" ] ~doc:"Ops in flight per client.")
+  in
+  Cmd.v
+    (Cmd.info "analytics" ~doc:"One-sided batched-indirect-read service (Figure 8).")
+    Term.(const run $ clients $ batch $ outstanding)
+
+(* -- upgrade ---------------------------------------------------------------- *)
+
+let upgrade_cmd =
+  let run machines engines median_mb =
+    let r =
+      Workloads.Upgrade_fleet.run ~machines ~engines_per_machine:engines
+        ~state_median_mb:median_mb ()
+    in
+    pf "upgrade: %d engines migrated, blackout p50=%.0fms p90=%.0fms p99=%.0fms; %d messages flowed during\n"
+      r.Workloads.Upgrade_fleet.engines_migrated
+      (T.to_float_ms r.median)
+      (T.to_float_ms (Stats.Histogram.percentile r.blackouts 90.))
+      (T.to_float_ms (Stats.Histogram.percentile r.blackouts 99.))
+      r.messages_delivered_during
+  in
+  let machines = Arg.(value & opt int 10 & info [ "machines" ] ~doc:"Cell size (even).") in
+  let engines = Arg.(value & opt int 4 & info [ "engines" ] ~doc:"Engines per machine.") in
+  let median =
+    Arg.(value & opt float 270.0 & info [ "state-mb" ] ~doc:"Median engine state, MB.")
+  in
+  Cmd.v
+    (Cmd.info "upgrade" ~doc:"Transparent-upgrade blackout distribution (Figure 9).")
+    Term.(const run $ machines $ engines $ median)
+
+let () =
+  let doc = "Snap (SOSP'19) reproduction: simulated-host experiments." in
+  let info = Cmd.info "snapsim" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table1_cmd; rr_cmd; a2a_cmd; prober_cmd; analytics_cmd; upgrade_cmd ]))

@@ -1,0 +1,1 @@
+examples/host_dataplane.ml: Engine Fabric Memory Pony Printf Sim Snap

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Cpu Engine Fabric Int64 List Memory Option Pony Printf Sim Snap

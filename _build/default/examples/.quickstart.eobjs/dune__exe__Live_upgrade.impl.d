@@ -1,0 +1,1 @@
+examples/live_upgrade.ml: Cpu Engine Fabric List Pony Printf Sim Snap Upgrade

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cpu Engine Fabric Memory Option Pony Printf Sim Snap

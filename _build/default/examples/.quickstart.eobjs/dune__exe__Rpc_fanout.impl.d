@@ -1,0 +1,1 @@
+examples/rpc_fanout.ml: Cpu Engine Fabric Format List Pony Printf Sim Snap Stats

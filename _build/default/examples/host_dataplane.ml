@@ -1,0 +1,64 @@
+(* The wider Snap dataplane (Figure 2): alongside Pony Express, the same
+   engine group hosts a traffic-shaping engine (token-bucket bandwidth
+   enforcement over Click-style elements) and a virtualization packet
+   switch moving guest-VM traffic, all sharing the NIC.
+
+   Run with: dune exec examples/host_dataplane.exe *)
+
+module T = Sim.Time
+
+let () =
+  let loop = Sim.Loop.create ~seed:21 () in
+  let fabric = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let directory = Pony.Express.Directory.create () in
+  let host addr =
+    Snap.Host.create ~loop ~fabric ~directory ~addr
+      ~mode:(Engine.Dedicating { cores = 2 })
+      ()
+  in
+  let a = host 0 and b = host 1 in
+
+  (* A shaping engine on host 0 enforcing 2 Gbps on injected host
+     traffic. *)
+  let shaper =
+    Snap.Shaper.create ~loop ~nic:a.Snap.Host.nic ~group:a.Snap.Host.group
+      ~rate_gbps:2.0 ~burst_bytes:20_000 ()
+  in
+  let gen = Memory.Packet.Id_gen.create () in
+  let offered = ref 0 in
+  (* Offer ~8 Gbps of 1500-byte host packets for 10 ms. *)
+  ignore
+    (Sim.Loop.every loop (T.ns 1500) (fun () ->
+         if Sim.Loop.now loop < T.ms 10 then begin
+           incr offered;
+           ignore
+             (Snap.Shaper.submit shaper
+                (Memory.Packet.make
+                   ~id:(Memory.Packet.Id_gen.next gen)
+                   ~src:0 ~dst:1 ~wire_bytes:1500 Memory.Packet.Empty ()))
+         end));
+
+  (* A virtual switch on host 1 carrying guest-VM traffic back toward
+     host 0's guests. *)
+  let vswitch =
+    Snap.Vswitch.create ~loop ~nic:b.Snap.Host.nic ~group:b.Snap.Host.group
+      ~rx_queue:7 ()
+  in
+  let guest = Snap.Vswitch.add_guest vswitch ~vip:42 in
+  Snap.Vswitch.add_route vswitch ~vip:7 ~host:0;
+  ignore
+    (Sim.Loop.every loop (T.us 50) (fun () ->
+         if Sim.Loop.now loop < T.ms 10 then
+           ignore (Snap.Vswitch.guest_transmit vswitch guest ~dst_vip:7 ~bytes:1400)));
+
+  Sim.Loop.run ~until:(T.ms 15) loop;
+  Printf.printf "shaper: offered %d packets, forwarded %d, shaped away %d\n"
+    !offered
+    (Snap.Shaper.forwarded shaper)
+    (Snap.Shaper.shaped_drops shaper);
+  Printf.printf
+    "shaped rate ~= %.2f Gbps (policy: 2.0) over 10 ms of 8 Gbps offered\n"
+    (float_of_int (Snap.Shaper.forwarded shaper * 1500 * 8) /. 10e6);
+  Printf.printf "vswitch: %d guest packets forwarded to the fabric, %d unroutable\n"
+    (Snap.Vswitch.forwarded vswitch)
+    (Snap.Vswitch.unroutable vswitch)

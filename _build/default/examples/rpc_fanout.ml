@@ -1,0 +1,76 @@
+(* Web-search-style fan-out: a root server broadcasts a query to leaf
+   servers over Pony Express two-sided messaging and aggregates their
+   answers; tail latency of the slowest leaf defines query latency —
+   the communication pattern that motivates the paper's latency focus.
+
+   Run with: dune exec examples/rpc_fanout.exe *)
+
+module T = Sim.Time
+module PE = Pony.Express
+
+let leaves = 6
+let queries = 20
+
+let () =
+  let loop = Sim.Loop.create ~seed:99 () in
+  let fabric =
+    Fabric.create ~loop ~config:Fabric.default_config ~hosts:(leaves + 1)
+  in
+  let directory = PE.Directory.create () in
+  let host addr =
+    Snap.Host.create ~loop ~fabric ~directory ~addr
+      ~mode:(Engine.Dedicating { cores = 1 })
+      ()
+  in
+  let root = host 0 in
+  let leaf_hosts = List.init leaves (fun i -> host (i + 1)) in
+
+  (* Leaves echo a 16 kB result chunk per query, after a little
+     simulated "search" compute. *)
+  List.iteri
+    (fun i h ->
+      ignore
+        (Snap.Host.spawn_app h
+           ~name:(Printf.sprintf "leaf%d" i)
+           (fun ctx ->
+             let c =
+               PE.create_client ctx h.Snap.Host.pony
+                 ~name:(Printf.sprintf "leaf%d" i)
+                 ()
+             in
+             while true do
+               let m = PE.await_message ctx c in
+               Cpu.Thread.compute ctx (T.us 20);
+               ignore
+                 (PE.send_message ctx m.PE.msg_conn ~stream:(m.PE.stream + 1)
+                    ~bytes:16_384 ())
+             done)))
+    leaf_hosts;
+
+  let lat = Stats.Histogram.create () in
+  ignore
+    (Snap.Host.spawn_app root ~name:"root" ~spin:true (fun ctx ->
+         let c = PE.create_client ctx root.Snap.Host.pony ~name:"root" () in
+         Cpu.Thread.sleep ctx (T.us 500);
+         let conns =
+           List.init leaves (fun i ->
+               PE.connect ctx c ~dst_host:(i + 1) ~dst_client:0)
+         in
+         for q = 0 to queries - 1 do
+           let t0 = Cpu.Thread.now ctx in
+           List.iter
+             (fun conn ->
+               ignore (PE.send_message ctx conn ~stream:(4 * q) ~bytes:256 ()))
+             conns;
+           (* Gather all leaf responses. *)
+           let got = ref 0 in
+           while !got < leaves do
+             match PE.poll_message ctx c with
+             | Some _ -> incr got
+             | None -> Cpu.Thread.wait ctx
+           done;
+           Stats.Histogram.record lat (Cpu.Thread.now ctx - t0)
+         done;
+         Format.printf "fan-out over %d leaves, %d queries: %a@." leaves
+           queries Stats.Histogram.pp_summary lat));
+  Sim.Loop.run ~until:(T.ms 100) loop

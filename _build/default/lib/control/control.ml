@@ -1,0 +1,90 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+
+type message = ..
+type message += Error_no_service of string
+
+(* One domain-socket RPC round trip: two ring switches plus wakeups on
+   both sides; tens of microseconds, well off the fast path. *)
+let rpc_round_trip = Time.us 25
+let mailbox_retry = Time.us 5
+
+type t = {
+  lp : Loop.t;
+  mach : Cpu.Sched.machine;
+  ctl_name : string;
+  services : (string, message -> message) Hashtbl.t;
+  clients : (string, unit) Hashtbl.t;
+  regions : (string, Memory.Region.t list ref) Hashtbl.t;
+}
+
+let create ~loop ~machine ~name =
+  {
+    lp = loop;
+    mach = machine;
+    ctl_name = name;
+    services = Hashtbl.create 8;
+    clients = Hashtbl.create 16;
+    regions = Hashtbl.create 16;
+  }
+
+let name t = t.ctl_name
+let machine t = t.mach
+
+let register_service t ~service handler =
+  Hashtbl.replace t.services service handler
+
+let call ctx t ~service msg =
+  let costs = Cpu.Sched.costs t.mach in
+  Cpu.Thread.syscall ctx costs.Sim.Costs.syscall;
+  Cpu.Thread.sleep ctx rpc_round_trip;
+  match Hashtbl.find_opt t.services service with
+  | Some handler -> handler msg
+  | None -> Error_no_service service
+
+let authenticate ctx t ~client =
+  let costs = Cpu.Sched.costs t.mach in
+  Cpu.Thread.syscall ctx costs.Sim.Costs.syscall;
+  Cpu.Thread.sleep ctx rpc_round_trip;
+  Hashtbl.replace t.clients client ()
+
+let is_authenticated t ~client = Hashtbl.mem t.clients client
+
+let register_region t ~client region =
+  let lst =
+    match Hashtbl.find_opt t.regions client with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add t.regions client r;
+        r
+  in
+  lst := region :: !lst
+
+let regions_of t ~client =
+  match Hashtbl.find_opt t.regions client with Some r -> !r | None -> []
+
+let memory_charged t ~client =
+  List.fold_left (fun acc r -> acc + Memory.Region.size r) 0 (regions_of t ~client)
+
+let post_to_engine ctx engine work =
+  let done_flag = ref false in
+  let self = Cpu.Thread.task ctx in
+  let wrapped () =
+    work ();
+    done_flag := true;
+    Cpu.Sched.wake self
+  in
+  let rec try_post () =
+    if Squeue.Mailbox.post (Engine.mailbox engine) wrapped then begin
+      Engine.notify engine;
+      while not !done_flag do
+        Cpu.Thread.wait ctx
+      done
+    end
+    else begin
+      Cpu.Thread.sleep ctx mailbox_retry;
+      try_post ()
+    end
+  in
+  try_post ()

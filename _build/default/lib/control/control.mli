@@ -1,0 +1,57 @@
+(** Snap control plane (§2.3).
+
+    The control plane is "centered around RPC serving": applications
+    reach Snap over a Unix domain socket (the slow path) to authenticate,
+    set up shared memory, and ask modules to create engines.  Control
+    components synchronize with running engines only through their
+    depth-1 mailboxes.
+
+    Control traffic is not performance critical; calls model the
+    syscall + domain-socket round trip with a fixed latency and run the
+    registered handler inline. *)
+
+type t
+
+type message = ..
+(** Extensible RPC payload; each module defines its own cases. *)
+
+type message += Error_no_service of string
+
+val create :
+  loop:Sim.Loop.t -> machine:Cpu.Sched.machine -> name:string -> t
+
+val name : t -> string
+val machine : t -> Cpu.Sched.machine
+
+val register_service : t -> service:string -> (message -> message) -> unit
+(** Modules (e.g. the Pony module of Figure 2) expose their setup RPCs
+    here. *)
+
+val call : Cpu.Thread.ctx -> t -> service:string -> message -> message
+(** Application-side RPC over the domain socket: blocks the calling
+    thread for the round trip, then returns the handler's response.
+    Unknown services answer {!Error_no_service}. *)
+
+(** {1 Client and memory-region registry} *)
+
+val authenticate : Cpu.Thread.ctx -> t -> client:string -> unit
+(** Models the identity check applications perform when establishing
+    interactions with Snap (§2.6). *)
+
+val is_authenticated : t -> client:string -> bool
+
+val register_region : t -> client:string -> Memory.Region.t -> unit
+(** Record a shared-memory region passed over the domain socket
+    (fd-passing); charges its bytes to the client's container (§2.5). *)
+
+val regions_of : t -> client:string -> Memory.Region.t list
+val memory_charged : t -> client:string -> int
+
+(** {1 Engine synchronization} *)
+
+val post_to_engine :
+  Cpu.Thread.ctx -> Engine.t -> (unit -> unit) -> unit
+(** Post work to an engine mailbox, retrying (with backoff sleeps) while
+    the depth-1 mailbox is occupied, and return once the engine has
+    executed it.  Runs on the engine's thread, lock-free for the engine
+    (§2.3). *)

@@ -1,0 +1,1 @@
+lib/cpu/sched.ml: Array Float Hashtbl List Printf Queue Sim String

@@ -1,0 +1,1 @@
+lib/cpu/sched.mli: Sim

@@ -1,0 +1,1 @@
+lib/cpu/thread.ml: Effect Sched Sim

@@ -1,0 +1,1 @@
+lib/cpu/thread.mli: Sched Sim

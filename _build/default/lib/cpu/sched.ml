@@ -1,0 +1,617 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+
+type step_result =
+  | Ran of Time.t
+  | Ran_nonpreemptible of Time.t
+  | Idle
+  | Finished
+
+type idle_policy = Spin | Block
+
+type klass =
+  | Pinned of int
+  | Micro_quanta of { runtime_pct : float }
+  | Cfs of { nice : int }
+
+(* Scheduler parameters.  CFS re-evaluates at millisecond granularity (the
+   kernel's scheduling granularity); MicroQuanta slices at tens of
+   microseconds (section 2.4.1: "scalable time slicing at microsecond
+   granularity"). *)
+let cfs_slice = Time.ms 1
+let mq_quantum = Time.us 50
+let mq_period = Time.ms 1
+let spin_discovery = Time.ns 60
+let wake_vruntime_bonus = 3.0e6 (* ns: CFS wakeup placement credit *)
+
+(* CFS wakeup preemption honors the scheduler's minimum granularity: a
+   running fair task keeps the CPU for at least this long even when a
+   higher-weight fair task wakes.  Real-time (MicroQuanta) wakeups are
+   not subject to it — that asymmetry is Figure 6(d). *)
+let cfs_min_granularity = Time.us 750
+
+type task_state =
+  | Created
+  | Ready
+  | Running of int  (* core id *)
+  | Spinning of int  (* core id *)
+  | Blocked
+  | Throttled
+  | Done
+
+type task = {
+  t_name : string;
+  account : string;
+  klass : klass;
+  mutable idle : idle_policy;
+  mutable step : unit -> step_result;
+  m : machine;
+  mutable state : task_state;
+  mutable gen : int;  (* invalidates stale step events *)
+  mutable busy : int;
+  mutable spin_start : Time.t;
+  mutable vruntime : float;
+  mutable slice_used : int;
+  mutable mq_consumed : int;
+  mutable mq_period_start : Time.t;
+  mutable preempt_rt : bool;  (* an RT task wants this core *)
+  mutable preempt_fair : bool;  (* a fair task wants this core *)
+  mutable wake_pending : bool;
+}
+
+and core = {
+  cid : int;
+  mutable current : task option;
+  mutable reserved : bool;
+  mutable idle_since : Time.t;
+  mutable steal : int;  (* interrupt time to inject before the next step *)
+  mutable nonpreempt_until : Time.t;
+  (* A fair task woken onto this busy core (wake affinity): it runs when
+     this core yields, rather than migrating instantly to whichever core
+     frees first — load balancing is much slower than wakeups. *)
+  mutable waiter : task option;
+}
+
+and machine = {
+  lp : Loop.t;
+  cost : Sim.Costs.t;
+  m_name : string;
+  cores_arr : core array;
+  mq_ready : task Queue.t;
+  cfs_ready : task Sim.Heap.t;
+  account_tbl : (string, int ref) Hashtbl.t;
+  mutable vr_clock : float;
+  mutable rr_interrupt : int;
+  mutable total_busy : int;
+}
+
+let create_machine ~loop ~costs ~name ~cores =
+  if cores <= 0 then invalid_arg "Sched.create_machine";
+  {
+    lp = loop;
+    cost = costs;
+    m_name = name;
+    cores_arr =
+      Array.init cores (fun cid ->
+          {
+            cid;
+            current = None;
+            reserved = false;
+            idle_since = Time.zero;
+            steal = 0;
+            nonpreempt_until = Time.zero;
+            waiter = None;
+          });
+    mq_ready = Queue.create ();
+    cfs_ready = Sim.Heap.create ();
+    account_tbl = Hashtbl.create 16;
+    vr_clock = 0.0;
+    rr_interrupt = 0;
+    total_busy = 0;
+  }
+
+let machine_name m = m.m_name
+let num_cores m = Array.length m.cores_arr
+let loop m = m.lp
+let costs m = m.cost
+
+let reserve_core m =
+  let rec find i =
+    if i >= Array.length m.cores_arr then failwith "Sched.reserve_core: none left"
+    else if m.cores_arr.(i).reserved then find (i + 1)
+    else begin
+      m.cores_arr.(i).reserved <- true;
+      i
+    end
+  in
+  (* Reserve from the top so core 0 stays available for floating work. *)
+  let rec find_top i =
+    if i < 0 then find 0
+    else if m.cores_arr.(i).reserved then find_top (i - 1)
+    else begin
+      m.cores_arr.(i).reserved <- true;
+      i
+    end
+  in
+  find_top (Array.length m.cores_arr - 1)
+
+(* -- Accounting ------------------------------------------------------- *)
+
+let account_add m account cost =
+  m.total_busy <- m.total_busy + cost;
+  match Hashtbl.find_opt m.account_tbl account with
+  | Some r -> r := !r + cost
+  | None -> Hashtbl.add m.account_tbl account (ref cost)
+
+let charge task cost =
+  task.busy <- task.busy + cost;
+  account_add task.m task.account cost
+
+(* Spin time is CPU time: a spinning task holds its core busy.  The
+   interval is folded in when the spin ends; live queries add the
+   in-progress interval. *)
+let live_spin_ns task =
+  match task.state with
+  | Spinning _ -> Time.sub (Loop.now task.m.lp) task.spin_start
+  | Created | Ready | Running _ | Blocked | Throttled | Done -> 0
+
+let task_busy_ns task = task.busy + live_spin_ns task
+
+let machine_live_spin m =
+  Array.fold_left
+    (fun acc core ->
+      match core.current with Some t -> acc + live_spin_ns t | None -> acc)
+    0 m.cores_arr
+
+let busy_ns m = m.total_busy + machine_live_spin m
+
+let account_busy_ns m account =
+  let base =
+    match Hashtbl.find_opt m.account_tbl account with Some r -> !r | None -> 0
+  in
+  let spin =
+    Array.fold_left
+      (fun acc core ->
+        match core.current with
+        | Some t when String.equal t.account account -> acc + live_spin_ns t
+        | Some _ | None -> acc)
+      0 m.cores_arr
+  in
+  base + spin
+
+let accounts m =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) m.account_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* -- CFS weights ------------------------------------------------------ *)
+
+let cfs_weight nice = 1024.0 /. (1.25 ** float_of_int nice)
+
+let vruntime_delta task cost =
+  match task.klass with
+  | Cfs { nice } -> float_of_int cost *. (1024.0 /. cfs_weight nice)
+  | Pinned _ | Micro_quanta _ -> 0.0
+
+(* -- Core / dispatch machinery ---------------------------------------- *)
+
+let core_asleep m core =
+  core.current = None
+  && Time.sub (Loop.now m.lp) core.idle_since >= m.cost.cstate_idle_threshold
+
+let is_mq task =
+  match task.klass with
+  | Micro_quanta _ -> true
+  | Pinned _ | Cfs _ -> false
+
+let bump_gen task = task.gen <- task.gen + 1
+
+let rec schedule_step m core task ~delay =
+  bump_gen task;
+  let gen = task.gen in
+  ignore (Loop.after m.lp delay (fun () -> step_event m core task gen))
+
+and dispatch m core task ~delay =
+  core.current <- Some task;
+  task.state <- Running core.cid;
+  task.slice_used <- 0;
+  task.preempt_rt <- false;
+  task.preempt_fair <- false;
+  task.wake_pending <- false;
+  m.vr_clock <- Float.max m.vr_clock task.vruntime;
+  schedule_step m core task ~delay
+
+(* Pick the next task for a newly free core: its affine waiter first,
+   then the real-time queue, then fair tasks by vruntime. *)
+and pick_next m core =
+  core.current <- None;
+  core.idle_since <- Loop.now m.lp;
+  if not core.reserved then begin
+    let waiter =
+      match core.waiter with
+      | Some t when t.state = Ready ->
+          core.waiter <- None;
+          Some t
+      | Some _ ->
+          core.waiter <- None;
+          None
+      | None -> None
+    in
+    match waiter with
+    | Some task -> dispatch m core task ~delay:m.cost.context_switch
+    | None -> (
+        match next_ready m with
+        | Some task -> dispatch m core task ~delay:m.cost.context_switch
+        | None -> ())
+  end
+
+and next_ready m =
+  (* MicroQuanta has strict priority over CFS. *)
+  let rec from_mq () =
+    match Queue.take_opt m.mq_ready with
+    | Some t when t.state = Ready -> Some t
+    | Some _ -> from_mq ()
+    | None -> from_cfs ()
+  and from_cfs () =
+    match Sim.Heap.pop m.cfs_ready with
+    | Some t when t.state = Ready -> Some t
+    | Some _ -> from_cfs ()
+    | None -> None
+  in
+  from_mq ()
+
+and enqueue_ready m task =
+  task.state <- Ready;
+  bump_gen task;
+  (match task.klass with
+  | Micro_quanta _ | Pinned _ -> Queue.add task m.mq_ready
+  | Cfs _ -> Sim.Heap.add m.cfs_ready ~key:(int_of_float task.vruntime) task);
+  (* If a core is idle, take it immediately. *)
+  let rec find_idle i =
+    if i >= Array.length m.cores_arr then None
+    else
+      let c = m.cores_arr.(i) in
+      if (not c.reserved) && c.current = None then Some c else find_idle (i + 1)
+  in
+  match find_idle 0 with
+  | Some c -> (
+      match next_ready m with
+      | Some t ->
+          let delay =
+            Time.add m.cost.context_switch
+              (if core_asleep m c then m.cost.cstate_exit else Time.zero)
+          in
+          dispatch m c t ~delay
+      | None -> ())
+  | None -> ()
+
+and should_resched m task =
+  if task.preempt_rt then true
+  else if task.preempt_fair && task.slice_used >= cfs_min_granularity then true
+  else
+    match task.klass with
+    | Pinned _ -> false
+    | Micro_quanta _ ->
+        task.slice_used >= mq_quantum && not (Queue.is_empty m.mq_ready)
+    | Cfs _ ->
+        (not (Queue.is_empty m.mq_ready))
+        || (task.slice_used >= cfs_slice && not (Sim.Heap.is_empty m.cfs_ready))
+
+and mq_budget _m task =
+  match task.klass with
+  | Micro_quanta { runtime_pct } ->
+      int_of_float (runtime_pct *. float_of_int mq_period)
+  | Pinned _ | Cfs _ -> max_int
+
+and core_runs core task =
+  match core.current with Some t -> t == task | None -> false
+
+and step_event m core task gen =
+  if task.gen = gen && core_runs core task then
+    if core.steal > 0 then begin
+      (* Interrupt context stole time from this core; the task's step is
+         pushed back by the stolen amount. *)
+      let stolen = core.steal in
+      core.steal <- 0;
+      schedule_step m core task ~delay:stolen
+    end
+    else if should_resched m task then begin
+      charge task m.cost.context_switch;
+      enqueue_ready m task;
+      pick_next m core
+    end
+    else begin
+      match task.step () with
+      | Ran cost -> after_run m core task cost ~nonpreempt:false
+      | Ran_nonpreemptible cost -> after_run m core task cost ~nonpreempt:true
+      | Idle ->
+          if task.wake_pending then begin
+            (* A wake raced with this step; poll once more rather than
+               losing it. *)
+            task.wake_pending <- false;
+            schedule_step m core task ~delay:spin_discovery
+          end
+          else (
+            match task.idle with
+            | Spin ->
+                task.state <- Spinning core.cid;
+                bump_gen task;
+                task.spin_start <- Loop.now m.lp
+            | Block ->
+                task.state <- Blocked;
+                bump_gen task;
+                pick_next m core)
+      | Finished ->
+          task.state <- Done;
+          bump_gen task;
+          pick_next m core
+    end
+
+and after_run m core task cost ~nonpreempt =
+  charge task cost;
+  task.slice_used <- task.slice_used + cost;
+  task.vruntime <- task.vruntime +. vruntime_delta task cost;
+  if nonpreempt then core.nonpreempt_until <- Time.add (Loop.now m.lp) cost;
+  (* MicroQuanta bandwidth control. *)
+  let now = Loop.now m.lp in
+  if is_mq task then begin
+    if Time.sub now task.mq_period_start >= mq_period then begin
+      task.mq_period_start <- now;
+      task.mq_consumed <- 0
+    end;
+    task.mq_consumed <- task.mq_consumed + cost
+  end;
+  if is_mq task && task.mq_consumed > mq_budget m task then begin
+    (* Throttled until the period boundary. *)
+    task.state <- Throttled;
+    bump_gen task;
+    let resume_at = Time.add task.mq_period_start mq_period in
+    ignore
+      (Loop.at m.lp resume_at (fun () ->
+           if task.state = Throttled then begin
+             task.mq_period_start <- Loop.now m.lp;
+             task.mq_consumed <- 0;
+             enqueue_ready m task
+           end));
+    pick_next m core
+  end
+  else schedule_step m core task ~delay:cost
+
+(* -- Task lifecycle ---------------------------------------------------- *)
+
+let spawn m ~name ~account ~klass ~idle ~step =
+  (match klass with
+  | Pinned c ->
+      if c < 0 || c >= Array.length m.cores_arr then
+        invalid_arg "Sched.spawn: bad pinned core"
+      else if not m.cores_arr.(c).reserved then
+        invalid_arg "Sched.spawn: pinned core not reserved"
+  | Micro_quanta { runtime_pct } ->
+      if runtime_pct <= 0.0 || runtime_pct > 1.0 then
+        invalid_arg "Sched.spawn: runtime_pct"
+  | Cfs { nice } ->
+      if nice < -20 || nice > 19 then invalid_arg "Sched.spawn: nice");
+  {
+    t_name = name;
+    account;
+    klass;
+    idle;
+    step;
+    m;
+    state = Created;
+    gen = 0;
+    busy = 0;
+    spin_start = Time.zero;
+    vruntime = 0.0;
+    slice_used = 0;
+    mq_consumed = 0;
+    mq_period_start = Time.zero;
+    preempt_rt = false;
+    preempt_fair = false;
+    wake_pending = false;
+  }
+
+let class_wake_latency m task =
+  match task.klass with
+  | Pinned _ | Micro_quanta _ -> m.cost.wakeup_microquanta
+  | Cfs _ -> m.cost.wakeup_cfs
+
+(* Choose a preemption victim for a woken task that found no idle core.
+   Like the kernel's wake placement, the target core is picked without
+   regard to whether it is currently in a non-preemptible section — that
+   blindness is exactly the pathology Figure 7(b) demonstrates.  The
+   choice is uniform over eligible cores, from the machine's own RNG
+   stream. *)
+let find_victim m woken =
+  let candidate core =
+    match core.current with
+    | None -> None
+    | Some cur -> (
+        match (woken.klass, cur.klass) with
+        | (Micro_quanta _ | Pinned _), Cfs _ -> Some core
+        | Cfs { nice = wn }, Cfs { nice = cn } when wn < cn -> Some core
+        | (Pinned _ | Micro_quanta _ | Cfs _), _ -> None)
+  in
+  let candidates =
+    Array.to_list m.cores_arr
+    |> List.filter_map (fun core ->
+           if core.reserved then None else candidate core)
+  in
+  match candidates with
+  | [] -> None
+  | l -> Some (List.nth l (Sim.Rng.int (Loop.rng m.lp) (List.length l)))
+
+let is_spinning_state t =
+  match t.state with
+  | Spinning _ -> true
+  | Created | Ready | Running _ | Blocked | Throttled | Done -> false
+
+let wake task =
+  let m = task.m in
+  match task.state with
+  | Blocked | Created ->
+      (* CFS wakeup placement credit keeps long sleepers competitive. *)
+      (match task.klass with
+      | Cfs _ ->
+          task.vruntime <-
+            Float.max task.vruntime (m.vr_clock -. wake_vruntime_bonus)
+      | Pinned _ | Micro_quanta _ -> ());
+      (match task.klass with
+      | Pinned cid ->
+          let core = m.cores_arr.(cid) in
+          (match core.current with
+          | Some other ->
+              invalid_arg
+                (Printf.sprintf "Sched.wake: pinned core %d busy with %s" cid
+                   other.t_name)
+          | None ->
+              let delay =
+                Time.add (class_wake_latency m task)
+                  (if core_asleep m core then m.cost.cstate_exit else Time.zero)
+              in
+              dispatch m core task ~delay)
+      | Micro_quanta _ | Cfs _ -> (
+          (* Prefer an awake idle core, then a sleeping idle core, then
+             preempt, then queue. *)
+          let idle_cores =
+            Array.to_list m.cores_arr
+            |> List.filter (fun c -> (not c.reserved) && c.current = None)
+          in
+          let awake, asleep =
+            List.partition (fun c -> not (core_asleep m c)) idle_cores
+          in
+          match (awake, asleep) with
+          | core :: _, _ ->
+              dispatch m core task ~delay:(class_wake_latency m task)
+          | [], core :: _ ->
+              let delay =
+                Time.add (class_wake_latency m task) m.cost.cstate_exit
+              in
+              dispatch m core task ~delay
+          | [], [] -> (
+              match find_victim m task with
+              | Some core -> (
+                  match core.current with
+                  | Some victim when is_spinning_state victim ->
+                      (* A spinning victim has no pending step event, so
+                         preempt it synchronously. *)
+                      let spin = Time.sub (Loop.now m.lp) victim.spin_start in
+                      charge victim spin;
+                      charge victim m.cost.context_switch;
+                      enqueue_ready m victim;
+                      core.current <- None;
+                      dispatch m core task
+                        ~delay:
+                          (Time.add (class_wake_latency m task)
+                             m.cost.context_switch)
+                  | Some victim -> (
+                      match task.klass with
+                      | Micro_quanta _ | Pinned _ ->
+                          victim.preempt_rt <- true;
+                          enqueue_ready m task
+                      | Cfs _ ->
+                          victim.preempt_fair <- true;
+                          if core.waiter = None then begin
+                            (* Wake affinity: wait on this core. *)
+                            task.state <- Ready;
+                            bump_gen task;
+                            core.waiter <- Some task
+                          end
+                          else enqueue_ready m task)
+                  | None -> enqueue_ready m task)
+              | None -> enqueue_ready m task)))
+  | Spinning cid ->
+      (* Treat like a kick: work has arrived for a spin-polling task. *)
+      let spin = Time.sub (Loop.now m.lp) task.spin_start in
+      charge task spin;
+      let core = m.cores_arr.(cid) in
+      task.state <- Running cid;
+      schedule_step m core task ~delay:spin_discovery
+  | Ready | Running _ | Throttled -> task.wake_pending <- true
+  | Done -> ()
+
+let start task = wake task
+
+let kick task = wake task
+
+let task_name t = t.t_name
+let task_machine t = t.m
+
+let is_blocked t =
+  match t.state with
+  | Blocked -> true
+  | Created | Ready | Running _ | Spinning _ | Throttled | Done -> false
+
+let is_spinning t =
+  match t.state with
+  | Spinning _ -> true
+  | Created | Ready | Running _ | Blocked | Throttled | Done -> false
+
+let set_step t step = t.step <- step
+
+(* -- Interrupts -------------------------------------------------------- *)
+
+let interrupt m ?core ~cost f =
+  let cid =
+    match core with
+    | Some c -> c
+    | None ->
+        (* Round-robin over non-reserved cores, like RSS spreading. *)
+        let n = Array.length m.cores_arr in
+        let rec pick tries c =
+          if tries >= n then c
+          else if m.cores_arr.(c).reserved then pick (tries + 1) ((c + 1) mod n)
+          else c
+        in
+        let c = pick 0 (m.rr_interrupt mod n) in
+        m.rr_interrupt <- m.rr_interrupt + 1;
+        c
+  in
+  let core = m.cores_arr.(cid) in
+  let delay =
+    Time.add m.cost.interrupt_delivery
+      (if core_asleep m core then m.cost.cstate_exit else Time.zero)
+  in
+  ignore
+    (Loop.after m.lp delay (fun () ->
+         account_add m "softirq" cost;
+         (match core.current with
+         | Some _ -> core.steal <- core.steal + cost
+         | None -> core.idle_since <- Loop.now m.lp);
+         f ()))
+
+let softirq_charge m cost =
+  if cost > 0 then begin
+    account_add m "softirq" cost;
+    let n = Array.length m.cores_arr in
+    let rec pick tries c =
+      if tries >= n then c
+      else if m.cores_arr.(c).reserved then pick (tries + 1) ((c + 1) mod n)
+      else c
+    in
+    let cid = pick 0 (m.rr_interrupt mod n) in
+    m.rr_interrupt <- m.rr_interrupt + 1;
+    let core = m.cores_arr.(cid) in
+    match core.current with
+    | Some _ -> core.steal <- core.steal + cost
+    | None -> core.idle_since <- Loop.now m.lp
+  end
+
+let set_idle_policy task policy = task.idle <- policy
+
+let retire_spin task =
+  match task.state with
+  | Spinning cid ->
+      let m = task.m in
+      let spin = Time.sub (Loop.now m.lp) task.spin_start in
+      charge task spin;
+      task.state <- Blocked;
+      bump_gen task;
+      let core = m.cores_arr.(cid) in
+      core.current <- None;
+      core.idle_since <- Loop.now m.lp;
+      if not core.reserved then begin
+        match next_ready m with
+        | Some t -> dispatch m core t ~delay:m.cost.context_switch
+        | None -> ()
+      end
+  | Created | Ready | Running _ | Blocked | Throttled | Done -> ()

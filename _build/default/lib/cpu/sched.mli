@@ -1,0 +1,133 @@
+(** Simulated multi-core machine and CPU scheduler.
+
+    This models what the paper gets from real hosts: hyperthread contexts
+    ("cores"), the Linux CFS scheduling class, Google's MicroQuanta
+    real-time class (§2.4.1), dedicated/pinned cores, C-states, and
+    non-preemptible kernel sections.  Time costs come from the
+    {!Sim.Costs} table.
+
+    Execution model: a {!task} owns a [step] function.  The scheduler
+    dispatches the task on a core and calls [step] repeatedly; each call
+    performs a bounded chunk of simulated work and reports its CPU cost.
+    Between chunks the scheduler may preempt, throttle, or migrate the
+    task.  When a task reports it is idle it either blocks (releasing the
+    core) or spins (holding the core busy without events until new work
+    is {!kick}ed in) according to its idle policy. *)
+
+type machine
+type task
+
+(** What one [step] call did. *)
+type step_result =
+  | Ran of Sim.Time.t  (** Performed work costing this much CPU time. *)
+  | Ran_nonpreemptible of Sim.Time.t
+      (** As [Ran], but the core cannot be preempted for the duration
+          (kernel section, cf. Figure 7(b)). *)
+  | Idle  (** No work available right now. *)
+  | Finished  (** The task is done and will never run again. *)
+
+(** Behaviour when [step] reports [Idle]. *)
+type idle_policy =
+  | Spin  (** Busy-poll: hold the core (its time counts as busy). *)
+  | Block  (** Release the core and wait for {!wake}. *)
+
+(** Scheduling class. *)
+type klass =
+  | Pinned of int
+      (** Dedicated hyperthread (§2.4 "dedicating cores"); the argument
+          is a core id obtained from {!reserve_core}. *)
+  | Micro_quanta of { runtime_pct : float }
+      (** Google's real-time class: priority over CFS with a bandwidth
+          bound of [runtime_pct] of each period. *)
+  | Cfs of { nice : int }  (** Default Linux class; nice in [-20, 19]. *)
+
+(** {1 Machines} *)
+
+val create_machine :
+  loop:Sim.Loop.t -> costs:Sim.Costs.t -> name:string -> cores:int -> machine
+
+val machine_name : machine -> string
+val num_cores : machine -> int
+val loop : machine -> Sim.Loop.t
+val costs : machine -> Sim.Costs.t
+
+val reserve_core : machine -> int
+(** Take a core out of the floating pool for a [Pinned] task.  Raises
+    [Failure] if none remain. *)
+
+val busy_ns : machine -> int
+(** Total CPU time consumed on the machine so far (all cores, including
+    spin-polling time), in nanoseconds. *)
+
+val account_busy_ns : machine -> string -> int
+(** CPU time charged to the given accounting container (§2.5). *)
+
+val accounts : machine -> (string * int) list
+(** All accounts with their busy nanoseconds, sorted by name. *)
+
+val interrupt : machine -> ?core:int -> cost:Sim.Time.t -> (unit -> unit) -> unit
+(** [interrupt m ~core ~cost f] delivers an interrupt: after the delivery
+    latency (plus C-state exit if the target core sleeps), [f] runs in
+    interrupt context and [cost] is charged to the core (stealing time
+    from whatever task occupies it), under the "softirq" account.  When
+    [core] is omitted a core is chosen round-robin, as with RSS interrupt
+    spreading. *)
+
+(** {1 Tasks} *)
+
+val spawn :
+  machine ->
+  name:string ->
+  account:string ->
+  klass:klass ->
+  idle:idle_policy ->
+  step:(unit -> step_result) ->
+  task
+(** Create a task.  It does not run until {!start}. *)
+
+val start : task -> unit
+(** Make the task runnable for the first time. *)
+
+val wake : task -> unit
+(** Move a blocked task to a core (or the run queue).  Dispatch latency
+    depends on the class, machine load, and target-core C-state.  Waking
+    a task that is not blocked is a no-op. *)
+
+val kick : task -> unit
+(** Cheap notification that new work exists: resumes a spinning task
+    after the poll-discovery delay; equivalent to {!wake} for a blocked
+    task; no-op otherwise.  This is what queue producers call. *)
+
+val task_name : task -> string
+val task_machine : task -> machine
+val task_busy_ns : task -> int
+val is_blocked : task -> bool
+val is_spinning : task -> bool
+
+val set_step : task -> (unit -> step_result) -> unit
+(** Replace the task's step function (used by the engine runtime when the
+    set of engines multiplexed on a thread changes). *)
+
+(** {1 Scheduler parameters} *)
+
+val cfs_slice : Sim.Time.t
+(** Timeslice granularity for CFS re-evaluation. *)
+
+val mq_period : Sim.Time.t
+(** MicroQuanta bandwidth-control period. *)
+
+val softirq_charge : machine -> Sim.Time.t -> unit
+(** Charge CPU time to the "softirq" account, stealing the time from a
+    busy core if one is running (the accounting pathology of kernel
+    networking that §2.5 describes).  Used by the kernel-stack model for
+    receive-path protocol processing. *)
+
+val set_idle_policy : task -> idle_policy -> unit
+(** Change what happens the next time the task reports [Idle].  Used by
+    the compacting engine scheduler to let drained threads block instead
+    of spinning. *)
+
+val retire_spin : task -> unit
+(** Transition a currently spinning task to blocked, folding its
+    spin time into its busy accounting and releasing the core.  No-op
+    for tasks that are not spinning. *)

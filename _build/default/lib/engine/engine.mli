@@ -1,0 +1,162 @@
+(** Snap engines and engine-group scheduling (§2.2, §2.4).
+
+    An engine is a stateful, single-threaded task encapsulating a packet
+    processing pipeline.  Engines communicate with applications, NIC
+    rings, the kernel and each other exclusively over memory-mapped
+    queues; the control plane reaches them through a depth-1 mailbox
+    serviced on the engine's own thread.
+
+    Engines are bundled into {e groups} with one of three scheduling
+    modes:
+
+    - {b Dedicating cores}: engines pinned to reserved hyperthreads that
+      spin-poll; multiple engines on a core are round-robined (the mode
+      fair-shares when CPU constrained).
+    - {b Spreading engines}: one kernel-visible thread per engine,
+      blocking on notification when idle and woken through the
+      MicroQuanta class for low tail latency.
+    - {b Compacting engines}: engines collapse onto as few threads as
+      possible; a rebalancer polls queueing delays and scales out onto
+      more threads when the delay SLO is violated, and compacts back
+      when load subsides (the Shenango-style algorithm of §2.4). *)
+
+type t
+(** An engine. *)
+
+type outcome =
+  | Worked of Sim.Time.t
+      (** The engine processed a bounded batch costing this much CPU. *)
+  | No_work  (** Nothing to do right now. *)
+
+val create :
+  name:string ->
+  ?account:string ->
+  run:(unit -> outcome) ->
+  ?queue_delay:(Sim.Time.t -> Sim.Time.t) ->
+  ?state_bytes:(unit -> int) ->
+  unit ->
+  t
+(** [run] performs one bounded batch of work.  [queue_delay now] reports
+    the age of the oldest unserviced input (the compacting scheduler's
+    load signal); default reports zero.  [state_bytes ()] sizes the
+    engine's serializable state for transparent upgrades (§4); default
+    0.  [account] (default "snap") is the CPU accounting container. *)
+
+val name : t -> string
+val account : t -> string
+
+val mailbox : t -> Squeue.Mailbox.t
+(** The control-plane mailbox; work posted here executes on the engine's
+    thread before its next batch (§2.3). *)
+
+val notify : t -> unit
+(** Tell the engine's current thread that new input exists.  Producers
+    (applications posting commands, NICs, peer engines) call this after
+    enqueueing.  Cheap for spinning threads; a scheduler wakeup for
+    blocked ones; no-op when the engine is detached. *)
+
+val set_run : t -> (unit -> outcome) -> unit
+val set_queue_delay : t -> (Sim.Time.t -> Sim.Time.t) -> unit
+val state_bytes : t -> int
+val steps : t -> int
+(** Number of [run] calls that made progress. *)
+
+val busy_ns : t -> int
+(** Total CPU cost this engine's batches have reported. *)
+
+val is_attached : t -> bool
+
+(** {1 Groups} *)
+
+type mode =
+  | Dedicating of { cores : int }
+  | Spreading of { runtime_pct : float }
+      (** One MicroQuanta thread per engine (the production setup). *)
+  | Spreading_class of Cpu.Sched.klass
+      (** Spreading, but with an explicit scheduling class — Figure 6(d)
+          compares MicroQuanta against CFS nice -20 for the same
+          spreading engines. *)
+  | Compacting of { slo : Sim.Time.t; max_threads : int }
+
+type group
+
+val create_group :
+  machine:Cpu.Sched.machine -> name:string -> mode:mode -> group
+
+val group_name : group -> string
+val group_mode : group -> mode
+
+val add : group -> t -> unit
+(** Load an engine into the group and start scheduling it.  An engine
+    lives in at most one group. *)
+
+val remove : group -> t -> unit
+(** Detach an engine (it stops being scheduled); used during transparent
+    upgrades.  Pending inputs stay in its queues. *)
+
+val engines : group -> t list
+
+val active_threads : group -> int
+(** Threads currently running engines (interesting for compacting). *)
+
+val owner_task : t -> Cpu.Sched.task option
+(** The scheduler task currently responsible for running this engine,
+    if attached.  NIC receive notifications for dedicated-core engines
+    use this for direct kicks. *)
+
+(** Click-style packet processing elements (§2.2): see {!Element}. *)
+module Element : sig
+  type action =
+    | Pass of Memory.Packet.t  (** Continue down the pipeline. *)
+    | Drop  (** Discard (counted as a drop). *)
+    | Consume  (** The element took ownership (e.g. queued it). *)
+
+  type t
+
+  val make :
+    name:string -> cost:Sim.Time.t -> (Memory.Packet.t -> action) -> t
+  (** An element with a fixed per-packet CPU cost. *)
+
+  val name : t -> string
+  val packets_in : t -> int
+  val drops : t -> int
+
+  (** {1 Stock elements} *)
+
+  val counter : name:string -> t
+  (** Passes everything; useful for telemetry taps. *)
+
+  val acl :
+    name:string -> allow:(Memory.Packet.t -> bool) -> t
+  (** Drops packets failing the predicate. *)
+
+  val token_bucket :
+    name:string ->
+    loop:Sim.Loop.t ->
+    rate_gbps:float ->
+    burst_bytes:int ->
+    t
+  (** Traffic shaping: passes packets while tokens last, drops beyond the
+      rate (§2: "pacing and rate limiting for bandwidth enforcement").
+      Tokens refill continuously at [rate_gbps]. *)
+
+  val rewrite_dst :
+    name:string -> table:(Memory.Packet.addr -> Memory.Packet.addr option) -> t
+  (** Virtualization-style address translation: rewrites the destination
+      via the lookup table, dropping unroutable packets. *)
+
+  (** {1 Pipelines} *)
+
+  module Pipeline : sig
+    type element = t
+    type t
+
+    val of_list : element list -> t
+
+    val push : t -> Memory.Packet.t -> Memory.Packet.t option * Sim.Time.t
+    (** Run a packet through every element.  Returns the surviving packet
+        (None if dropped/consumed) and the total CPU cost incurred. *)
+
+    val elements : t -> element list
+  end
+end

@@ -1,0 +1,124 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module Packet = Memory.Packet
+
+type config = {
+  link_gbps : float;
+  propagation : Time.t;
+  switch_latency : Time.t;
+  egress_buffer_bytes : int;
+  qos_classes : int;
+}
+
+let default_config =
+  {
+    link_gbps = 100.0;
+    propagation = Time.ns 500;
+    switch_latency = Time.ns 300;
+    egress_buffer_bytes = 1024 * 1024;
+    qos_classes = 4;
+  }
+
+type port = {
+  class_queues : Packet.t Queue.t array;
+  class_bytes : int array;
+  mutable draining : bool;
+}
+
+type t = {
+  lp : Loop.t;
+  cfg : config;
+  ports : port array;
+  rx_handlers : (Packet.t -> unit) option array;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+  mutable bytes_delivered : int;
+}
+
+let create ~loop ~config ~hosts =
+  if hosts <= 0 then invalid_arg "Fabric.create: hosts";
+  if config.qos_classes <= 0 then invalid_arg "Fabric.create: qos_classes";
+  {
+    lp = loop;
+    cfg = config;
+    ports =
+      Array.init hosts (fun _ ->
+          {
+            class_queues = Array.init config.qos_classes (fun _ -> Queue.create ());
+            class_bytes = Array.make config.qos_classes 0;
+            draining = false;
+          });
+    rx_handlers = Array.make hosts None;
+    n_delivered = 0;
+    n_dropped = 0;
+    bytes_delivered = 0;
+  }
+
+let config t = t.cfg
+let num_hosts t = Array.length t.ports
+
+let attach t ~addr ~rx =
+  if addr < 0 || addr >= Array.length t.rx_handlers then
+    invalid_arg "Fabric.attach: bad addr";
+  match t.rx_handlers.(addr) with
+  | Some _ -> invalid_arg "Fabric.attach: already attached"
+  | None -> t.rx_handlers.(addr) <- Some rx
+
+let wire_time cfg bytes =
+  int_of_float (Float.round (float_of_int bytes *. 8.0 /. cfg.link_gbps))
+
+let deliver t (pkt : Packet.t) =
+  match t.rx_handlers.(pkt.Packet.dst) with
+  | Some rx ->
+      t.n_delivered <- t.n_delivered + 1;
+      t.bytes_delivered <- t.bytes_delivered + pkt.Packet.wire_bytes;
+      rx pkt
+  | None -> t.n_dropped <- t.n_dropped + 1
+
+(* Strict-priority drain of one egress port: serialize the head packet of
+   the highest non-empty class, then propagate it to the host. *)
+let rec drain_port t port =
+  let rec pick cls =
+    if cls >= t.cfg.qos_classes then None
+    else if Queue.is_empty port.class_queues.(cls) then pick (cls + 1)
+    else Some cls
+  in
+  match pick 0 with
+  | None -> port.draining <- false
+  | Some cls ->
+      port.draining <- true;
+      let pkt = Queue.take port.class_queues.(cls) in
+      port.class_bytes.(cls) <- port.class_bytes.(cls) - pkt.Packet.wire_bytes;
+      let ser = wire_time t.cfg pkt.Packet.wire_bytes in
+      ignore
+        (Loop.after t.lp ser (fun () ->
+             ignore
+               (Loop.after t.lp t.cfg.propagation (fun () -> deliver t pkt));
+             drain_port t port))
+
+let enqueue_egress t (pkt : Packet.t) =
+  let port = t.ports.(pkt.Packet.dst) in
+  let cls =
+    let c = pkt.Packet.qos in
+    if c < 0 then 0 else if c >= t.cfg.qos_classes then t.cfg.qos_classes - 1 else c
+  in
+  if port.class_bytes.(cls) + pkt.Packet.wire_bytes > t.cfg.egress_buffer_bytes
+  then t.n_dropped <- t.n_dropped + 1
+  else begin
+    Queue.add pkt port.class_queues.(cls);
+    port.class_bytes.(cls) <- port.class_bytes.(cls) + pkt.Packet.wire_bytes;
+    if not port.draining then drain_port t port
+  end
+
+let send t (pkt : Packet.t) =
+  if pkt.Packet.dst < 0 || pkt.Packet.dst >= Array.length t.ports then
+    invalid_arg "Fabric.send: bad dst";
+  let transit = Time.add t.cfg.propagation t.cfg.switch_latency in
+  ignore (Loop.after t.lp transit (fun () -> enqueue_egress t pkt))
+
+let delivered t = t.n_delivered
+let dropped t = t.n_dropped
+let delivered_bytes t = t.bytes_delivered
+
+let port_queue_bytes t ~addr =
+  Array.fold_left ( + ) 0 t.ports.(addr).class_bytes

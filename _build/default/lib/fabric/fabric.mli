@@ -1,0 +1,48 @@
+(** Datacenter fabric: hosts attached to a top-of-rack switch.
+
+    The evaluation's topologies are racks of machines under a single ToR
+    (§5.1, §5.2), which is what this models: every host has a full-duplex
+    link to the switch; the switch is store-and-forward with a fixed
+    forwarding latency and per-egress-port drop-tail queues, one per QoS
+    class with strict priority (Pony Express runs on its own class,
+    §3.1).  Uplink serialization is modeled by the sender's NIC; this
+    module models propagation, forwarding, egress queueing, egress
+    serialization, and loss. *)
+
+type t
+
+type config = {
+  link_gbps : float;  (** Host link rate, both directions. *)
+  propagation : Sim.Time.t;  (** One-way host-to-switch propagation. *)
+  switch_latency : Sim.Time.t;  (** Forwarding latency per packet. *)
+  egress_buffer_bytes : int;  (** Drop-tail capacity per port per class. *)
+  qos_classes : int;  (** Number of strict-priority classes (0 = highest). *)
+}
+
+val default_config : config
+(** 100 Gbps links, 500 ns propagation, 300 ns forwarding, 1 MiB buffers,
+    4 QoS classes. *)
+
+val create : loop:Sim.Loop.t -> config:config -> hosts:int -> t
+
+val config : t -> config
+val num_hosts : t -> int
+
+val attach : t -> addr:Memory.Packet.addr -> rx:(Memory.Packet.t -> unit) -> unit
+(** Register the receive callback for a host (its NIC).  Must be called
+    exactly once per host before traffic flows to it. *)
+
+val send : t -> Memory.Packet.t -> unit
+(** Hand a packet to the fabric at the sender's uplink (the sender NIC
+    has already paid tx serialization).  The packet is delivered to the
+    destination's [rx] callback after propagation, switching, egress
+    queueing and serialization — or dropped if the egress queue
+    overflows. *)
+
+(** {1 Telemetry} *)
+
+val delivered : t -> int
+val dropped : t -> int
+val delivered_bytes : t -> int
+val port_queue_bytes : t -> addr:Memory.Packet.addr -> int
+(** Bytes currently queued toward the given host, all classes. *)

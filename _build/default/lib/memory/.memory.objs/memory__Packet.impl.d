@@ -1,0 +1,1 @@
+lib/memory/packet.ml: Format Sim

@@ -1,0 +1,1 @@
+lib/memory/packet.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/memory/pool.ml: Hashtbl List Option String

@@ -1,0 +1,36 @@
+type addr = int
+type payload = ..
+type payload += Empty
+
+type t = {
+  id : int;
+  src : addr;
+  dst : addr;
+  flow_hash : int;
+  qos : int;
+  wire_bytes : int;
+  payload_bytes : int;
+  payload : payload;
+  mutable sent_at : Sim.Time.t;
+}
+
+let make ~id ~src ~dst ?(flow_hash = 0) ?(qos = 0) ~wire_bytes ?(payload_bytes = 0)
+    payload () =
+  if wire_bytes <= 0 then invalid_arg "Packet.make: wire_bytes";
+  { id; src; dst; flow_hash; qos; wire_bytes; payload_bytes; payload; sent_at = 0 }
+
+let pp fmt p =
+  Format.fprintf fmt "pkt#%d %d->%d %dB(qos %d)" p.id p.src p.dst p.wire_bytes
+    p.qos
+
+module Id_gen = struct
+  type packet = t
+  type t = { mutable next_id : int }
+
+  let create () = { next_id = 0 }
+
+  let next t =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    id
+end

@@ -1,0 +1,61 @@
+type t = {
+  pool_name : string;
+  capacity_bytes : int;
+  mutable used : int;
+  mutable watermark : int;
+  per_owner : (string, int) Hashtbl.t;
+}
+
+type alloc = { pool : t; owner : string; bytes : int; mutable live : bool }
+
+exception Exhausted of string
+
+let create ~name ~capacity_bytes =
+  if capacity_bytes <= 0 then invalid_arg "Pool.create";
+  {
+    pool_name = name;
+    capacity_bytes;
+    used = 0;
+    watermark = 0;
+    per_owner = Hashtbl.create 16;
+  }
+
+let name t = t.pool_name
+let capacity t = t.capacity_bytes
+let in_use t = t.used
+let available t = t.capacity_bytes - t.used
+
+let try_alloc t ~owner ~bytes =
+  if bytes <= 0 then invalid_arg "Pool.alloc: bytes"
+  else if t.used + bytes > t.capacity_bytes then None
+  else begin
+    t.used <- t.used + bytes;
+    if t.used > t.watermark then t.watermark <- t.used;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.per_owner owner) in
+    Hashtbl.replace t.per_owner owner (prev + bytes);
+    Some { pool = t; owner; bytes; live = true }
+  end
+
+let alloc t ~owner ~bytes =
+  match try_alloc t ~owner ~bytes with
+  | Some a -> a
+  | None -> raise (Exhausted t.pool_name)
+
+let free a =
+  if not a.live then invalid_arg "Pool.free: double free";
+  a.live <- false;
+  let t = a.pool in
+  t.used <- t.used - a.bytes;
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.per_owner a.owner) in
+  let next = prev - a.bytes in
+  if next <= 0 then Hashtbl.remove t.per_owner a.owner
+  else Hashtbl.replace t.per_owner a.owner next
+
+let owner_usage t owner =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_owner owner)
+
+let owners t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_owner []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let high_watermark t = t.watermark

@@ -1,0 +1,45 @@
+(** Buffer pools with per-owner accounting.
+
+    Section 2.5: Snap attributes memory consumed on behalf of applications
+    back to those applications.  A [Pool.t] hands out fixed-size buffers
+    up to a byte capacity and tracks consumption per owner so the
+    accounting tests and the control plane can observe it.  Buffer
+    contents are not materialised; only sizes are tracked. *)
+
+type t
+
+type alloc = private {
+  pool : t;
+  owner : string;
+  bytes : int;
+  mutable live : bool;
+}
+(** A live allocation; return it with {!free}. *)
+
+exception Exhausted of string
+(** Raised when an allocation would exceed pool capacity. *)
+
+val create : name:string -> capacity_bytes:int -> t
+
+val name : t -> string
+val capacity : t -> int
+val in_use : t -> int
+val available : t -> int
+
+val alloc : t -> owner:string -> bytes:int -> alloc
+(** Allocate [bytes] charged to [owner].  Raises {!Exhausted} if the pool
+    cannot satisfy the request. *)
+
+val try_alloc : t -> owner:string -> bytes:int -> alloc option
+
+val free : alloc -> unit
+(** Return an allocation.  Double-free raises [Invalid_argument]. *)
+
+val owner_usage : t -> string -> int
+(** Bytes currently charged to the given owner. *)
+
+val owners : t -> (string * int) list
+(** All owners with non-zero usage, with their byte counts. *)
+
+val high_watermark : t -> int
+(** Maximum [in_use] ever observed. *)

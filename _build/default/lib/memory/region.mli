@@ -1,0 +1,43 @@
+(** Shared memory regions.
+
+    Applications share memory with Snap by passing tmpfs-backed file
+    descriptors over a Unix domain socket (§3.1); here a region is an
+    object handed across the simulated control channel.  Small regions
+    used by functional tests carry real backing bytes so one-sided
+    operations are checked for value correctness; large benchmark regions
+    are unbacked and reads return deterministic synthetic bytes derived
+    from the offset. *)
+
+type t
+
+type id = int
+
+val create :
+  ?backed:bool -> id:id -> size:int -> owner:string -> unit -> t
+(** [create ~backed ~id ~size ~owner ()] makes a region.  [backed]
+    defaults to [size <= 16 MiB]. *)
+
+val id : t -> id
+val size : t -> int
+val owner : t -> string
+val is_backed : t -> bool
+
+val register_for_nic : t -> unit
+(** Mark the region as registered with the NIC for zero-copy transmit
+    (§6.2).  Idempotent. *)
+
+val nic_registered : t -> bool
+
+val read_byte : t -> int -> char
+(** [read_byte t off] reads one byte.  Out-of-range offsets raise
+    [Invalid_argument]. *)
+
+val read : t -> off:int -> len:int -> Bytes.t
+
+val write : t -> off:int -> Bytes.t -> unit
+(** Writes are ignored on unbacked regions (the bytes are synthetic). *)
+
+val read_int64 : t -> int -> int64
+(** Read 8 bytes little-endian at the given offset. *)
+
+val write_int64 : t -> int -> int64 -> unit

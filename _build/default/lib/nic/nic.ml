@@ -1,0 +1,222 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module Packet = Memory.Packet
+
+type config = {
+  mtu : int;
+  num_rx_queues : int;
+  rx_ring_slots : int;
+  tx_ring_slots : int;
+  rx_latency : Time.t;
+  tx_latency : Time.t;
+}
+
+let default_config =
+  {
+    mtu = 5000;
+    num_rx_queues = 8;
+    rx_ring_slots = 4096;
+    tx_ring_slots = 1024;
+    rx_latency = Time.us 1;
+    tx_latency = Time.us 1;
+  }
+
+type rx_notify =
+  | No_notify
+  | Kick of Cpu.Sched.task
+  | Interrupt of (unit -> unit)
+  | Soft of (unit -> unit)
+
+type rx_queue = {
+  ring : Packet.t Squeue.Spsc.t;
+  mutable notify : rx_notify;
+  mutable irq_armed : bool;
+  mutable pending_while_disarmed : bool;
+}
+
+type t = {
+  lp : Loop.t;
+  machine : Cpu.Sched.machine;
+  fabric : Fabric.t;
+  nic_addr : Packet.addr;
+  cfg : config;
+  rx_queues : rx_queue array;
+  mutable steer : Packet.t -> int;
+  (* Transmit ring: packets waiting for the wire. *)
+  tx_ring : Packet.t Queue.t;
+  mutable tx_in_flight : int;  (* posted but not yet on the wire *)
+  mutable tx_busy : bool;
+  mutable tx_drain_hook : unit -> unit;
+  mutable n_rx : int;
+  mutable n_tx : int;
+  mutable n_rx_dropped : int;
+}
+
+let gbps t = (Fabric.config t.fabric).Fabric.link_gbps
+
+let wire_time t bytes =
+  int_of_float (Float.round (float_of_int bytes *. 8.0 /. gbps t))
+
+let notify_rx t q =
+  match q.notify with
+  | No_notify -> ()
+  | Kick task -> Cpu.Sched.kick task
+  | Interrupt handler ->
+      if q.irq_armed then begin
+        q.irq_armed <- false;
+        Cpu.Sched.interrupt t.machine
+          ~cost:(Cpu.Sched.costs t.machine).Sim.Costs.interrupt_cpu handler
+      end
+      else q.pending_while_disarmed <- true
+  | Soft f -> f ()
+
+let receive t (pkt : Packet.t) =
+  ignore
+    (Loop.after t.lp t.cfg.rx_latency (fun () ->
+         let qi = t.steer pkt in
+         let qi = if qi < 0 || qi >= t.cfg.num_rx_queues then 0 else qi in
+         let q = t.rx_queues.(qi) in
+         if Squeue.Spsc.push q.ring ~now:(Loop.now t.lp) pkt then begin
+           t.n_rx <- t.n_rx + 1;
+           notify_rx t q
+         end
+         else t.n_rx_dropped <- t.n_rx_dropped + 1))
+
+let create ~loop ~machine ~fabric ~addr (config : config) =
+  if config.num_rx_queues <= 0 then invalid_arg "Nic.create: num_rx_queues";
+  let t =
+    {
+      lp = loop;
+      machine;
+      fabric;
+      nic_addr = addr;
+      cfg = config;
+      rx_queues =
+        Array.init config.num_rx_queues (fun i ->
+            {
+              ring =
+                Squeue.Spsc.create
+                  ~name:(Printf.sprintf "rx%d@%d" i addr)
+                  ~capacity:config.rx_ring_slots ();
+              notify = No_notify;
+              irq_armed = true;
+              pending_while_disarmed = false;
+            });
+      steer = (fun pkt -> pkt.Packet.flow_hash mod config.num_rx_queues);
+      tx_ring = Queue.create ();
+      tx_in_flight = 0;
+      tx_busy = false;
+      tx_drain_hook = (fun () -> ());
+      n_rx = 0;
+      n_tx = 0;
+      n_rx_dropped = 0;
+    }
+  in
+  Fabric.attach fabric ~addr ~rx:(receive t);
+  t
+
+let addr t = t.nic_addr
+let mtu t = t.cfg.mtu
+let config t = t.cfg
+
+let set_rx_notify t ~queue notify =
+  let q = t.rx_queues.(queue) in
+  q.notify <- notify
+
+let rearm_rx_interrupt t ~queue =
+  let q = t.rx_queues.(queue) in
+  q.irq_armed <- true;
+  if q.pending_while_disarmed && not (Squeue.Spsc.is_empty q.ring) then begin
+    q.pending_while_disarmed <- false;
+    notify_rx t q
+  end
+  else q.pending_while_disarmed <- false
+
+let rx_ring t ~queue = t.rx_queues.(queue).ring
+let install_steering t steer = t.steer <- steer
+
+let tx_slots_free t = t.cfg.tx_ring_slots - t.tx_in_flight
+
+(* Serialize queued packets onto the wire one at a time at link rate. *)
+let rec tx_drain t =
+  match Queue.take_opt t.tx_ring with
+  | None -> t.tx_busy <- false
+  | Some pkt ->
+      t.tx_busy <- true;
+      let ser = wire_time t pkt.Packet.wire_bytes in
+      ignore
+        (Loop.after t.lp ser (fun () ->
+             pkt.Packet.sent_at <- Loop.now t.lp;
+             t.tx_in_flight <- t.tx_in_flight - 1;
+             t.n_tx <- t.n_tx + 1;
+             Fabric.send t.fabric pkt;
+             t.tx_drain_hook ();
+             tx_drain t))
+
+let try_transmit t pkt =
+  if pkt.Packet.wire_bytes > t.cfg.mtu then
+    invalid_arg "Nic.try_transmit: packet exceeds MTU";
+  if t.tx_in_flight >= t.cfg.tx_ring_slots then false
+  else begin
+    t.tx_in_flight <- t.tx_in_flight + 1;
+    ignore
+      (Loop.after t.lp t.cfg.tx_latency (fun () ->
+           Queue.add pkt t.tx_ring;
+           if not t.tx_busy then tx_drain t));
+    true
+  end
+
+let set_tx_drain_hook t hook = t.tx_drain_hook <- hook
+let link_gbps t = gbps t
+let rx_count t = t.n_rx
+let tx_count t = t.n_tx
+let rx_dropped t = t.n_rx_dropped
+
+module Copy_engine = struct
+  type job = { bytes : int; on_complete : unit -> unit }
+
+  type ce = {
+    ce_lp : Loop.t;
+    bandwidth_gbps : float;
+    jobs : job Queue.t;
+    mutable busy : bool;
+    mutable n_in_flight : int;
+    mutable n_completed : int;
+  }
+
+  let create ~loop ?(bandwidth_gbps = 240.0) () =
+    if bandwidth_gbps <= 0.0 then invalid_arg "Copy_engine.create";
+    {
+      ce_lp = loop;
+      bandwidth_gbps;
+      jobs = Queue.create ();
+      busy = false;
+      n_in_flight = 0;
+      n_completed = 0;
+    }
+
+  let rec drain t =
+    match Queue.take_opt t.jobs with
+    | None -> t.busy <- false
+    | Some job ->
+        t.busy <- true;
+        let dur =
+          int_of_float
+            (Float.round (float_of_int job.bytes *. 8.0 /. t.bandwidth_gbps))
+        in
+        ignore
+          (Loop.after t.ce_lp dur (fun () ->
+               t.n_in_flight <- t.n_in_flight - 1;
+               t.n_completed <- t.n_completed + 1;
+               job.on_complete ();
+               drain t))
+
+  let submit t ~bytes ~on_complete =
+    if bytes < 0 then invalid_arg "Copy_engine.submit";
+    t.n_in_flight <- t.n_in_flight + 1;
+    Queue.add { bytes; on_complete } t.jobs;
+    if not t.busy then drain t
+
+  let in_flight t = t.n_in_flight
+  let completed t = t.n_completed
+end

@@ -1,0 +1,1 @@
+lib/pony/express.ml: Array Control Cpu Engine Float Flow Hashtbl Int64 List Memory Nic Printf Queue Sim Squeue String Timely Wire

@@ -1,0 +1,1 @@
+lib/pony/express.mli: Control Cpu Engine Memory Nic Sim Wire

@@ -1,0 +1,1 @@
+lib/pony/flow.ml: Float Hashtbl List Memory Queue Sim Timely Wire

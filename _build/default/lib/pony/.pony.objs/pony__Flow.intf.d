@@ -1,0 +1,1 @@
+lib/pony/flow.mli: Memory Sim Timely Wire

@@ -1,0 +1,1 @@
+lib/pony/timely.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/pony/timely.mli: Sim

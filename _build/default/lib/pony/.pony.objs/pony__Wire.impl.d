@@ -1,0 +1,1 @@
+lib/pony/wire.ml: List Memory Sim

@@ -1,0 +1,1 @@
+lib/pony/wire.mli: Memory Sim

@@ -1,0 +1,939 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module Packet = Memory.Packet
+module Sched = Cpu.Sched
+
+let cmd_queue_slots = 4096
+let comp_queue_slots = 4096
+let initial_credit_bytes = 4 lsl 20
+let rx_batch = 16
+let cmd_batch = 16
+let oob_setup_latency = Time.us 30
+
+type completion = {
+  comp_op : int;
+  status : Wire.status;
+  bytes : int;
+  value : int64 option;
+  issued_at : Time.t;
+  completed_at : Time.t;
+}
+
+type command =
+  | C_send of { cmd_conn : conn; op_id : int; stream : int; bytes : int; issued : Time.t }
+  | C_one_sided of { cmd_conn : conn; op_id : int; op : Wire.one_sided; issued : Time.t }
+
+and incoming = {
+  msg_conn : conn;
+  msg_op : int;
+  stream : int;
+  msg_bytes : int;
+}
+
+and client = {
+  cid : int;
+  cname : string;
+  c_host : t;
+  c_eng : eng;
+  cmd_q : command Squeue.Spsc.t;
+  comp_q : completion Squeue.Spsc.t;
+  msg_q : incoming Squeue.Spsc.t;
+  regions : (int, Memory.Region.t) Hashtbl.t;
+  outstanding : (int, Time.t) Hashtbl.t;  (* one-sided op id -> issue time *)
+  mutable app_task : Sched.task option;
+  mutable next_op : int;
+  mutable n_comps : int;
+  mutable n_msgs : int;
+  mutable rx_bytes : int;
+}
+
+and conn = {
+  ckey : Wire.conn_key;
+  we_are_initiator : bool;
+  local : client;
+  remote_host : Packet.addr;
+  remote_client : int;
+  c_flow : Flow.t;
+  mutable credit : int;
+  waiting : command Queue.t;
+}
+
+and asm = {
+  mutable got : int;
+  total : int;
+  mutable first_value : int64 option;
+  mutable asm_status : Wire.status;
+}
+
+and eng = {
+  eid : int;
+  e_host : t;
+  core : Engine.t;
+  rxq : int;
+  mutable eclients : client list;
+  flows : (Wire.flow_key, Flow.t) Hashtbl.t;
+  mutable flow_list : Flow.t list;
+  conns : (Wire.conn_key * bool, conn) Hashtbl.t;
+  (* Reassembly of messages and one-sided responses, keyed by
+     (conn, from_initiator, op id). *)
+  assembly : (Wire.conn_key * bool * int, asm) Hashtbl.t;
+  mutable timer : Loop.handle option;
+  mutable served_one_sided : int;
+  mutable tx_rr : int;
+}
+
+and t = {
+  dir : dir;
+  ctl : Control.t;
+  mach : Sched.machine;
+  nic : Nic.t;
+  group : Engine.group;
+  lp : Loop.t;
+  cost : Sim.Costs.t;
+  use_ce : bool;
+  ce : Nic.Copy_engine.ce option;
+  versions : int list;  (* wire versions this release can speak (§3.1) *)
+  mutable engs : eng list;  (* ascending eid *)
+  mutable next_cid : int;
+  clients_tbl : (int, client) Hashtbl.t;
+  gen : Packet.Id_gen.t;
+  mutable rr_assign : int;
+}
+
+and dir = { hosts : (Packet.addr, t) Hashtbl.t }
+
+module Directory = struct
+  type nonrec dir = dir
+
+  let create () = { hosts = Hashtbl.create 16 }
+end
+
+type Control.message += Pony_setup of string | Pony_ready
+
+let machine t = t.mach
+let addr t = Nic.addr t.nic
+let num_engines t = List.length t.engs
+let engine_handle t i = (List.nth t.engs i).core
+let client_id c = c.cid
+let client_name c = c.cname
+let client_engine c = c.c_eng.core
+let conn_peer c = (c.remote_host, c.remote_client)
+let completions_delivered c = c.n_comps
+let messages_delivered c = c.n_msgs
+let bytes_received c = c.rx_bytes
+
+let flow_versions t =
+  List.concat_map
+    (fun e -> List.map (fun f -> (Flow.key f, Flow.version f)) e.flow_list)
+    t.engs
+
+let flow_stats t =
+  List.concat_map
+    (fun e ->
+      List.map (fun f -> (Flow.key f, Flow.delivered f, Flow.retransmits f)) e.flow_list)
+    t.engs
+
+let debug_snapshot t =
+  String.concat " "
+    (List.map
+       (fun e ->
+         Printf.sprintf "eng%d[ring=%d asm=%d %s]" e.eid
+           (Squeue.Spsc.length (Nic.rx_ring t.nic ~queue:e.rxq))
+           (Hashtbl.length e.assembly)
+           (String.concat ","
+              (List.map
+                 (fun f ->
+                   Printf.sprintf "fl(pend=%d,fly=%d,rate=%.0f)" (Flow.pending f)
+                     (Flow.in_flight f)
+                     (Timely.rate_gbps (Flow.cc f)))
+                 e.flow_list)))
+       t.engs)
+  ^
+  match t.ce with
+  | Some ce ->
+      Printf.sprintf " ce[fly=%d done=%d]" (Nic.Copy_engine.in_flight ce)
+        (Nic.Copy_engine.completed ce)
+  | None -> ""
+
+let one_sided_served t =
+  List.fold_left (fun acc e -> acc + e.served_one_sided) 0 t.engs
+
+(* Maximum upper-layer payload bytes per packet. *)
+let max_chunk t = Nic.mtu t.nic - Wire.header_bytes - 24
+
+(* -- Flow mapper -------------------------------------------------------- *)
+
+(* Flows never need to exceed the host link rate; Timely starts at
+   half and probes up. *)
+let flow_max_rate t = Nic.link_gbps t.nic
+
+let get_flow eng key =
+  match Hashtbl.find_opt eng.flows key with
+  | Some f -> f
+  | None ->
+      (* Wire-version negotiation with the peer release: pick the least
+         common denominator of the two hosts' supported sets (§3.1). *)
+      let local = eng.e_host.versions in
+      let remote =
+        match Hashtbl.find_opt eng.e_host.dir.hosts key.Wire.dst_host with
+        | Some peer -> peer.versions
+        | None -> Wire.supported_versions
+      in
+      let version =
+        match Wire.negotiate local remote with
+        | Some v -> v
+        | None -> failwith "Pony: no common wire protocol version"
+      in
+      let f =
+        Flow.create ~loop:eng.e_host.lp ~key ~max_rate_gbps:(flow_max_rate eng.e_host)
+          ~version ()
+      in
+      Hashtbl.add eng.flows key f;
+      eng.flow_list <- eng.flow_list @ [ f ];
+      f
+
+(* -- Completion / message delivery to the application ------------------- *)
+
+let notify_app engine_cost client =
+  (match client.app_task with
+  | Some task -> Sched.kick task
+  | None -> ());
+  engine_cost := !engine_cost + client.c_host.cost.Sim.Costs.thread_notify
+
+let push_completion eng cost client comp =
+  ignore eng;
+  if Squeue.Spsc.push client.comp_q ~now:(Loop.now client.c_host.lp) comp then begin
+    client.n_comps <- client.n_comps + 1;
+    notify_app cost client
+  end
+
+let push_incoming eng cost client inc =
+  ignore eng;
+  if Squeue.Spsc.push client.msg_q ~now:(Loop.now client.c_host.lp) inc then begin
+    client.n_msgs <- client.n_msgs + 1;
+    client.rx_bytes <- client.rx_bytes + inc.msg_bytes;
+    notify_app cost client
+  end
+
+(* -- Transmit-side segmentation ----------------------------------------- *)
+
+(* Application payloads are segmented on 4096-byte page boundaries: a
+   page travels in one packet when the MTU accommodates it (the 5000 B
+   MTU was chosen "to comfortably fit a 4096 B application payload with
+   additional headers", §5.1) and is split otherwise — which is exactly
+   why Table 1's default-MTU row moves half the throughput. *)
+let page_bytes = 4096
+
+let segment_message t conn ~op_id ~stream ~bytes =
+  let chunk = max_chunk t in
+  let rec go offset =
+    if offset < bytes then begin
+      let to_page = page_bytes - (offset mod page_bytes) in
+      let len = min (min chunk to_page) (bytes - offset) in
+      Flow.enqueue conn.c_flow
+        (Wire.Msg_chunk
+           { conn = conn.ckey; op_id; stream; offset; len; total = bytes })
+        ~payload_bytes:len;
+      go (offset + len)
+    end
+  in
+  if bytes = 0 then
+    Flow.enqueue conn.c_flow
+      (Wire.Msg_chunk { conn = conn.ckey; op_id; stream; offset = 0; len = 0; total = 0 })
+      ~payload_bytes:0
+  else go 0
+
+let segment_response t flow ~ckey ~op_id ~status ~total ~value =
+  let chunk = max_chunk t in
+  if total = 0 then
+    Flow.enqueue flow
+      (Wire.One_sided_resp
+         { conn = ckey; op_id; status; chunk_offset = 0; chunk_len = 0; total = 0; value })
+      ~payload_bytes:0
+  else begin
+    let rec go offset =
+      if offset < total then begin
+        let to_page = page_bytes - (offset mod page_bytes) in
+        let len = min (min chunk to_page) (total - offset) in
+        Flow.enqueue flow
+          (Wire.One_sided_resp
+             {
+               conn = ckey;
+               op_id;
+               status;
+               chunk_offset = offset;
+               chunk_len = len;
+               total;
+               value = (if offset = 0 then value else None);
+             })
+          ~payload_bytes:len;
+        go (offset + len)
+      end
+    in
+    go 0
+  end
+
+(* -- One-sided execution (§3.2) ----------------------------------------- *)
+
+let region_of client rid = Hashtbl.find_opt client.regions rid
+
+let exec_one_sided eng cost client (op : Wire.one_sided) =
+  let costs = eng.e_host.cost in
+  cost := !cost + costs.Sim.Costs.pony_one_sided_exec;
+  let read_value region off =
+    if Memory.Region.is_backed region && off + 8 <= Memory.Region.size region
+    then Some (Memory.Region.read_int64 region off)
+    else None
+  in
+  match op with
+  | Wire.Read { region; off; len } -> (
+      match region_of client region with
+      | None -> (Wire.Bad_region, 0, None)
+      | Some r ->
+          if off < 0 || len < 0 || off + len > Memory.Region.size r then
+            (Wire.Bad_range, 0, None)
+          else (Wire.Ok, len, read_value r off))
+  | Wire.Write { region; off; len } -> (
+      match region_of client region with
+      | None -> (Wire.Bad_region, 0, None)
+      | Some r ->
+          if off < 0 || len < 0 || off + len > Memory.Region.size r then
+            (Wire.Bad_range, 0, None)
+          else (Wire.Ok, 0, None))
+  | Wire.Indirect_read { table_region; data_region; indices; len } -> (
+      match (region_of client table_region, region_of client data_region) with
+      | None, _ | _, None -> (Wire.Bad_region, 0, None)
+      | Some table, Some data ->
+          let n = List.length indices in
+          cost := !cost + (n * costs.Sim.Costs.pony_indirection_lookup);
+          let ok = ref true in
+          let first = ref None in
+          List.iteri
+            (fun i idx ->
+              if 8 * (idx + 1) > Memory.Region.size table then ok := false
+              else begin
+                let target =
+                  Int64.to_int (Memory.Region.read_int64 table (8 * idx))
+                in
+                if target < 0 || target + len > Memory.Region.size data then
+                  ok := false
+                else if i = 0 then first := read_value data target
+              end)
+            indices;
+          if !ok then (Wire.Ok, n * len, !first) else (Wire.Bad_range, 0, None))
+  | Wire.Scan_read { region; scan_limit; needle; len } -> (
+      match region_of client region with
+      | None -> (Wire.Bad_region, 0, None)
+      | Some r ->
+          let limit = min scan_limit (Memory.Region.size r) in
+          (* Entries are 16 bytes: (needle, pointer). *)
+          let entries = limit / 16 in
+          cost :=
+            !cost + (max 1 (entries / 4) * costs.Sim.Costs.pony_indirection_lookup);
+          if not (Memory.Region.is_backed r) then
+            (* Synthetic regions: treat as a hit at a derived offset. *)
+            (Wire.Ok, len, None)
+          else begin
+            let found = ref None in
+            (try
+               for i = 0 to entries - 1 do
+                 if Memory.Region.read_int64 r (16 * i) = needle then begin
+                   found := Some (Int64.to_int (Memory.Region.read_int64 r ((16 * i) + 8)));
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            match !found with
+            | None -> (Wire.No_match, 0, None)
+            | Some ptr ->
+                if ptr < 0 || ptr + len > Memory.Region.size r then
+                  (Wire.Bad_range, 0, None)
+                else (Wire.Ok, len, read_value r ptr)
+          end)
+
+(* -- Receive-side upper layer ------------------------------------------- *)
+
+let find_conn eng ckey ~we_init = Hashtbl.find_opt eng.conns (ckey, we_init)
+
+let rx_copy_cost eng cost bytes =
+  let costs = eng.e_host.cost in
+  match eng.e_host.ce with
+  | Some _ when eng.e_host.use_ce ->
+      cost := !cost + costs.Sim.Costs.copy_engine_per_packet
+  | Some _ | None ->
+      cost :=
+        !cost
+        + Time.ns
+            (int_of_float
+               (Float.round (costs.Sim.Costs.snap_copy_per_byte_ns *. float_of_int bytes)))
+
+let grant_credit eng flow ckey bytes =
+  ignore eng;
+  Flow.enqueue flow (Wire.Credit_grant { conn = ckey; bytes }) ~payload_bytes:0
+
+let drain_waiting eng cost conn =
+  let t = eng.e_host in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt conn.waiting with
+    | Some (C_send { op_id; stream; bytes; issued; _ })
+      when bytes <= conn.credit ->
+        ignore (Queue.pop conn.waiting);
+        conn.credit <- conn.credit - bytes;
+        cost := !cost + t.cost.Sim.Costs.pony_per_op;
+        segment_message t conn ~op_id ~stream ~bytes;
+        push_completion eng cost conn.local
+          {
+            comp_op = op_id;
+            status = Wire.Ok;
+            bytes;
+            value = None;
+            issued_at = issued;
+            completed_at = Loop.now t.lp;
+          }
+    | Some _ | None -> continue := false
+  done
+
+let deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow =
+  push_incoming eng cost conn.local
+    { msg_conn = conn; msg_op = op_id; stream; msg_bytes = total };
+  (* Receiver-driven replenishment once the message is handed to the
+     application (§3.3). *)
+  grant_credit eng reverse_flow conn.ckey total
+
+let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
+  let t = eng.e_host in
+  let now = Loop.now t.lp in
+  match item with
+  | Wire.Bare_ack -> ()
+  | Wire.Msg_chunk { conn = ckey; op_id; stream; offset = _; len; total } -> (
+      let from_initiator = ckey.Wire.initiator_host = from_host in
+      let we_init = not from_initiator in
+      rx_copy_cost eng cost len;
+      let akey = (ckey, from_initiator, op_id) in
+      let a =
+        match Hashtbl.find_opt eng.assembly akey with
+        | Some a -> a
+        | None ->
+            let a = { got = 0; total; first_value = None; asm_status = Wire.Ok } in
+            Hashtbl.add eng.assembly akey a;
+            a
+      in
+      a.got <- a.got + len;
+      if a.got >= a.total then begin
+        Hashtbl.remove eng.assembly akey;
+        match find_conn eng ckey ~we_init with
+        | Some conn ->
+            let deliver () =
+              let cost' = ref 0 in
+              deliver_message eng cost' ~conn ~op_id ~stream ~total ~reverse_flow;
+              Sched.softirq_charge t.mach 0;
+              ignore cost'
+            in
+            if t.use_ce then begin
+              match t.ce with
+              | Some ce ->
+                  (* The copy engine moves the payload asynchronously;
+                     delivery happens when it lands. *)
+                  Nic.Copy_engine.submit ce ~bytes:total ~on_complete:(fun () ->
+                      deliver ();
+                      Engine.notify eng.core)
+              | None -> deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow
+            end
+            else deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow
+        | None -> ()
+      end)
+  | Wire.One_sided_req { conn = ckey; op_id; op } -> (
+      eng.served_one_sided <- eng.served_one_sided + 1;
+      match Hashtbl.find_opt t.clients_tbl ckey.Wire.target_client with
+      | None ->
+          segment_response t reverse_flow ~ckey ~op_id ~status:Wire.Not_permitted
+            ~total:0 ~value:None
+      | Some client ->
+          let status, total, value = exec_one_sided eng cost client op in
+          segment_response t reverse_flow ~ckey ~op_id ~status ~total ~value)
+  | Wire.One_sided_resp { conn = ckey; op_id; status; chunk_offset; chunk_len; total; value }
+    -> (
+      let from_initiator = ckey.Wire.initiator_host = from_host in
+      let we_init = not from_initiator in
+      rx_copy_cost eng cost chunk_len;
+      let akey = (ckey, from_initiator, op_id) in
+      let a =
+        match Hashtbl.find_opt eng.assembly akey with
+        | Some a -> a
+        | None ->
+            let a = { got = 0; total; first_value = None; asm_status = status } in
+            Hashtbl.add eng.assembly akey a;
+            a
+      in
+      a.got <- a.got + chunk_len;
+      if chunk_offset = 0 then begin
+        a.first_value <- value;
+        a.asm_status <- status
+      end;
+      if a.got >= a.total then begin
+        Hashtbl.remove eng.assembly akey;
+        match find_conn eng ckey ~we_init with
+        | Some conn ->
+            let issued =
+              match Hashtbl.find_opt conn.local.outstanding op_id with
+              | Some ts ->
+                  Hashtbl.remove conn.local.outstanding op_id;
+                  ts
+              | None -> now
+            in
+            push_completion eng cost conn.local
+              {
+                comp_op = op_id;
+                status = a.asm_status;
+                bytes = a.total;
+                value = a.first_value;
+                issued_at = issued;
+                completed_at = now;
+              }
+        | None -> ()
+      end)
+  | Wire.Credit_grant { conn = ckey; bytes } -> (
+      let from_initiator = ckey.Wire.initiator_host = from_host in
+      let we_init = not from_initiator in
+      match find_conn eng ckey ~we_init with
+      | Some conn ->
+          conn.credit <- conn.credit + bytes;
+          drain_waiting eng cost conn
+      | None -> ())
+
+(* -- Command handling ---------------------------------------------------- *)
+
+let handle_command eng cost cmd =
+  let t = eng.e_host in
+  let costs = t.cost in
+  cost := !cost + costs.Sim.Costs.pony_per_op;
+  match cmd with
+  | C_send { cmd_conn = conn; op_id; stream; bytes; issued } ->
+      if bytes <= conn.credit then begin
+        conn.credit <- conn.credit - bytes;
+        segment_message t conn ~op_id ~stream ~bytes;
+        push_completion eng cost conn.local
+          {
+            comp_op = op_id;
+            status = Wire.Ok;
+            bytes;
+            value = None;
+            issued_at = issued;
+            completed_at = Loop.now t.lp;
+          }
+      end
+      else Queue.add cmd conn.waiting
+  | C_one_sided { cmd_conn = conn; op_id; op; issued } ->
+      Hashtbl.replace conn.local.outstanding op_id issued;
+      Flow.enqueue conn.c_flow
+        (Wire.One_sided_req { conn = conn.ckey; op_id; op })
+        ~payload_bytes:0
+
+(* -- The engine loop ----------------------------------------------------- *)
+
+let arm_timer eng =
+  let t = eng.e_host in
+  (match eng.timer with
+  | Some h ->
+      Loop.cancel h;
+      eng.timer <- None
+  | None -> ());
+  let deadline =
+    List.fold_left
+      (fun acc f ->
+        match Flow.next_deadline f with
+        | None -> acc
+        | Some d -> ( match acc with None -> Some d | Some a -> Some (Time.min a d)))
+      None eng.flow_list
+  in
+  match deadline with
+  | Some d when d > Loop.now t.lp ->
+      eng.timer <- Some (Loop.at t.lp d (fun () -> Engine.notify eng.core))
+  | Some _ | None -> ()
+
+let engine_run eng () =
+  let t = eng.e_host in
+  let costs = t.cost in
+  let now = Loop.now t.lp in
+  let cost = ref 0 in
+  let pkts = ref 0 in
+  let worked = ref false in
+  (* 1. Receive a bounded batch from this engine's NIC ring. *)
+  let ring = Nic.rx_ring t.nic ~queue:eng.rxq in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < rx_batch do
+    match Squeue.Spsc.pop ring with
+    | Some pkt -> (
+        incr n;
+        incr pkts;
+        worked := true;
+        (* Bare acks and control items skip payload-path processing. *)
+        cost :=
+          !cost
+          + (if pkt.Packet.payload_bytes > 0 then
+               costs.Sim.Costs.pony_rx_per_packet
+             else Time.scale costs.Sim.Costs.pony_rx_per_packet 0.35);
+        match pkt.Packet.payload with
+        | Wire.Pony { flow = k; _ } -> (
+            let f = get_flow eng (Wire.reverse k) in
+            match Flow.on_receive f ~now pkt with
+            | Some item ->
+                handle_item eng cost ~from_host:pkt.Packet.src item ~reverse_flow:f
+            | None -> ())
+        | _ -> ())
+    | None -> continue := false
+  done;
+  if Squeue.Spsc.is_empty ring then Nic.rearm_rx_interrupt t.nic ~queue:eng.rxq;
+  (* 2. Application command queues. *)
+  List.iter
+    (fun client ->
+      let c = ref 0 in
+      let go = ref true in
+      while !go && !c < cmd_batch do
+        match Squeue.Spsc.pop client.cmd_q with
+        | Some cmd ->
+            incr c;
+            worked := true;
+            handle_command eng cost cmd
+        | None -> go := false
+      done)
+    eng.eclients;
+  (* 3. Retransmission timeouts. *)
+  List.iter
+    (fun f -> if Flow.check_timeout f ~now > 0 then worked := true)
+    eng.flow_list;
+  (* 4. Just-in-time transmission against NIC descriptor slots (§3.1). *)
+  let flows = Array.of_list eng.flow_list in
+  let nf = Array.length flows in
+  if nf > 0 then begin
+    let idle_rounds = ref 0 in
+    while Nic.tx_slots_free t.nic > 0 && !idle_rounds < nf do
+      let f = flows.(eng.tx_rr mod nf) in
+      eng.tx_rr <- eng.tx_rr + 1;
+      if Flow.ready_to_emit f ~now then begin
+        match Flow.emit f ~now ~gen:t.gen with
+        | Some pkt ->
+            if Nic.try_transmit t.nic pkt then begin
+              incr pkts;
+              worked := true;
+              cost := !cost + costs.Sim.Costs.pony_tx_per_packet;
+              idle_rounds := 0
+            end
+        | None -> incr idle_rounds
+      end
+      else incr idle_rounds
+    done;
+    (* Bare acks for flows that owe one and sent nothing. *)
+    Array.iter
+      (fun f ->
+        if Flow.ack_owed f && Nic.tx_slots_free t.nic > 0 then begin
+          match Flow.make_ack f ~now ~gen:t.gen with
+          | Some pkt ->
+              if Nic.try_transmit t.nic pkt then begin
+                worked := true;
+                cost := !cost + Time.scale costs.Sim.Costs.pony_tx_per_packet 0.4
+              end
+          | None -> ()
+        end)
+      flows
+  end;
+  (* 5. Re-arm the pacing/retransmit timer. *)
+  arm_timer eng;
+  if not !worked then Engine.No_work
+  else begin
+    (* Batching discount on per-packet work (§3.1: "opportunistically
+       exploits batching for efficiency"). *)
+    let discount =
+      Float.min costs.Sim.Costs.batch_max_saving
+        (costs.Sim.Costs.batch_amortization *. float_of_int (max 0 (!pkts - 1)))
+    in
+    Engine.Worked (Time.scale !cost (1.0 -. discount))
+  end
+
+(* -- Module / engine construction ---------------------------------------- *)
+
+let engine_queue_delay eng now =
+  let ring_age =
+    Squeue.Spsc.oldest_age (Nic.rx_ring eng.e_host.nic ~queue:eng.rxq) ~now
+  in
+  let cmd_age =
+    List.fold_left
+      (fun acc c -> Time.max acc (Squeue.Spsc.oldest_age c.cmd_q ~now))
+      ring_age eng.eclients
+  in
+  (* Transmit backlog counts too: a flow with queued segments it cannot
+     drain is just as CPU-bottlenecked as a full receive ring. *)
+  List.fold_left
+    (fun acc f -> Time.max acc (Flow.queue_age f ~now))
+    cmd_age eng.flow_list
+
+let new_engine t =
+  let eid = List.length t.engs in
+  let nq = (Nic.config t.nic).Nic.num_rx_queues in
+  if eid >= nq then failwith "Pony: more engines than NIC rx queues";
+  (* Tie the knot between the engine record and its run closure. *)
+  let eng_ref = ref None in
+  let with_eng f default = match !eng_ref with Some e -> f e | None -> default in
+  let core =
+    Engine.create
+      ~name:(Printf.sprintf "pony%d@%d" eid (Nic.addr t.nic))
+      ~run:(fun () -> with_eng (fun e -> engine_run e ()) Engine.No_work)
+      ~queue_delay:(fun now -> with_eng (fun e -> engine_queue_delay e now) 0)
+      ~state_bytes:(fun () ->
+        with_eng
+          (fun e ->
+            (2048 * List.length e.flow_list) + (512 * List.length e.eclients))
+          0)
+      ()
+  in
+  let eng =
+    {
+      eid;
+      e_host = t;
+      core;
+      rxq = eid;
+      eclients = [];
+      flows = Hashtbl.create 16;
+      flow_list = [];
+      conns = Hashtbl.create 32;
+      assembly = Hashtbl.create 32;
+      timer = None;
+      served_one_sided = 0;
+      tx_rr = 0;
+    }
+  in
+  eng_ref := Some eng;
+  t.engs <- t.engs @ [ eng ];
+  Engine.add t.group eng.core;
+  (* Receive notification policy depends on the group's scheduling mode
+     (§2.4): interrupts for spreading, polling kicks otherwise. *)
+  (match Engine.group_mode t.group with
+  | Engine.Spreading _ | Engine.Spreading_class _ ->
+      Nic.set_rx_notify t.nic ~queue:eng.rxq
+        (Nic.Interrupt (fun () -> Engine.notify eng.core))
+  | Engine.Dedicating _ | Engine.Compacting _ ->
+      Nic.set_rx_notify t.nic ~queue:eng.rxq
+        (Nic.Soft (fun () -> Engine.notify eng.core)));
+  eng
+
+let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
+    ?(use_copy_engine = false) ?(wire_versions = Wire.supported_versions) () =
+  if engines <= 0 then invalid_arg "Pony.create: engines";
+  let lp = Sched.loop machine in
+  let t =
+    {
+      dir = directory;
+      ctl = control;
+      mach = machine;
+      nic;
+      group;
+      lp;
+      cost = Sched.costs machine;
+      use_ce = use_copy_engine;
+      ce = (if use_copy_engine then Some (Nic.Copy_engine.create ~loop:lp ()) else None);
+      versions = wire_versions;
+      engs = [];
+      next_cid = 0;
+      clients_tbl = Hashtbl.create 32;
+      gen = Packet.Id_gen.create ();
+      rr_assign = 0;
+    }
+  in
+  Hashtbl.replace directory.hosts (Nic.addr nic) t;
+  (* Steer Pony packets to the destination engine's ring. *)
+  Nic.install_steering nic (fun pkt ->
+      match pkt.Packet.payload with
+      | Wire.Pony { flow; _ } -> flow.Wire.dst_engine
+      | _ -> 0);
+  Control.register_service control ~service:"pony" (fun msg ->
+      match msg with Pony_setup _ -> Pony_ready | other -> other);
+  for _ = 1 to engines do
+    ignore (new_engine t)
+  done;
+  t
+
+(* -- Client library ------------------------------------------------------ *)
+
+let create_client ctx t ~name ?(exclusive_engine = false) () =
+  Control.authenticate ctx t.ctl ~client:name;
+  (match Control.call ctx t.ctl ~service:"pony" (Pony_setup name) with
+  | Pony_ready -> ()
+  | _ -> failwith "Pony: module setup failed");
+  let eng =
+    if exclusive_engine then new_engine t
+    else begin
+      let n = List.length t.engs in
+      let e = List.nth t.engs (t.rr_assign mod n) in
+      t.rr_assign <- t.rr_assign + 1;
+      e
+    end
+  in
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  let client =
+    {
+      cid;
+      cname = name;
+      c_host = t;
+      c_eng = eng;
+      cmd_q = Squeue.Spsc.create ~name:(name ^ ".cmd") ~capacity:cmd_queue_slots ();
+      comp_q = Squeue.Spsc.create ~name:(name ^ ".comp") ~capacity:comp_queue_slots ();
+      msg_q = Squeue.Spsc.create ~name:(name ^ ".msg") ~capacity:comp_queue_slots ();
+      regions = Hashtbl.create 8;
+      outstanding = Hashtbl.create 64;
+      app_task = None;
+      next_op = 0;
+      n_comps = 0;
+      n_msgs = 0;
+      rx_bytes = 0;
+    }
+  in
+  eng.eclients <- eng.eclients @ [ client ];
+  Hashtbl.replace t.clients_tbl cid client;
+  client
+
+let register_region ctx client region =
+  let t = client.c_host in
+  (match Control.call ctx t.ctl ~service:"pony" (Pony_setup client.cname) with
+  | Pony_ready -> ()
+  | _ -> failwith "Pony: region registration failed");
+  Control.register_region t.ctl ~client:client.cname region;
+  Memory.Region.register_for_nic region;
+  Hashtbl.replace client.regions (Memory.Region.id region) region
+
+let connect ctx client ~dst_host ~dst_client =
+  let t = client.c_host in
+  (* Out-of-band connection setup and version negotiation (§3.1). *)
+  Cpu.Thread.syscall ctx t.cost.Sim.Costs.syscall;
+  Cpu.Thread.sleep ctx oob_setup_latency;
+  if dst_host = addr t then invalid_arg "Pony.connect: loopback not supported";
+  let remote_t =
+    match Hashtbl.find_opt t.dir.hosts dst_host with
+    | Some r -> r
+    | None -> failwith "Pony.connect: unknown host"
+  in
+  let remote_client =
+    match Hashtbl.find_opt remote_t.clients_tbl dst_client with
+    | Some c -> c
+    | None -> failwith "Pony.connect: unknown client"
+  in
+  let ckey =
+    {
+      Wire.initiator_host = addr t;
+      initiator_client = client.cid;
+      target_host = dst_host;
+      target_client = dst_client;
+    }
+  in
+  let local_eng = client.c_eng in
+  let remote_eng = remote_client.c_eng in
+  let tx_key =
+    {
+      Wire.src_host = addr t;
+      src_engine = local_eng.eid;
+      dst_host;
+      dst_engine = remote_eng.eid;
+    }
+  in
+  let local_flow = get_flow local_eng tx_key in
+  let remote_flow = get_flow remote_eng (Wire.reverse tx_key) in
+  let local_conn =
+    {
+      ckey;
+      we_are_initiator = true;
+      local = client;
+      remote_host = dst_host;
+      remote_client = dst_client;
+      c_flow = local_flow;
+      credit = initial_credit_bytes;
+      waiting = Queue.create ();
+    }
+  in
+  let remote_conn =
+    {
+      ckey;
+      we_are_initiator = false;
+      local = remote_client;
+      remote_host = addr t;
+      remote_client = client.cid;
+      c_flow = remote_flow;
+      credit = initial_credit_bytes;
+      waiting = Queue.create ();
+    }
+  in
+  Hashtbl.replace local_eng.conns (ckey, true) local_conn;
+  Hashtbl.replace remote_eng.conns (ckey, false) remote_conn;
+  local_conn
+
+(* Post a command into the shared-memory command queue (§3.1). *)
+let post_command ctx conn cmd =
+  let client = conn.local in
+  let t = client.c_host in
+  if client.app_task = None then client.app_task <- Some (Cpu.Thread.task ctx);
+  Cpu.Thread.compute ctx t.cost.Sim.Costs.client_command_post;
+  let rec push () =
+    if not (Squeue.Spsc.push client.cmd_q ~now:(Loop.now t.lp) cmd) then begin
+      Cpu.Thread.sleep ctx (Time.us 2);
+      push ()
+    end
+  in
+  push ();
+  Engine.notify client.c_eng.core
+
+let fresh_op client =
+  let id = client.next_op in
+  client.next_op <- id + 1;
+  id
+
+let send_message ctx conn ?(stream = 0) ~bytes () =
+  if bytes < 0 then invalid_arg "Pony.send_message";
+  let op_id = fresh_op conn.local in
+  post_command ctx conn
+    (C_send { cmd_conn = conn; op_id; stream; bytes; issued = Cpu.Thread.now ctx });
+  op_id
+
+let one_sided ctx conn op =
+  let op_id = fresh_op conn.local in
+  post_command ctx conn
+    (C_one_sided { cmd_conn = conn; op_id; op; issued = Cpu.Thread.now ctx });
+  op_id
+
+let one_sided_read ctx conn ~region ~off ~len =
+  one_sided ctx conn (Wire.Read { region; off; len })
+
+let one_sided_write ctx conn ~region ~off ~len =
+  one_sided ctx conn (Wire.Write { region; off; len })
+
+let indirect_read ctx conn ~table_region ~data_region ~indices ~len =
+  one_sided ctx conn (Wire.Indirect_read { table_region; data_region; indices; len })
+
+let scan_read ctx conn ~region ~scan_limit ~needle ~len =
+  one_sided ctx conn (Wire.Scan_read { region; scan_limit; needle; len })
+
+let poll_completion ctx client =
+  let t = client.c_host in
+  if client.app_task = None then client.app_task <- Some (Cpu.Thread.task ctx);
+  Cpu.Thread.compute ctx t.cost.Sim.Costs.client_completion_poll;
+  Squeue.Spsc.pop client.comp_q
+
+let rec await_completion ctx client =
+  match poll_completion ctx client with
+  | Some c -> c
+  | None ->
+      Cpu.Thread.wait ctx;
+      await_completion ctx client
+
+let poll_message ctx client =
+  let t = client.c_host in
+  if client.app_task = None then client.app_task <- Some (Cpu.Thread.task ctx);
+  Cpu.Thread.compute ctx t.cost.Sim.Costs.client_completion_poll;
+  Squeue.Spsc.pop client.msg_q
+
+let rec await_message ctx client =
+  match poll_message ctx client with
+  | Some m -> m
+  | None ->
+      Cpu.Thread.wait ctx;
+      await_message ctx client

@@ -1,0 +1,171 @@
+(** Pony Express: Snap's reliable transport and communications stack
+    (§3).
+
+    One [Pony.t] per host owns that host's Pony engines, loaded into a
+    caller-supplied engine group (so any of the three scheduling modes
+    applies).  Applications attach as {e clients}: the control plane
+    authenticates them and bootstraps shared-memory command/completion
+    queues; operations are asynchronous commands, completions are polled
+    or awaited.  Two-sided messaging and one-sided operations (read,
+    write, indirect read, scan-and-read) are implemented over reliable
+    {!Flow}s with Timely congestion control and a flow mapper that
+    multiplexes application connections onto engine-pair flows.
+
+    Connection setup uses the out-of-band channel the paper describes
+    for version negotiation (§3.1); here it is modeled as a
+    control-plane exchange with a fixed latency rather than simulated
+    packets. *)
+
+type t
+type client
+type conn
+
+(** Cluster-wide name service standing in for the out-of-band (TCP)
+    setup channel. *)
+module Directory : sig
+  type dir
+
+  val create : unit -> dir
+end
+
+val create :
+  directory:Directory.dir ->
+  control:Control.t ->
+  machine:Cpu.Sched.machine ->
+  nic:Nic.t ->
+  group:Engine.group ->
+  ?engines:int ->
+  ?use_copy_engine:bool ->
+  ?wire_versions:int list ->
+  unit ->
+  t
+(** Instantiate the Pony module on a host with [engines] (default 1)
+    pre-loaded shared engines added to [group].  The module takes over
+    NIC steering and receive notifications for its packets.
+    [use_copy_engine] (default false) offloads receive-side payload
+    copies to the I/OAT model (§3.4).  [wire_versions] is the set of
+    wire-protocol versions this release speaks; flows to peers negotiate
+    the least common denominator, modeling mixed-release fleets during
+    the weekly rollout (§3.1).  Requires
+    [engines <= num NIC rx queues]. *)
+
+val machine : t -> Cpu.Sched.machine
+val addr : t -> Memory.Packet.addr
+val num_engines : t -> int
+val engine_handle : t -> int -> Engine.t
+(** The engine-framework handle of the i-th engine (for upgrades,
+    steering, telemetry). *)
+
+(** {1 Clients (the Pony Express client library API)} *)
+
+val create_client :
+  Cpu.Thread.ctx ->
+  t ->
+  name:string ->
+  ?exclusive_engine:bool ->
+  unit ->
+  client
+(** Attach an application: authenticates with the control plane and
+    sets up command/completion queues over shared memory.  With
+    [exclusive_engine] (default false) a fresh engine is instantiated
+    for this client and added to the group — stronger isolation at
+    higher cost (§3.1); otherwise a pre-loaded shared engine is
+    assigned round-robin. *)
+
+val client_id : client -> int
+val client_name : client -> string
+val client_engine : client -> Engine.t
+
+val register_region :
+  Cpu.Thread.ctx -> client -> Memory.Region.t -> unit
+(** Share a memory region with Snap (and register it for zero-copy and
+    for one-sided remote access), via the control plane. *)
+
+val connect :
+  Cpu.Thread.ctx -> client -> dst_host:Memory.Packet.addr -> dst_client:int -> conn
+(** Open an application-level connection to a remote client.  The flow
+    mapper attaches it to the engine-pair flow, creating the flow (and
+    negotiating the wire version) if it is the first connection between
+    the two engines. *)
+
+val conn_peer : conn -> Memory.Packet.addr * int
+
+(** {1 Asynchronous operations} *)
+
+val send_message :
+  Cpu.Thread.ctx -> conn -> ?stream:int -> bytes:int -> unit -> int
+(** Two-sided message (§3.3).  Returns the operation id; a completion
+    arrives once the transport has taken responsibility.  Messages on
+    different streams do not head-of-line block each other. *)
+
+val one_sided_read :
+  Cpu.Thread.ctx -> conn -> region:int -> off:int -> len:int -> int
+
+val one_sided_write :
+  Cpu.Thread.ctx -> conn -> region:int -> off:int -> len:int -> int
+
+val indirect_read :
+  Cpu.Thread.ctx ->
+  conn ->
+  table_region:int ->
+  data_region:int ->
+  indices:int list ->
+  len:int ->
+  int
+(** The custom batched indirect read of §3.2: one network operation
+    resolves up to eight indirections remotely. *)
+
+val scan_read :
+  Cpu.Thread.ctx ->
+  conn ->
+  region:int ->
+  scan_limit:int ->
+  needle:int64 ->
+  len:int ->
+  int
+
+(** {1 Completions and incoming messages} *)
+
+type completion = {
+  comp_op : int;
+  status : Wire.status;
+  bytes : int;  (** Payload bytes moved (reads: bytes returned). *)
+  value : int64 option;
+      (** First 8 bytes of one-sided read results (for correctness
+          checks against backed regions). *)
+  issued_at : Sim.Time.t;
+  completed_at : Sim.Time.t;
+}
+
+type incoming = {
+  msg_conn : conn;  (** Local handle; usable to reply. *)
+  msg_op : int;
+  stream : int;
+  msg_bytes : int;
+}
+
+val poll_completion : Cpu.Thread.ctx -> client -> completion option
+val await_completion : Cpu.Thread.ctx -> client -> completion
+(** Parks (or spin-polls, per the calling task's idle policy) until a
+    completion arrives. *)
+
+val poll_message : Cpu.Thread.ctx -> client -> incoming option
+val await_message : Cpu.Thread.ctx -> client -> incoming
+
+(** {1 Telemetry} *)
+
+val completions_delivered : client -> int
+val messages_delivered : client -> int
+val bytes_received : client -> int
+val flow_stats : t -> (Wire.flow_key * int * int) list
+(** Per-flow (key, delivered, retransmits). *)
+
+val flow_versions : t -> (Wire.flow_key * int) list
+(** The negotiated wire-protocol version of each flow. *)
+
+val one_sided_served : t -> int
+(** One-sided requests this host's engines executed. *)
+
+val debug_snapshot : t -> string
+(** One-line internal state dump (rings, assembly tables, flows, copy
+    engine) for diagnostics. *)

@@ -1,0 +1,286 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module Packet = Memory.Packet
+
+let max_flight = 128
+let min_rto = Time.us 100
+let gbn_window = 8
+let dupack_threshold = 3
+
+type flight_entry = {
+  f_seq : int;
+  f_item : Wire.item;
+  f_payload : int;
+  mutable sent_at : Time.t;
+}
+
+type t = {
+  lp : Loop.t;
+  fkey : Wire.flow_key;
+  ver : int;
+  timely : Timely.t;
+  (* Transmit. *)
+  queue : (Wire.item * int * Time.t) Queue.t;  (* item, payload, enqueued *)
+  retx : flight_entry Queue.t;
+  mutable snd_nxt : int;
+  mutable flight : flight_entry list;  (* ascending seq *)
+  mutable next_release : Time.t;
+  mutable dup_acks : int;
+  mutable last_ack_seen : int;
+  (* Receive. *)
+  mutable rcv_cum : int;
+  mutable rcv_ooo : int list;  (* sorted ascending, all >= rcv_cum *)
+  mutable owe_ack : bool;
+  mutable latest_rx_ts : Time.t;
+  (* RTT / RTO. *)
+  mutable srtt_ns : float;
+  mutable rto : Time.t;
+  (* Stats. *)
+  mutable n_retx : int;
+  mutable n_delivered : int;
+  mutable n_acked : int;
+}
+
+let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
+  {
+    lp = loop;
+    fkey = key;
+    ver = version;
+    timely = Timely.create ~max_rate_gbps ();
+    queue = Queue.create ();
+    retx = Queue.create ();
+    snd_nxt = 0;
+    flight = [];
+    next_release = Time.zero;
+    dup_acks = 0;
+    last_ack_seen = 0;
+    rcv_cum = 0;
+    rcv_ooo = [];
+    owe_ack = false;
+    latest_rx_ts = Time.zero;
+    srtt_ns = 0.0;
+    rto = min_rto;
+    n_retx = 0;
+    n_delivered = 0;
+    n_acked = 0;
+  }
+
+let key t = t.fkey
+let version t = t.ver
+let cc t = t.timely
+let pending t = Queue.length t.queue + Queue.length t.retx
+let in_flight t = List.length t.flight
+
+let ready_to_emit t ~now =
+  (not (Queue.is_empty t.retx))
+  || ((not (Queue.is_empty t.queue))
+     && List.length t.flight < max_flight
+     && now >= t.next_release)
+
+let enqueue t item ~payload_bytes =
+  Queue.add (item, payload_bytes, Loop.now t.lp) t.queue
+
+(* Age of the oldest queued (unsent) item: the transmit-side component
+   of the engine's queueing-delay load signal (§2.4).  Only the
+   CPU-bottlenecked portion counts: time spent waiting for the rate
+   pacer (or the flight window) is congestion control at work, not CPU
+   starvation, so the age is measured from the moment the pacer would
+   have allowed the send. *)
+let queue_age t ~now =
+  match Queue.peek_opt t.queue with
+  | Some (_, _, enq) ->
+      if List.length t.flight >= max_flight then 0
+      else Time.max 0 (Time.sub now (Time.max enq t.next_release))
+  | None -> 0
+
+let item_wire item payload = Wire.header_bytes + Wire.item_wire_bytes item + payload
+
+let build_packet t ~now ~gen ~seq ~item ~payload =
+  let wire = item_wire item payload in
+  Packet.make
+    ~id:(Packet.Id_gen.next gen)
+    ~src:t.fkey.Wire.src_host ~dst:t.fkey.Wire.dst_host
+    ~flow_hash:(Hashtbl.hash t.fkey)
+    ~qos:1 ~wire_bytes:wire ~payload_bytes:payload
+    (Wire.Pony
+       {
+         flow = t.fkey;
+         seq;
+         ack = t.rcv_cum;
+         ts = now;
+         ts_echo = t.latest_rx_ts;
+         version = t.ver;
+         item;
+       })
+    ()
+
+let advance_pacer t ~now wire_bytes =
+  let rate = Timely.rate_bytes_per_ns t.timely in
+  let gap =
+    int_of_float (Float.round (float_of_int wire_bytes /. Float.max 1e-6 rate))
+  in
+  t.next_release <- Time.add (Time.max now t.next_release) gap
+
+let rec emit t ~now ~gen =
+  (* Retransmissions go first and bypass the window check (their slots
+     are already accounted in the flight). *)
+  match Queue.take_opt t.retx with
+  | Some fe when fe.f_seq < t.last_ack_seen ->
+      (* Acked while queued for retransmission: skip it. *)
+      emit t ~now ~gen
+  | Some fe ->
+      fe.sent_at <- now;
+      t.owe_ack <- false;
+      let pkt = build_packet t ~now ~gen ~seq:fe.f_seq ~item:fe.f_item ~payload:fe.f_payload in
+      advance_pacer t ~now pkt.Packet.wire_bytes;
+      Some pkt
+  | None ->
+      if
+        Queue.is_empty t.queue
+        || List.length t.flight >= max_flight
+        || now < t.next_release
+      then None
+      else begin
+        let item, payload, _enq = Queue.take t.queue in
+        let seq = t.snd_nxt in
+        t.snd_nxt <- seq + 1;
+        let fe = { f_seq = seq; f_item = item; f_payload = payload; sent_at = now } in
+        t.flight <- t.flight @ [ fe ];
+        t.owe_ack <- false;
+        let pkt = build_packet t ~now ~gen ~seq ~item ~payload in
+        advance_pacer t ~now pkt.Packet.wire_bytes;
+        Some pkt
+      end
+
+let ack_owed t = t.owe_ack
+
+let make_ack t ~now ~gen =
+  if not t.owe_ack then None
+  else begin
+    t.owe_ack <- false;
+    Some (build_packet t ~now ~gen ~seq:(-1) ~item:Wire.Bare_ack ~payload:0)
+  end
+
+let schedule_retransmit t n =
+  (* Requeue up to [n] unacked head packets (bounded go-back-N). *)
+  let count = ref 0 in
+  List.iter
+    (fun fe ->
+      if !count < n then begin
+        incr count;
+        t.n_retx <- t.n_retx + 1;
+        Queue.add fe t.retx
+      end)
+    t.flight;
+  (* Avoid duplicating entries already queued for retransmission. *)
+  !count
+
+let sample_rtt t ~now ~ts_echo =
+  if ts_echo > 0 then begin
+    let rtt = Time.sub now ts_echo in
+    if rtt > 0 then begin
+      Timely.on_rtt_sample t.timely rtt;
+      t.srtt_ns <-
+        (if t.srtt_ns = 0.0 then float_of_int rtt
+         else (0.875 *. t.srtt_ns) +. (0.125 *. float_of_int rtt));
+      t.rto <- Time.max min_rto (int_of_float (3.0 *. t.srtt_ns))
+    end
+  end
+
+let process_ack t ~now ~ack ~ts_echo ~pure =
+  sample_rtt t ~now ~ts_echo;
+  let before = List.length t.flight in
+  if before > 0 then begin
+    if ack > t.last_ack_seen then begin
+      t.last_ack_seen <- ack;
+      t.dup_acks <- 0;
+      t.flight <- List.filter (fun fe -> fe.f_seq >= ack) t.flight;
+      t.n_acked <- t.n_acked + (before - List.length t.flight)
+    end
+    else if ack = t.last_ack_seen && pure then begin
+      (* Only bare acks count as duplicates: every data packet
+         piggybacks the (possibly stale) cumulative ack, which says
+         nothing about loss. *)
+      t.dup_acks <- t.dup_acks + 1;
+      if t.dup_acks = dupack_threshold then begin
+        ignore (schedule_retransmit t 1);
+        Timely.on_loss t.timely;
+        t.dup_acks <- 0
+      end
+    end
+  end
+
+(* Receiver-side sequencing: advance the cumulative counter over any
+   now-contiguous out-of-order arrivals. *)
+let absorb_ooo t =
+  let rec go () =
+    match t.rcv_ooo with
+    | s :: rest when s = t.rcv_cum ->
+        t.rcv_cum <- t.rcv_cum + 1;
+        t.rcv_ooo <- rest;
+        go ()
+    | s :: rest when s < t.rcv_cum ->
+        t.rcv_ooo <- rest;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let on_receive t ~now pkt =
+  match pkt.Packet.payload with
+  | Wire.Pony { flow = _; seq; ack; ts; ts_echo; version = _; item } -> (
+      process_ack t ~now ~ack ~ts_echo ~pure:(item = Wire.Bare_ack);
+      match item with
+      | Wire.Bare_ack -> None
+      | _ ->
+          if seq < t.rcv_cum || List.mem seq t.rcv_ooo then begin
+            (* Duplicate: re-ack so the sender advances. *)
+            t.owe_ack <- true;
+            None
+          end
+          else begin
+            t.latest_rx_ts <- ts;
+            if seq = t.rcv_cum then begin
+              t.rcv_cum <- t.rcv_cum + 1;
+              absorb_ooo t
+            end
+            else t.rcv_ooo <- List.sort compare (seq :: t.rcv_ooo);
+            t.owe_ack <- true;
+            t.n_delivered <- t.n_delivered + 1;
+            Some item
+          end)
+  | _ -> None
+
+let next_deadline t =
+  let pace =
+    if Queue.is_empty t.queue && Queue.is_empty t.retx then None
+    else Some t.next_release
+  in
+  let rto =
+    match t.flight with
+    | [] -> None
+    | fe :: _ -> Some (Time.add fe.sent_at t.rto)
+  in
+  match (pace, rto) with
+  | None, None -> None
+  | Some a, None -> Some a
+  | None, Some b -> Some b
+  | Some a, Some b -> Some (Time.min a b)
+
+let check_timeout t ~now =
+  match t.flight with
+  | [] -> 0
+  | fe :: _ ->
+      if Time.sub now fe.sent_at >= t.rto && Queue.is_empty t.retx then begin
+        let n = schedule_retransmit t gbn_window in
+        Timely.on_loss t.timely;
+        (* Back off the timer so a stalled peer is not hammered. *)
+        t.rto <- Time.min (Time.ms 50) (2 * t.rto);
+        n
+      end
+      else 0
+
+let retransmits t = t.n_retx
+let delivered t = t.n_delivered
+let acked_packets t = t.n_acked
+let srtt t = int_of_float t.srtt_ns

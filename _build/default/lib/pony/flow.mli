@@ -1,0 +1,81 @@
+(** Reliable flows: Pony Express's lower transport layer (§3.1).
+
+    "The lower layer implements reliable flows between a pair of engines
+    across the network ...  only responsible for reliably delivering
+    individual packets, whereas the upper layer handles reordering,
+    reassembly, and semantics associated with specific operations."
+
+    A flow paces transmissions at the rate chosen by the {!Timely}
+    controller, keeps a flight buffer for retransmission (duplicate-ack
+    fast retransmit plus a retransmission timeout with bounded
+    go-back-N), and on the receive side deduplicates and acknowledges
+    packets, delivering upper-layer items immediately — even out of
+    order. *)
+
+type t
+
+val create :
+  loop:Sim.Loop.t ->
+  key:Wire.flow_key ->
+  max_rate_gbps:float ->
+  ?version:int ->
+  unit ->
+  t
+
+val key : t -> Wire.flow_key
+val version : t -> int
+val cc : t -> Timely.t
+
+(** {1 Transmit side} *)
+
+val enqueue : t -> Wire.item -> payload_bytes:int -> unit
+(** Queue an upper-layer item for transmission. *)
+
+val pending : t -> int
+(** Items queued but not yet on the wire. *)
+
+val queue_age : t -> now:Sim.Time.t -> Sim.Time.t
+(** Age of the oldest queued (unsent) item; the transmit-side component
+    of the engine's queueing-delay load signal. *)
+
+val in_flight : t -> int
+
+val ready_to_emit : t -> now:Sim.Time.t -> bool
+(** True when an item is queued, the window has room, and the pacer
+    allows a transmission now. *)
+
+val emit : t -> now:Sim.Time.t -> gen:Memory.Packet.Id_gen.t -> Memory.Packet.t option
+(** Build the next packet (consuming one queued item), advancing the
+    pacer and flight buffer.  [None] if {!ready_to_emit} is false. *)
+
+val make_ack : t -> now:Sim.Time.t -> gen:Memory.Packet.Id_gen.t -> Memory.Packet.t option
+(** Build a bare-ack packet if one is owed, else [None]. *)
+
+val ack_owed : t -> bool
+
+(** {1 Receive side} *)
+
+val on_receive : t -> now:Sim.Time.t -> Memory.Packet.t -> Wire.item option
+(** Process an incoming packet of this flow: handles the piggybacked
+    ack (congestion control, flight trimming, fast retransmit) and
+    returns the upper-layer item if it has not been seen before
+    ([None] for duplicates and bare acks). *)
+
+(** {1 Timers} *)
+
+val next_deadline : t -> Sim.Time.t option
+(** Earliest time this flow needs service again (pacing release or
+    retransmission timeout); [None] when fully idle. *)
+
+val check_timeout : t -> now:Sim.Time.t -> int
+(** Fire the retransmission timeout if due: requeues up to a bounded
+    window of lost packets for retransmission and applies the loss
+    signal to congestion control.  Returns how many packets were
+    requeued. *)
+
+(** {1 Telemetry} *)
+
+val retransmits : t -> int
+val delivered : t -> int
+val acked_packets : t -> int
+val srtt : t -> Sim.Time.t

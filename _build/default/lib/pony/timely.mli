@@ -1,0 +1,49 @@
+(** Timely-variant congestion control (§3.1).
+
+    "The congestion control algorithm we deploy with Pony Express is a
+    variant of Timely and runs on dedicated fabric QoS classes."  Timely
+    is rate-based: each acknowledged packet carries an RTT sample, and
+    the sending rate adjusts on the RTT's absolute value and gradient:
+
+    - RTT below [t_low]: additive increase (the fabric is underused).
+    - RTT above [t_high]: multiplicative decrease proportional to the
+      overshoot.
+    - In between: gradient-based — decrease when RTT is rising, increase
+      when falling, with hyperactive additive increase after several
+      consecutive negative gradients.
+
+    The module is pure state-machine logic so the algorithm is testable
+    without the simulator. *)
+
+type t
+
+type params = {
+  t_low : Sim.Time.t;
+  t_high : Sim.Time.t;
+  min_rate_gbps : float;
+  max_rate_gbps : float;
+  additive_gbps : float;  (** Additive increment per update. *)
+  beta : float;  (** Multiplicative decrease factor. *)
+  hai_threshold : int;
+      (** Consecutive negative gradients before hyperactive increase. *)
+}
+
+val default_params : max_rate_gbps:float -> params
+(** [t_low] 15 us, [t_high] 50 us (datacenter-scale), additive
+    0.5 Gbps, beta 0.8, HAI after 5. *)
+
+val create : ?params:params -> max_rate_gbps:float -> unit -> t
+
+val on_rtt_sample : t -> Sim.Time.t -> unit
+(** Feed one RTT measurement (ack arrival). *)
+
+val on_loss : t -> unit
+(** Retransmission-detected loss: treat as a severe congestion signal. *)
+
+val rate_gbps : t -> float
+val rate_bytes_per_ns : t -> float
+
+val min_rtt : t -> Sim.Time.t
+(** Smallest RTT observed so far (0 when none). *)
+
+val samples : t -> int

@@ -1,0 +1,104 @@
+type flow_key = {
+  src_host : Memory.Packet.addr;
+  src_engine : int;
+  dst_host : Memory.Packet.addr;
+  dst_engine : int;
+}
+
+let reverse k =
+  {
+    src_host = k.dst_host;
+    src_engine = k.dst_engine;
+    dst_host = k.src_host;
+    dst_engine = k.src_engine;
+  }
+
+type conn_key = {
+  initiator_host : Memory.Packet.addr;
+  initiator_client : int;
+  target_host : Memory.Packet.addr;
+  target_client : int;
+}
+
+let conn_reverse k =
+  {
+    initiator_host = k.initiator_host;
+    initiator_client = k.initiator_client;
+    target_host = k.target_host;
+    target_client = k.target_client;
+  }
+
+type one_sided =
+  | Read of { region : int; off : int; len : int }
+  | Write of { region : int; off : int; len : int }
+  | Indirect_read of {
+      table_region : int;
+      data_region : int;
+      indices : int list;
+      len : int;
+    }
+  | Scan_read of {
+      region : int;
+      scan_limit : int;
+      needle : int64;
+      len : int;
+    }
+
+type status = Ok | Bad_region | Bad_range | No_match | Not_permitted
+
+type item =
+  | Msg_chunk of {
+      conn : conn_key;
+      op_id : int;
+      stream : int;
+      offset : int;
+      len : int;
+      total : int;
+    }
+  | One_sided_req of { conn : conn_key; op_id : int; op : one_sided }
+  | One_sided_resp of {
+      conn : conn_key;
+      op_id : int;
+      status : status;
+      chunk_offset : int;
+      chunk_len : int;
+      total : int;
+      value : int64 option;
+    }
+  | Credit_grant of { conn : conn_key; bytes : int }
+  | Bare_ack
+
+type Memory.Packet.payload +=
+  | Pony of {
+      flow : flow_key;
+      seq : int;
+      ack : int;
+      ts : Sim.Time.t;
+      ts_echo : Sim.Time.t;
+      version : int;
+      item : item;
+    }
+
+(* Ethernet(14) + IP(20) + Pony flow header(24). *)
+let header_bytes = 58
+let current_version = 7
+let supported_versions = [ 5; 6; 7 ]
+
+let negotiate a b =
+  let common = List.filter (fun v -> List.mem v b) a in
+  match List.sort compare common with
+  | [] -> None
+  | l -> Some (List.nth l (List.length l - 1))
+
+let item_wire_bytes = function
+  | Msg_chunk _ -> 24
+  | One_sided_req { op; _ } -> (
+      16
+      +
+      match op with
+      | Read _ | Write _ -> 16
+      | Indirect_read { indices; _ } -> 8 + (8 * List.length indices)
+      | Scan_read _ -> 24)
+  | One_sided_resp _ -> 24
+  | Credit_grant _ -> 12
+  | Bare_ack -> 0

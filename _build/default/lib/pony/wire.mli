@@ -1,0 +1,107 @@
+(** Pony Express wire protocol (§3.1).
+
+    The transport splits into two layers: a lower layer of reliable
+    {e flows} between a pair of engines, and an upper layer of
+    application-level operations multiplexed onto flows by a flow
+    mapper.  This module defines the on-wire representation shared by
+    both: flow addressing, packet items, and protocol versioning. *)
+
+(** A flow connects one engine on one host to one engine on another. *)
+type flow_key = {
+  src_host : Memory.Packet.addr;
+  src_engine : int;
+  dst_host : Memory.Packet.addr;
+  dst_engine : int;
+}
+
+val reverse : flow_key -> flow_key
+
+(** An application-level connection between two clients, carried by a
+    flow. *)
+type conn_key = {
+  initiator_host : Memory.Packet.addr;
+  initiator_client : int;
+  target_host : Memory.Packet.addr;
+  target_client : int;
+}
+
+val conn_reverse : conn_key -> conn_key
+
+(** One-sided operation request bodies (§3.2).  These execute entirely
+    within the remote engine against client-registered regions. *)
+type one_sided =
+  | Read of { region : int; off : int; len : int }
+  | Write of { region : int; off : int; len : int }
+  | Indirect_read of {
+      table_region : int;
+      data_region : int;
+      indices : int list;
+      len : int;
+    }
+      (** Consults an application-filled indirection table (of 8-byte
+          offsets) in [table_region]; fetches [len] bytes at each
+          resolved offset.  Batching several indices in one request is
+          the "batched indirect read" that Figure 8's analytics service
+          uses. *)
+  | Scan_read of {
+      region : int;
+      scan_limit : int;  (** Bytes of the region to scan. *)
+      needle : int64;
+      len : int;
+    }  (** Scan-and-read: match an 8-byte needle in a small
+          application-shared region, then fetch [len] bytes at the
+          offset stored next to the match. *)
+
+type status = Ok | Bad_region | Bad_range | No_match | Not_permitted
+
+(** Payload items carried by flow packets. *)
+type item =
+  | Msg_chunk of {
+      conn : conn_key;
+      op_id : int;
+      stream : int;
+      offset : int;
+      len : int;
+      total : int;
+    }  (** A piece of a two-sided message on a stream (§3.3). *)
+  | One_sided_req of { conn : conn_key; op_id : int; op : one_sided }
+  | One_sided_resp of {
+      conn : conn_key;
+      op_id : int;
+      status : status;
+      chunk_offset : int;
+      chunk_len : int;
+      total : int;
+      value : int64 option;
+          (** First 8 bytes of the read result, for correctness checks
+              against backed regions. *)
+    }
+  | Credit_grant of { conn : conn_key; bytes : int }
+      (** Receiver-driven flow control replenishment (§3.3). *)
+  | Bare_ack  (** No upper-layer payload; acks/timestamps only. *)
+
+type Memory.Packet.payload +=
+  | Pony of {
+      flow : flow_key;
+      seq : int;  (** Packet sequence number within the flow. *)
+      ack : int;  (** Cumulative ack of the reverse direction. *)
+      ts : Sim.Time.t;  (** Sender timestamp (for Timely RTT). *)
+      ts_echo : Sim.Time.t;  (** Echoed timestamp of the acked packet. *)
+      version : int;  (** Wire protocol version (§3.1). *)
+      item : item;
+    }
+
+val header_bytes : int
+(** Ethernet + IP + Pony flow header. *)
+
+val current_version : int
+
+val supported_versions : int list
+(** Versions this release can speak; the out-of-band negotiation picks
+    the least common denominator (§3.1). *)
+
+val negotiate : int list -> int list -> int option
+(** Highest version present in both lists. *)
+
+val item_wire_bytes : item -> int
+(** Extra header bytes the item contributes beyond payload. *)

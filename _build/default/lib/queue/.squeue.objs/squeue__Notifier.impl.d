@@ -1,0 +1,1 @@
+lib/queue/notifier.ml: Option

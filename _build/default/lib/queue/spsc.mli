@@ -1,0 +1,39 @@
+(** Bounded single-producer single-consumer ring.
+
+    This is the simulated analogue of Snap's lock-free shared-memory
+    queues (Figure 2): command queues, completion queues, packet rings,
+    and engine-to-engine links all use it.  Each element is timestamped
+    on enqueue so consumers (in particular the compacting engine
+    scheduler, §2.4) can estimate queueing delay. *)
+
+type 'a t
+
+val create : ?name:string -> capacity:int -> unit -> 'a t
+(** [capacity] must be positive. *)
+
+val name : 'a t -> string
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> now:Sim.Time.t -> 'a -> bool
+(** [push t ~now v] enqueues [v]; returns [false] (and counts a drop)
+    when full. *)
+
+val pop : 'a t -> 'a option
+
+val peek : 'a t -> 'a option
+
+val oldest_age : 'a t -> now:Sim.Time.t -> Sim.Time.t
+(** Age of the element at the head, i.e. the current queueing delay;
+    zero when empty. *)
+
+val pushed : 'a t -> int
+(** Total successful enqueues. *)
+
+val dropped : 'a t -> int
+(** Total enqueues rejected because the ring was full. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Pop everything, applying the function; returns how many. *)

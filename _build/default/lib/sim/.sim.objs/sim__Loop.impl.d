@@ -1,0 +1,1 @@
+lib/sim/loop.ml: Heap Rng Time

@@ -1,0 +1,1 @@
+lib/sim/loop.mli: Rng Time

@@ -1,0 +1,62 @@
+type t = {
+  context_switch : Time.t;
+  syscall : Time.t;
+  interrupt_delivery : Time.t;
+  interrupt_cpu : Time.t;
+  wakeup_cfs : Time.t;
+  wakeup_microquanta : Time.t;
+  cstate_exit : Time.t;
+  cstate_idle_threshold : Time.t;
+  thread_notify : Time.t;
+  tcp_tx_per_packet : Time.t;
+  tcp_rx_per_packet : Time.t;
+  tcp_per_syscall : Time.t;
+  tcp_copy_per_byte_ns : float;
+  tcp_locality_factor : float;
+  engine_poll_empty : Time.t;
+  pony_tx_per_packet : Time.t;
+  pony_rx_per_packet : Time.t;
+  pony_per_op : Time.t;
+  pony_one_sided_exec : Time.t;
+  pony_indirection_lookup : Time.t;
+  snap_copy_per_byte_ns : float;
+  copy_engine_per_packet : Time.t;
+  batch_amortization : float;
+  batch_max_saving : float;
+  client_command_post : Time.t;
+  client_completion_poll : Time.t;
+  serialize_bytes_per_ns : float;
+  nic_filter_update : Time.t;
+}
+
+let default =
+  {
+    context_switch = Time.ns 1_500;
+    syscall = Time.ns 400;
+    interrupt_delivery = Time.ns 2_000;
+    interrupt_cpu = Time.ns 400;
+    wakeup_cfs = Time.ns 3_500;
+    wakeup_microquanta = Time.ns 1_200;
+    cstate_exit = Time.us 30;
+    cstate_idle_threshold = Time.us 200;
+    thread_notify = Time.ns 300;
+    tcp_tx_per_packet = Time.ns 650;
+    tcp_rx_per_packet = Time.ns 1_150;
+    tcp_per_syscall = Time.ns 450;
+    tcp_copy_per_byte_ns = 0.030;
+    tcp_locality_factor = 0.13;
+    engine_poll_empty = Time.ns 120;
+    pony_tx_per_packet = Time.ns 260;
+    pony_rx_per_packet = Time.ns 340;
+    pony_per_op = Time.ns 150;
+    pony_one_sided_exec = Time.ns 160;
+    pony_indirection_lookup = Time.ns 110;
+    snap_copy_per_byte_ns = 0.040;
+    copy_engine_per_packet = Time.ns 50;
+    batch_amortization = 0.035;
+    batch_max_saving = 0.15;
+    client_command_post = Time.ns 90;
+    client_completion_poll = Time.ns 70;
+    serialize_bytes_per_ns = 2.0;
+    nic_filter_update = Time.ms 4;
+  }

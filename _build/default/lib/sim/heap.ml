@@ -1,0 +1,79 @@
+(* Array-based binary min-heap ordered by (key, seq).  The sequence number
+   makes pops deterministic under equal keys: FIFO among ties. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let fresh = Array.make (Array.length h.data * 2) h.data.(0) in
+  Array.blit h.data 0 fresh 0 h.size;
+  h.data <- fresh
+
+let add h ~key value =
+  let e = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = Array.length h.data then
+    if h.size = 0 then h.data <- Array.make 16 e else grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less h.data.(!i) h.data.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(parent) in
+    h.data.(parent) <- h.data.(!i);
+    h.data.(!i) <- tmp;
+    i := parent
+  done
+
+let min_key h = if h.size = 0 then None else Some h.data.(0).key
+
+let sift_down h =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.data.(!smallest) in
+      h.data.(!smallest) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h
+    end;
+    Some top.value
+  end
+
+let pop_exn h =
+  match pop h with Some v -> v | None -> invalid_arg "Heap.pop_exn: empty"
+
+let clear h = h.size <- 0

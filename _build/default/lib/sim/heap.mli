@@ -1,0 +1,26 @@
+(** Mutable binary min-heap.
+
+    Used by the event queue and by schedulers.  Elements are ordered by an
+    integer key supplied at insertion; ties are broken by insertion order so
+    that iteration is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key] (smaller pops first). *)
+
+val min_key : 'a t -> int option
+(** Key of the minimum element, if any. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+
+val clear : 'a t -> unit

@@ -1,0 +1,81 @@
+type event = { mutable live : bool; mutable fn : unit -> unit }
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  events : event Heap.t;
+  root_rng : Rng.t;
+  mutable n_pending : int;
+}
+
+let create ?(seed = 42) () =
+  { clock = Time.zero; events = Heap.create (); root_rng = Rng.create ~seed; n_pending = 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let nothing () = ()
+
+let at t when_ fn =
+  let when_ = Time.max when_ t.clock in
+  let e = { live = true; fn } in
+  Heap.add t.events ~key:when_ e;
+  t.n_pending <- t.n_pending + 1;
+  e
+
+let after t d fn = at t (Time.add t.clock d) fn
+
+let cancel e =
+  if e.live then begin
+    e.live <- false;
+    e.fn <- nothing
+  end
+
+let is_pending e = e.live
+
+let every t ?start period fn =
+  let control = { live = true; fn = nothing } in
+  let first = match start with Some s -> s | None -> Time.add t.clock period in
+  let rec arm when_ =
+    ignore
+      (at t when_ (fun () ->
+           if control.live then begin
+             fn ();
+             arm (Time.add t.clock period)
+           end))
+  in
+  arm first;
+  control
+
+let fire t e =
+  t.n_pending <- t.n_pending - 1;
+  if e.live then begin
+    e.live <- false;
+    let fn = e.fn in
+    e.fn <- nothing;
+    fn ()
+  end
+
+let step t =
+  match Heap.min_key t.events with
+  | None -> false
+  | Some key ->
+      let e = Heap.pop_exn t.events in
+      t.clock <- Time.max t.clock key;
+      fire t e;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.min_key t.events with
+        | Some key when key <= limit -> ignore (step t)
+        | _ -> continue := false
+      done;
+      t.clock <- Time.max t.clock limit
+
+let pending_events t = t.n_pending

@@ -1,0 +1,51 @@
+(** The discrete-event simulation driver.
+
+    A [Loop.t] owns the virtual clock and the pending-event queue.  All
+    simulated components schedule closures against it.  Events scheduled
+    for the same instant fire in scheduling order (FIFO), which keeps runs
+    deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a fresh simulation at time zero.  [seed]
+    (default 42) seeds the root RNG stream. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The root RNG stream of this simulation.  Components should [Rng.split]
+    their own stream from it at construction time. *)
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at t when_ f] schedules [f] to run at absolute time [when_].  If
+    [when_] is in the past, [f] runs at the current instant, after all
+    already-pending events for it. *)
+
+val after : t -> Time.t -> (unit -> unit) -> handle
+(** [after t d f] schedules [f] at [now t + d]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event.  Cancelling an event that has already fired is
+    a no-op. *)
+
+val is_pending : handle -> bool
+
+val every : t -> ?start:Time.t -> Time.t -> (unit -> unit) -> handle
+(** [every t ~start period f] runs [f] periodically, first at [start]
+    (default [now + period]).  The returned handle cancels the whole
+    periodic activity. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Execute events in time order until the queue empties or the clock
+    would pass [until].  When [until] is given, the clock is left at
+    exactly [until]. *)
+
+val step : t -> bool
+(** Run the single next event.  Returns [false] if the queue is empty. *)
+
+val pending_events : t -> int

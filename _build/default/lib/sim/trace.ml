@@ -1,0 +1,31 @@
+type level = Error | Warn | Info | Debug
+
+let threshold : level option ref = ref None
+let components : (string, unit) Hashtbl.t = Hashtbl.create 8
+let filter_components = ref false
+
+let set_level l = threshold := l
+
+let enable_component c =
+  filter_components := true;
+  Hashtbl.replace components c ()
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let enabled lvl =
+  match !threshold with None -> false | Some t -> severity lvl <= severity t
+
+let component_enabled c = (not !filter_components) || Hashtbl.mem components c
+
+let label = function
+  | Error -> "ERROR"
+  | Warn -> "WARN "
+  | Info -> "INFO "
+  | Debug -> "DEBUG"
+
+let emit loop lvl ~component fmt =
+  if enabled lvl && component_enabled component then
+    Format.eprintf
+      ("[%a] %s %s: " ^^ fmt ^^ "@.")
+      Time.pp (Loop.now loop) (label lvl) component
+  else Format.ifprintf Format.err_formatter fmt

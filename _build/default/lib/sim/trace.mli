@@ -1,0 +1,22 @@
+(** Lightweight simulation tracing.
+
+    Components emit trace lines tagged with the virtual clock.  Tracing is
+    off by default so benchmark runs pay nothing; tests and the CLI enable
+    it per component. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level option -> unit
+(** Global threshold; [None] (the default) disables all output. *)
+
+val enable_component : string -> unit
+(** Restrict output to the given components (cumulative).  When no
+    component was ever enabled, all components pass the level filter. *)
+
+val enabled : level -> bool
+
+val emit :
+  Loop.t -> level -> component:string -> ('a, Format.formatter, unit) format -> 'a
+(** [emit loop lvl ~component fmt ...] prints one line to stderr as
+    ["\[ 12.5us\] component: ..."] when the level and component filters
+    pass. *)

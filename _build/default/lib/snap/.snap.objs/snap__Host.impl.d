@@ -1,0 +1,1 @@
+lib/snap/host.ml: Control Cpu Engine Nic Option Pony Printf Sim

@@ -1,0 +1,1 @@
+lib/snap/host.mli: Control Cpu Engine Fabric Memory Nic Pony Sim

@@ -1,0 +1,1 @@
+lib/snap/shaper.ml: Engine Memory Nic Sim Squeue

@@ -1,0 +1,1 @@
+lib/snap/shaper.mli: Engine Memory Nic Sim

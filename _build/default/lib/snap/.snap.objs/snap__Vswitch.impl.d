@@ -1,0 +1,1 @@
+lib/snap/vswitch.ml: Engine Hashtbl List Memory Nic Printf Sim Squeue

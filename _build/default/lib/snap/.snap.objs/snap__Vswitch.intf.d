@@ -1,0 +1,1 @@
+lib/snap/vswitch.mli: Engine Memory Nic Sim Squeue

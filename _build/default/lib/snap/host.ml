@@ -1,0 +1,38 @@
+type t = {
+  machine : Cpu.Sched.machine;
+  nic : Nic.t;
+  control : Control.t;
+  group : Engine.group;
+  pony : Pony.Express.t;
+}
+
+let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
+    ?(mode = Engine.Dedicating { cores = 2 }) ?(engines = 1)
+    ?(use_copy_engine = false) ?(costs = Sim.Costs.default) ?wire_versions () =
+  let machine =
+    Cpu.Sched.create_machine ~loop ~costs
+      ~name:(Printf.sprintf "host%d" addr)
+      ~cores
+  in
+  let nic_config = Option.value ~default:Nic.default_config nic_config in
+  let nic = Nic.create ~loop ~machine ~fabric ~addr nic_config in
+  let control =
+    Control.create ~loop ~machine ~name:(Printf.sprintf "snap%d" addr)
+  in
+  let group = Engine.create_group ~machine ~name:"snap" ~mode in
+  let pony =
+    Pony.Express.create ~directory ~control ~machine ~nic ~group ~engines
+      ~use_copy_engine ?wire_versions ()
+  in
+  { machine; nic; control; group; pony }
+
+let spawn_app t ~name ?(klass = Cpu.Sched.Cfs { nice = 0 }) ?(spin = false)
+    body =
+  Cpu.Thread.spawn t.machine ~name ~account:"app" ~klass
+    ~idle:(if spin then Cpu.Sched.Spin else Cpu.Sched.Block)
+    body
+
+let snap_cpu_ns t = Cpu.Sched.account_busy_ns t.machine "snap"
+let app_cpu_ns t = Cpu.Sched.account_busy_ns t.machine "app"
+let softirq_cpu_ns t = Cpu.Sched.account_busy_ns t.machine "softirq"
+let total_cpu_ns t = Cpu.Sched.busy_ns t.machine

@@ -1,0 +1,49 @@
+(** Per-host Snap assembly.
+
+    Bundles everything a Snap host runs — the simulated machine, NIC,
+    control plane, an engine group with a chosen scheduling mode, and
+    the Pony Express module — so examples and benchmarks build clusters
+    in a few lines.  Additional engines (shapers, virtual switches) can
+    be loaded into the same group. *)
+
+type t = {
+  machine : Cpu.Sched.machine;
+  nic : Nic.t;
+  control : Control.t;
+  group : Engine.group;
+  pony : Pony.Express.t;
+}
+
+val create :
+  loop:Sim.Loop.t ->
+  fabric:Fabric.t ->
+  directory:Pony.Express.Directory.dir ->
+  addr:Memory.Packet.addr ->
+  ?cores:int ->
+  ?nic_config:Nic.config ->
+  ?mode:Engine.mode ->
+  ?engines:int ->
+  ?use_copy_engine:bool ->
+  ?costs:Sim.Costs.t ->
+  ?wire_versions:int list ->
+  unit ->
+  t
+(** Defaults: 16 cores, default NIC, dedicating 2 cores, 1 Pony
+    engine. *)
+
+val spawn_app :
+  t ->
+  name:string ->
+  ?klass:Cpu.Sched.klass ->
+  ?spin:bool ->
+  (Cpu.Thread.ctx -> unit) ->
+  Cpu.Sched.task
+(** Launch an application thread on this host (CFS nice 0 by default;
+    [spin] selects spin-polling waits for the lowest latency). *)
+
+val snap_cpu_ns : t -> int
+(** CPU consumed by Snap (engine threads) on this host so far. *)
+
+val app_cpu_ns : t -> int
+val softirq_cpu_ns : t -> int
+val total_cpu_ns : t -> int

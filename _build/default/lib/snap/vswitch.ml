@@ -1,0 +1,152 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module Packet = Memory.Packet
+
+let batch = 16
+let per_packet_cost = Time.ns 150
+
+type Packet.payload += Vnet of { src_vip : int; dst_vip : int }
+
+type guest = {
+  vip : int;
+  tx : Packet.t Squeue.Spsc.t;
+  rx : Packet.t Squeue.Spsc.t;
+}
+
+type t = {
+  lp : Loop.t;
+  nic : Nic.t;
+  rxq : int;
+  eng : Engine.t;
+  routes : (int, Packet.addr) Hashtbl.t;
+  guests : (int, guest) Hashtbl.t;
+  mutable guest_list : guest list;
+  gen : Packet.Id_gen.t;
+  mutable n_forwarded : int;
+  mutable n_unroutable : int;
+  mutable n_to_guests : int;
+}
+
+let run t () =
+  let cost = ref Time.zero in
+  let work = ref 0 in
+  (* Guest -> NIC: rewrite virtual destination to physical host. *)
+  List.iter
+    (fun g ->
+      let n = ref 0 in
+      let go = ref true in
+      while !go && !n < batch do
+        match Squeue.Spsc.pop g.tx with
+        | Some pkt -> (
+            incr n;
+            incr work;
+            cost := Time.add !cost per_packet_cost;
+            match pkt.Packet.payload with
+            | Vnet { dst_vip; _ } -> (
+                match Hashtbl.find_opt t.routes dst_vip with
+                | Some host ->
+                    let phys = { pkt with Packet.dst = host } in
+                    if Nic.try_transmit t.nic phys then
+                      t.n_forwarded <- t.n_forwarded + 1
+                    else t.n_unroutable <- t.n_unroutable + 1
+                | None -> t.n_unroutable <- t.n_unroutable + 1)
+            | _ -> t.n_unroutable <- t.n_unroutable + 1)
+        | None -> go := false
+      done)
+    t.guest_list;
+  (* NIC -> guest: demultiplex on destination VIP. *)
+  let ring = Nic.rx_ring t.nic ~queue:t.rxq in
+  let n = ref 0 in
+  let go = ref true in
+  while !go && !n < batch do
+    match Squeue.Spsc.pop ring with
+    | Some pkt -> (
+        incr n;
+        incr work;
+        cost := Time.add !cost per_packet_cost;
+        match pkt.Packet.payload with
+        | Vnet { dst_vip; _ } -> (
+            match Hashtbl.find_opt t.guests dst_vip with
+            | Some g ->
+                if Squeue.Spsc.push g.rx ~now:(Loop.now t.lp) pkt then
+                  t.n_to_guests <- t.n_to_guests + 1
+            | None -> t.n_unroutable <- t.n_unroutable + 1)
+        | _ -> ())
+    | None -> go := false
+  done;
+  if !work = 0 then Engine.No_work else Engine.Worked !cost
+
+let create ~loop ~nic ~group ~rx_queue () =
+  let t_ref = ref None in
+  let eng =
+    Engine.create ~name:"vswitch"
+      ~run:(fun () ->
+        match !t_ref with Some t -> run t () | None -> Engine.No_work)
+      ~queue_delay:(fun now ->
+        match !t_ref with
+        | Some t ->
+            let ring_age =
+              Squeue.Spsc.oldest_age (Nic.rx_ring t.nic ~queue:t.rxq) ~now
+            in
+            List.fold_left
+              (fun acc g -> Time.max acc (Squeue.Spsc.oldest_age g.tx ~now))
+              ring_age t.guest_list
+        | None -> 0)
+      ()
+  in
+  let t =
+    {
+      lp = loop;
+      nic;
+      rxq = rx_queue;
+      eng;
+      routes = Hashtbl.create 16;
+      guests = Hashtbl.create 16;
+      guest_list = [];
+      gen = Packet.Id_gen.create ();
+      n_forwarded = 0;
+      n_unroutable = 0;
+      n_to_guests = 0;
+    }
+  in
+  t_ref := Some t;
+  Engine.add group eng;
+  (* Wake the engine when guest-bound traffic lands on its ring. *)
+  Nic.set_rx_notify nic ~queue:rx_queue (Nic.Soft (fun () -> Engine.notify eng));
+  t
+
+let engine t = t.eng
+
+let add_guest t ~vip =
+  let g =
+    {
+      vip;
+      tx = Squeue.Spsc.create ~name:(Printf.sprintf "guest%d.tx" vip) ~capacity:1024 ();
+      rx = Squeue.Spsc.create ~name:(Printf.sprintf "guest%d.rx" vip) ~capacity:1024 ();
+    }
+  in
+  Hashtbl.replace t.guests vip g;
+  t.guest_list <- t.guest_list @ [ g ];
+  g
+
+let add_route t ~vip ~host = Hashtbl.replace t.routes vip host
+
+let guest_transmit t g ~dst_vip ~bytes =
+  let pkt =
+    Packet.make
+      ~id:(Packet.Id_gen.next t.gen)
+      ~src:(Nic.addr t.nic) ~dst:0 ~flow_hash:(g.vip * 1021)
+      ~qos:3
+      ~wire_bytes:(min (Nic.mtu t.nic) (bytes + 60))
+      ~payload_bytes:bytes
+      (Vnet { src_vip = g.vip; dst_vip })
+      ()
+  in
+  let ok = Squeue.Spsc.push g.tx ~now:(Loop.now t.lp) pkt in
+  if ok then Engine.notify t.eng;
+  ok
+
+let guest_rx_ring g = g.rx
+let forwarded t = t.n_forwarded
+let unroutable t = t.n_unroutable
+let delivered_to_guests t = t.n_to_guests

@@ -1,0 +1,119 @@
+type t = {
+  sub_bits : int;
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let max_index sub_bits =
+  (* Values up to 2^62 land below this index. *)
+  ((63 - sub_bits) * (1 lsl sub_bits)) + (1 lsl (sub_bits + 1))
+
+let create ?(sub_bits = 5) () =
+  if sub_bits < 1 || sub_bits > 10 then invalid_arg "Histogram.create";
+  {
+    sub_bits;
+    counts = Array.make (max_index sub_bits) 0;
+    total = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = 0;
+  }
+
+let msb_position v =
+  (* Position of the most significant set bit; v > 0. *)
+  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index_of t v =
+  let sb = t.sub_bits in
+  if v < 1 lsl (sb + 1) then v
+  else
+    let m = msb_position v in
+    let shift = m - sb in
+    (shift lsl sb) + (v lsr shift)
+
+(* Inverse of [index_of]: midpoint of the bucket. *)
+let value_of t idx =
+  let sb = t.sub_bits in
+  if idx < 1 lsl (sb + 1) then idx
+  else
+    let shift = (idx lsr sb) - 1 in
+    let sub = idx land ((1 lsl sb) - 1) lor (1 lsl sb) in
+    let low = sub lsl shift in
+    low + (1 lsl (shift - 1))
+
+let record_n t v ~n =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    t.counts.(index_of t v) <- t.counts.(index_of t v) + n;
+    t.total <- t.total + n;
+    t.sum <- t.sum + (v * n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v ~n:1
+let count t = t.total
+let min_value t = if t.total = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let sum t = t.sum
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target = int_of_float (Float.round (q *. float_of_int t.total)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 and result = ref t.max_v and found = ref false in
+    let i = ref 0 in
+    let n = Array.length t.counts in
+    while (not !found) && !i < n do
+      acc := !acc + t.counts.(!i);
+      if !acc >= target then begin
+        result := value_of t !i;
+        found := true
+      end;
+      incr i
+    done;
+    (* Clamp into the observed range: bucket midpoints can stick out. *)
+    Stdlib.min (Stdlib.max !result t.min_v) t.max_v
+  end
+
+let percentile t p = quantile t (p /. 100.)
+
+let merge_into ~src ~dst =
+  if src.sub_bits <> dst.sub_bits then invalid_arg "Histogram.merge_into";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum + src.sum;
+  if src.total > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+let cdf t ?(points = 100) () =
+  if t.total = 0 then []
+  else
+    List.init points (fun i ->
+        let q = float_of_int (i + 1) /. float_of_int points in
+        (quantile t q, q))
+
+let pp_summary fmt t =
+  if t.total = 0 then Format.fprintf fmt "(empty)"
+  else
+    Format.fprintf fmt
+      "n=%d mean=%a p50=%a p90=%a p99=%a p99.9=%a max=%a" t.total Sim.Time.pp
+      (int_of_float (mean t))
+      Sim.Time.pp (percentile t 50.) Sim.Time.pp (percentile t 90.) Sim.Time.pp
+      (percentile t 99.) Sim.Time.pp (percentile t 99.9) Sim.Time.pp t.max_v

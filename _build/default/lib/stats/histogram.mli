@@ -1,0 +1,47 @@
+(** Log-linear histogram for latency-style measurements.
+
+    HDR-histogram-like bucketing: values are grouped into power-of-two
+    ranges, each subdivided linearly into [2^sub_bits] buckets, giving a
+    bounded relative error (about 1.5% with the default 5 sub bits) over
+    the full non-negative integer range.  Records are O(1); quantile
+    queries walk the buckets. *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+(** [create ~sub_bits ()] makes an empty histogram.  [sub_bits] (default
+    5) controls relative precision: error is about [2^-(sub_bits+1)]. *)
+
+val record : t -> int -> unit
+(** Record a non-negative value (negative values are clamped to 0). *)
+
+val record_n : t -> int -> n:int -> unit
+(** Record the same value [n] times. *)
+
+val count : t -> int
+val min_value : t -> int
+(** Smallest recorded value; 0 when empty. *)
+
+val max_value : t -> int
+val mean : t -> float
+val sum : t -> int
+
+val quantile : t -> float -> int
+(** [quantile t q] with [q] in [\[0, 1\]] is an approximation of the
+    [q]-quantile of the recorded values.  0 when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] is [quantile t (p /. 100.)]. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Fold [src]'s records into [dst].  Both must have equal [sub_bits]. *)
+
+val clear : t -> unit
+
+val cdf : t -> ?points:int -> unit -> (int * float) list
+(** [cdf t ~points ()] samples the distribution as [(value, fraction <=
+    value)] pairs at the given number of evenly spaced quantiles. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: count, mean, p50/p90/p99/p99.9, max (values
+    rendered as times in ns). *)

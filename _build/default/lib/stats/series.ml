@@ -1,0 +1,47 @@
+type t = {
+  series_name : string;
+  mutable times : Sim.Time.t array;
+  mutable values : float array;
+  mutable n : int;
+}
+
+let create ?(name = "") () =
+  { series_name = name; times = Array.make 64 0; values = Array.make 64 0.0; n = 0 }
+
+let name t = t.series_name
+
+let add t time v =
+  if t.n = Array.length t.times then begin
+    let cap = 2 * t.n in
+    let times = Array.make cap 0 and values = Array.make cap 0.0 in
+    Array.blit t.times 0 times 0 t.n;
+    Array.blit t.values 0 values 0 t.n;
+    t.times <- times;
+    t.values <- values
+  end;
+  t.times.(t.n) <- time;
+  t.values.(t.n) <- v;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let to_list t =
+  List.init t.n (fun i -> (t.times.(i), t.values.(i)))
+
+let max_value t =
+  let best = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    if t.values.(i) > !best then best := t.values.(i)
+  done;
+  !best
+
+let last_value t = if t.n = 0 then 0.0 else t.values.(t.n - 1)
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.times.(i) t.values.(i)
+  done
+
+let pp_table fmt t =
+  iter t (fun time v ->
+      Format.fprintf fmt "%10.2f  %12.2f@." (Sim.Time.to_float_ms time) v)

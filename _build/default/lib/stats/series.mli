@@ -1,0 +1,20 @@
+(** Append-only time series of (virtual time, value) samples.
+
+    Used for dashboard-style outputs such as the Figure 8 IOPS plot. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val add : t -> Sim.Time.t -> float -> unit
+val length : t -> int
+val to_list : t -> (Sim.Time.t * float) list
+val max_value : t -> float
+(** Largest sample; 0 when empty. *)
+
+val last_value : t -> float
+
+val iter : t -> (Sim.Time.t -> float -> unit) -> unit
+
+val pp_table : Format.formatter -> t -> unit
+(** Render as two columns: time (ms) and value. *)

@@ -1,0 +1,40 @@
+type t = {
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mean_acc = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity; sum = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean_acc
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let std t = sqrt (variance t)
+let min_value t = if t.n = 0 then 0.0 else t.min_v
+let max_value t = if t.n = 0 then 0.0 else t.max_v
+let total t = t.sum
+
+let clear t =
+  t.n <- 0;
+  t.mean_acc <- 0.0;
+  t.m2 <- 0.0;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  t.sum <- 0.0
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.3f std=%.3f min=%.3f max=%.3f" t.n (mean t)
+    (std t) (min_value t) (max_value t)

@@ -1,0 +1,17 @@
+(** Streaming mean / variance accumulator (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Sample variance; 0 for fewer than two observations. *)
+
+val std : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val total : t -> float
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+
+type report = {
+  engine_name : string;
+  state_bytes : int;
+  brownout : Time.t;
+  blackout : Time.t;
+  started_at : Time.t;
+  finished_at : Time.t;
+}
+
+let serialize_time ~(costs : Sim.Costs.t) bytes =
+  int_of_float
+    (Float.round (float_of_int bytes /. costs.Sim.Costs.serialize_bytes_per_ns))
+
+let blackout_of ~costs ~state_bytes =
+  (* Detach filters + serialize + attach filters + deserialize. *)
+  (2 * costs.Sim.Costs.nic_filter_update) + (2 * serialize_time ~costs state_bytes)
+
+(* The brownout transfers control-plane connections and pre-builds the
+   new engine's structures in the background; its duration scales with
+   the same state but at a fraction of the cost because it does not
+   quiesce anything. *)
+let brownout_of ~costs ~state_bytes =
+  Time.max (Time.ms 1) (serialize_time ~costs (state_bytes / 4))
+
+let upgrade ~loop ~costs ~old_group ~new_group
+    ?(extra_state_bytes = fun _ -> 0) ?(gap = Time.ms 1) ~on_done () =
+  let queue = Queue.create () in
+  List.iter (fun e -> Queue.add e queue) (Engine.engines old_group);
+  let reports = ref [] in
+  let rec next () =
+    match Queue.take_opt queue with
+    | None -> on_done (List.rev !reports)
+    | Some e ->
+        let state_bytes = Engine.state_bytes e + extra_state_bytes e in
+        let brownout = brownout_of ~costs ~state_bytes in
+        let started_at = Loop.now loop in
+        (* Brownout: background transfer; the engine keeps running. *)
+        ignore
+          (Loop.after loop brownout (fun () ->
+               (* Blackout: cease processing, detach, serialize; then
+                  attach, deserialize, resume in the new instance. *)
+               let black_start = Loop.now loop in
+               Engine.remove old_group e;
+               let blackout = blackout_of ~costs ~state_bytes in
+               ignore
+                 (Loop.after loop blackout (fun () ->
+                      Engine.add new_group e;
+                      Engine.notify e;
+                      let finished_at = Loop.now loop in
+                      reports :=
+                        {
+                          engine_name = Engine.name e;
+                          state_bytes;
+                          brownout;
+                          blackout = Time.sub finished_at black_start;
+                          started_at;
+                          finished_at;
+                        }
+                        :: !reports;
+                      ignore (Loop.after loop gap next)))))
+  in
+  next ()

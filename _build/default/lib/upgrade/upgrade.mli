@@ -1,0 +1,56 @@
+(** Transparent Snap upgrades (§4).
+
+    A release upgrade runs a second Snap instance beside the old one and
+    migrates engines one at a time, each in its entirety:
+
+    - {e brownout}: control-plane connections and shared-memory file
+      descriptors transfer in the background, and the new instance
+      pre-builds queues and allocators, while the old engine keeps
+      processing (minimal performance impact);
+    - {e blackout}: the old engine ceases packet processing, detaches
+      its NIC receive filters, and serializes remaining state into a
+      shared-memory volume; the new engine attaches identical filters,
+      deserializes, and resumes.
+
+    Packets arriving during the blackout are dropped (ring overflow once
+    the detached ring fills) and recovered by the transport as if lost
+    to congestion; application connections remain established.
+
+    The migration reuses the same engine objects across "instances" —
+    the state hand-off is modeled by its serialization time, which is
+    what determines the blackout the paper measures (Figure 9: median
+    250 ms, heavy-tailed, correlated with state size). *)
+
+type report = {
+  engine_name : string;
+  state_bytes : int;
+  brownout : Sim.Time.t;
+  blackout : Sim.Time.t;
+  started_at : Sim.Time.t;
+  finished_at : Sim.Time.t;
+}
+
+val upgrade :
+  loop:Sim.Loop.t ->
+  costs:Sim.Costs.t ->
+  old_group:Engine.group ->
+  new_group:Engine.group ->
+  ?extra_state_bytes:(Engine.t -> int) ->
+  ?gap:Sim.Time.t ->
+  on_done:(report list -> unit) ->
+  unit ->
+  unit
+(** Start an upgrade of every engine currently in [old_group], moving
+    them into [new_group] (the new release's scheduling setup).
+    [extra_state_bytes] adds synthetic serialized state per engine on
+    top of what the engine itself reports — production engines carry
+    far more state (flow tables, buffer pools) than a fresh simulation
+    accumulates, and Figure 9's distribution is reproduced by drawing
+    from a calibrated distribution here.  [gap] (default 1 ms) spaces
+    consecutive engine migrations.  [on_done] receives one report per
+    migrated engine. *)
+
+val blackout_of : costs:Sim.Costs.t -> state_bytes:int -> Sim.Time.t
+(** The blackout duration the model assigns to a given amount of
+    serialized state: filter detach + serialize + filter attach +
+    deserialize. *)

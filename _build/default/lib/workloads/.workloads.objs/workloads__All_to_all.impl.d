@@ -1,0 +1,1 @@
+lib/workloads/all_to_all.ml: Antagonist Array Cpu Engine Fabric Hashtbl Kstack List Nic Pony Printf Queue Sim Snap Stats String Sys

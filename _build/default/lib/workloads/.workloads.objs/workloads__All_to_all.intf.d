@@ -1,0 +1,1 @@
+lib/workloads/all_to_all.mli: Engine Sim Stats

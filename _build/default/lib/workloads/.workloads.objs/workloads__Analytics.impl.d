@@ -1,0 +1,1 @@
+lib/workloads/analytics.ml: Cpu Engine Fabric Int64 List Memory Pony Printf Sim Snap Stats

@@ -1,0 +1,1 @@
+lib/workloads/antagonist.ml: Cpu List Printf Sim

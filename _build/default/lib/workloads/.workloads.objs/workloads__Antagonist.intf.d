@@ -1,0 +1,1 @@
+lib/workloads/antagonist.mli: Cpu Sim

@@ -1,0 +1,1 @@
+lib/workloads/rr.ml: Antagonist Cpu Engine Fabric Kstack List Memory Nic Pony Printf Sim Snap Stats

@@ -1,0 +1,1 @@
+lib/workloads/rr.mli: Engine Sim Stats

@@ -1,0 +1,1 @@
+lib/workloads/streaming.ml: Array Cpu Engine Fabric Kstack List Nic Pony Printf Sim Snap

@@ -1,0 +1,1 @@
+lib/workloads/streaming.mli: Sim

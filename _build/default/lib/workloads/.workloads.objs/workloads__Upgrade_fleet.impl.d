@@ -1,0 +1,1 @@
+lib/workloads/upgrade_fleet.ml: Cpu Engine Fabric List Nic Pony Sim Snap Stats Upgrade

@@ -1,0 +1,1 @@
+lib/workloads/upgrade_fleet.mli: Sim Stats

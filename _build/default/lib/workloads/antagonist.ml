@@ -1,0 +1,34 @@
+module Time = Sim.Time
+
+(* Compute chunk granularity: an MD5 block batch between scheduler
+   boundaries. *)
+let md5_chunk = Time.us 200
+let md5_pause = Time.us 20
+
+let spawn_md5 machine ?(threads = 4) ?(nice = 5) () =
+  List.init threads (fun i ->
+      Cpu.Thread.spawn machine
+        ~name:(Printf.sprintf "md5-antagonist%d" i)
+        ~account:"antagonist"
+        ~klass:(Cpu.Sched.Cfs { nice })
+        (fun ctx ->
+          while true do
+            (* Continually wake: burst of hashing, short doze, again. *)
+            for _ = 1 to 10 do
+              Cpu.Thread.compute ctx md5_chunk
+            done;
+            Cpu.Thread.sleep ctx md5_pause
+          done))
+
+let spawn_mmap machine ?(threads = 2) ?(section = Time.ms 2) ?(gap = Time.us 50)
+    () =
+  List.init threads (fun i ->
+      Cpu.Thread.spawn machine
+        ~name:(Printf.sprintf "mmap-antagonist%d" i)
+        ~account:"antagonist"
+        ~klass:(Cpu.Sched.Cfs { nice = 0 })
+        (fun ctx ->
+          while true do
+            Cpu.Thread.compute_nonpreemptible ctx section;
+            Cpu.Thread.sleep ctx gap
+          done))

@@ -1,0 +1,1 @@
+test/test_kstack.ml: Alcotest Cpu Fabric Kstack List Nic Printf Sim

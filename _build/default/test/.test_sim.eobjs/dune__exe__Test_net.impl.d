@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Cpu Fabric List Memory Nic Printf Sim Squeue

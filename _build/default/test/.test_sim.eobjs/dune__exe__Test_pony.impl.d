@@ -1,0 +1,1 @@
+test/test_pony.ml: Alcotest Control Cpu Engine Fabric List Memory Nic Option Pony Printf Sim Snap

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest List QCheck QCheck_alcotest Squeue

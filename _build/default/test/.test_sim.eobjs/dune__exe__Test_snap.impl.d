@@ -1,0 +1,1 @@
+test/test_snap.ml: Alcotest Control Cpu Engine Fabric List Memory Nic Pony Printf Sim Snap Squeue Stats Upgrade Workloads

@@ -1,0 +1,123 @@
+(* Tests for packets, pools, and shared memory regions. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_packet_make () =
+  let gen = Memory.Packet.Id_gen.create () in
+  let p =
+    Memory.Packet.make
+      ~id:(Memory.Packet.Id_gen.next gen)
+      ~src:1 ~dst:2 ~wire_bytes:1500 ~payload_bytes:1400 Memory.Packet.Empty ()
+  in
+  check_int "id" 0 p.Memory.Packet.id;
+  check_int "wire" 1500 p.Memory.Packet.wire_bytes;
+  check_int "ids increment" 1 (Memory.Packet.Id_gen.next gen)
+
+let test_packet_invalid () =
+  Alcotest.check_raises "zero bytes rejected"
+    (Invalid_argument "Packet.make: wire_bytes") (fun () ->
+      ignore
+        (Memory.Packet.make ~id:0 ~src:0 ~dst:1 ~wire_bytes:0
+           Memory.Packet.Empty ()))
+
+let test_pool_accounting () =
+  let p = Memory.Pool.create ~name:"pkt" ~capacity_bytes:10_000 in
+  let a = Memory.Pool.alloc p ~owner:"app1" ~bytes:4_000 in
+  let b = Memory.Pool.alloc p ~owner:"app2" ~bytes:3_000 in
+  check_int "in use" 7_000 (Memory.Pool.in_use p);
+  check_int "app1" 4_000 (Memory.Pool.owner_usage p "app1");
+  check_int "app2" 3_000 (Memory.Pool.owner_usage p "app2");
+  Memory.Pool.free a;
+  check_int "after free" 3_000 (Memory.Pool.in_use p);
+  check_int "app1 after free" 0 (Memory.Pool.owner_usage p "app1");
+  Memory.Pool.free b;
+  check_int "empty" 0 (Memory.Pool.in_use p);
+  check_int "watermark" 7_000 (Memory.Pool.high_watermark p)
+
+let test_pool_exhaustion () =
+  let p = Memory.Pool.create ~name:"pkt" ~capacity_bytes:1_000 in
+  let _keep = Memory.Pool.alloc p ~owner:"a" ~bytes:900 in
+  check_bool "try_alloc fails" true
+    (Memory.Pool.try_alloc p ~owner:"a" ~bytes:200 = None);
+  Alcotest.check_raises "alloc raises" (Memory.Pool.Exhausted "pkt") (fun () ->
+      ignore (Memory.Pool.alloc p ~owner:"a" ~bytes:200))
+
+let test_pool_double_free () =
+  let p = Memory.Pool.create ~name:"pkt" ~capacity_bytes:1_000 in
+  let a = Memory.Pool.alloc p ~owner:"a" ~bytes:100 in
+  Memory.Pool.free a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Pool.free: double free") (fun () -> Memory.Pool.free a)
+
+let pool_prop_balance =
+  QCheck.Test.make ~name:"pool usage returns to zero after freeing all"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (int_range 1 100))
+    (fun sizes ->
+      let p = Memory.Pool.create ~name:"p" ~capacity_bytes:1_000_000 in
+      let allocs =
+        List.map (fun b -> Memory.Pool.alloc p ~owner:"x" ~bytes:b) sizes
+      in
+      List.iter Memory.Pool.free allocs;
+      Memory.Pool.in_use p = 0 && Memory.Pool.owner_usage p "x" = 0)
+
+let test_region_backed_rw () =
+  let r = Memory.Region.create ~id:1 ~size:4096 ~owner:"app" () in
+  check_bool "backed" true (Memory.Region.is_backed r);
+  Memory.Region.write r ~off:100 (Bytes.of_string "hello");
+  Alcotest.(check string)
+    "read back" "hello"
+    (Bytes.to_string (Memory.Region.read r ~off:100 ~len:5));
+  Memory.Region.write_int64 r 200 0x1122334455667788L;
+  Alcotest.(check int64)
+    "int64 roundtrip" 0x1122334455667788L
+    (Memory.Region.read_int64 r 200)
+
+let test_region_unbacked () =
+  let r = Memory.Region.create ~backed:false ~id:2 ~size:1_000_000 ~owner:"app" () in
+  check_bool "unbacked" false (Memory.Region.is_backed r);
+  (* Synthetic contents are deterministic. *)
+  let a = Memory.Region.read r ~off:500 ~len:16 in
+  let b = Memory.Region.read r ~off:500 ~len:16 in
+  check_bool "deterministic" true (Bytes.equal a b);
+  (* Writes are ignored without error. *)
+  Memory.Region.write r ~off:500 (Bytes.of_string "xy")
+
+let test_region_bounds () =
+  let r = Memory.Region.create ~id:3 ~size:128 ~owner:"app" () in
+  Alcotest.check_raises "oob read" (Invalid_argument "Region: out of range access")
+    (fun () -> ignore (Memory.Region.read r ~off:120 ~len:16));
+  Alcotest.check_raises "oob write" (Invalid_argument "Region: out of range access")
+    (fun () -> Memory.Region.write r ~off:(-1) (Bytes.of_string "x"))
+
+let test_region_nic_registration () =
+  let r = Memory.Region.create ~id:4 ~size:64 ~owner:"app" () in
+  check_bool "initially unregistered" false (Memory.Region.nic_registered r);
+  Memory.Region.register_for_nic r;
+  Memory.Region.register_for_nic r;
+  check_bool "registered" true (Memory.Region.nic_registered r)
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "make" `Quick test_packet_make;
+          Alcotest.test_case "invalid" `Quick test_packet_invalid;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "accounting" `Quick test_pool_accounting;
+          Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
+          Alcotest.test_case "double free" `Quick test_pool_double_free;
+          QCheck_alcotest.to_alcotest pool_prop_balance;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "backed rw" `Quick test_region_backed_rw;
+          Alcotest.test_case "unbacked" `Quick test_region_unbacked;
+          Alcotest.test_case "bounds" `Quick test_region_bounds;
+          Alcotest.test_case "nic registration" `Quick test_region_nic_registration;
+        ] );
+    ]

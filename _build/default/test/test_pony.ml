@@ -1,0 +1,652 @@
+(* Tests for Pony Express: congestion control, reliable flows, and
+   end-to-end messaging / one-sided operations. *)
+
+module T = Sim.Time
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- Timely ------------------------------------------------------------- *)
+
+let test_timely_increase_on_low_rtt () =
+  let cc = Pony.Timely.create ~max_rate_gbps:100.0 () in
+  let r0 = Pony.Timely.rate_gbps cc in
+  for _ = 1 to 50 do
+    Pony.Timely.on_rtt_sample cc (T.us 8)
+  done;
+  check_bool "rate grew" true (Pony.Timely.rate_gbps cc > r0);
+  check_bool "clamped at max" true (Pony.Timely.rate_gbps cc <= 100.0)
+
+let test_timely_decrease_on_high_rtt () =
+  let cc = Pony.Timely.create ~max_rate_gbps:100.0 () in
+  for _ = 1 to 20 do
+    Pony.Timely.on_rtt_sample cc (T.us 8)
+  done;
+  let high = Pony.Timely.rate_gbps cc in
+  for _ = 1 to 20 do
+    Pony.Timely.on_rtt_sample cc (T.us 500)
+  done;
+  check_bool "rate fell" true (Pony.Timely.rate_gbps cc < high /. 2.0);
+  check_bool "above min" true (Pony.Timely.rate_gbps cc >= 0.05)
+
+let test_timely_gradient_response () =
+  (* Rising RTT within [t_low, t_high] should reduce rate. *)
+  let cc = Pony.Timely.create ~max_rate_gbps:100.0 () in
+  for i = 1 to 30 do
+    Pony.Timely.on_rtt_sample cc (T.us (30 + (3 * i)))
+  done;
+  let falling = Pony.Timely.rate_gbps cc in
+  (* Falling RTT should then recover the rate. *)
+  for i = 1 to 30 do
+    Pony.Timely.on_rtt_sample cc (T.us (max 21 (120 - (3 * i))))
+  done;
+  check_bool "gradient recovery" true (Pony.Timely.rate_gbps cc > falling)
+
+let test_timely_loss () =
+  let cc = Pony.Timely.create ~max_rate_gbps:100.0 () in
+  let r0 = Pony.Timely.rate_gbps cc in
+  Pony.Timely.on_loss cc;
+  Alcotest.(check (float 0.001)) "halved" (r0 /. 2.0) (Pony.Timely.rate_gbps cc)
+
+let test_timely_min_rtt_tracking () =
+  let cc = Pony.Timely.create ~max_rate_gbps:100.0 () in
+  Pony.Timely.on_rtt_sample cc (T.us 50);
+  Pony.Timely.on_rtt_sample cc (T.us 9);
+  Pony.Timely.on_rtt_sample cc (T.us 30);
+  check_int "min rtt" (T.us 9) (Pony.Timely.min_rtt cc);
+  check_int "samples" 3 (Pony.Timely.samples cc)
+
+(* -- Wire --------------------------------------------------------------- *)
+
+let test_wire_negotiate () =
+  Alcotest.(check (option int)) "common" (Some 6) (Pony.Wire.negotiate [ 5; 6 ] [ 6; 7 ]);
+  Alcotest.(check (option int)) "highest" (Some 7)
+    (Pony.Wire.negotiate [ 5; 6; 7 ] [ 5; 6; 7 ]);
+  Alcotest.(check (option int)) "none" None (Pony.Wire.negotiate [ 1 ] [ 2 ])
+
+let test_wire_reverse () =
+  let k = { Pony.Wire.src_host = 1; src_engine = 2; dst_host = 3; dst_engine = 4 } in
+  let r = Pony.Wire.reverse k in
+  check_int "src" 3 r.Pony.Wire.src_host;
+  check_int "dst" 1 r.Pony.Wire.dst_host;
+  check_bool "involution" true (Pony.Wire.reverse r = k)
+
+(* -- Flow (driven manually, no engines) --------------------------------- *)
+
+let mk_flow_pair () =
+  let loop = Sim.Loop.create () in
+  let k = { Pony.Wire.src_host = 0; src_engine = 0; dst_host = 1; dst_engine = 0 } in
+  let a = Pony.Flow.create ~loop ~key:k ~max_rate_gbps:100.0 () in
+  let b = Pony.Flow.create ~loop ~key:(Pony.Wire.reverse k) ~max_rate_gbps:100.0 () in
+  (loop, a, b)
+
+let test_flow_delivers_items () =
+  let loop, a, b = mk_flow_pair () in
+  let gen = Memory.Packet.Id_gen.create () in
+  for _ = 1 to 5 do
+    Pony.Flow.enqueue a Pony.Wire.Bare_ack ~payload_bytes:100
+  done;
+  (* Bare_ack is not delivered; use a credit grant as a visible item. *)
+  let ck =
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+  in
+  for i = 1 to 5 do
+    Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = i }) ~payload_bytes:0
+  done;
+  let delivered = ref [] in
+  let now = ref 0 in
+  (* Pump: emit from a, receive at b. *)
+  let rec pump guard =
+    if guard > 0 then begin
+      now := !now + 1_000;
+      match Pony.Flow.emit a ~now:!now ~gen with
+      | Some pkt -> (
+          match Pony.Flow.on_receive b ~now:!now pkt with
+          | Some (Pony.Wire.Credit_grant { bytes; _ }) ->
+              delivered := bytes :: !delivered;
+              pump (guard - 1)
+          | _ -> pump (guard - 1))
+      | None -> pump (guard - 1)
+    end
+  in
+  pump 100;
+  ignore loop;
+  Alcotest.(check (list int)) "in order, exactly once" [ 1; 2; 3; 4; 5 ]
+    (List.rev !delivered)
+
+let test_flow_dedup_on_retransmit () =
+  let _loop, a, b = mk_flow_pair () in
+  let gen = Memory.Packet.Id_gen.create () in
+  let ck =
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+  in
+  Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 42 }) ~payload_bytes:0;
+  let pkt =
+    match Pony.Flow.emit a ~now:1000 ~gen with Some p -> p | None -> Alcotest.fail "emit"
+  in
+  (* Deliver the same packet twice: only the first yields the item. *)
+  let first = Pony.Flow.on_receive b ~now:2000 pkt in
+  let second = Pony.Flow.on_receive b ~now:3000 pkt in
+  check_bool "first delivered" true (Option.is_some first);
+  check_bool "duplicate suppressed" true (Option.is_none second);
+  check_int "delivered count" 1 (Pony.Flow.delivered b)
+
+let test_flow_retransmit_on_timeout () =
+  let _loop, a, _b = mk_flow_pair () in
+  let gen = Memory.Packet.Id_gen.create () in
+  let ck =
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+  in
+  Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 1 }) ~payload_bytes:0;
+  ignore (Pony.Flow.emit a ~now:1000 ~gen);
+  check_int "in flight" 1 (Pony.Flow.in_flight a);
+  (* No ack arrives; the timeout must requeue it. *)
+  let requeued = Pony.Flow.check_timeout a ~now:(T.ms 1) in
+  check_int "requeued" 1 requeued;
+  check_bool "ready to re-emit" true (Pony.Flow.ready_to_emit a ~now:(T.ms 1));
+  let again = Pony.Flow.emit a ~now:(T.ms 1) ~gen in
+  check_bool "retransmitted" true (Option.is_some again);
+  check_int "retx counted" 1 (Pony.Flow.retransmits a)
+
+let test_flow_ack_clears_flight () =
+  let _loop, a, b = mk_flow_pair () in
+  let gen = Memory.Packet.Id_gen.create () in
+  let ck =
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+  in
+  Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 1 }) ~payload_bytes:0;
+  let pkt = Option.get (Pony.Flow.emit a ~now:1000 ~gen) in
+  ignore (Pony.Flow.on_receive b ~now:2000 pkt);
+  check_bool "b owes ack" true (Pony.Flow.ack_owed b);
+  let ack = Option.get (Pony.Flow.make_ack b ~now:2500 ~gen) in
+  ignore (Pony.Flow.on_receive a ~now:3000 ack);
+  check_int "flight cleared" 0 (Pony.Flow.in_flight a);
+  check_int "acked" 1 (Pony.Flow.acked_packets a);
+  (* RTT sample fed congestion control. *)
+  check_int "cc saw a sample" 1 (Pony.Timely.samples (Pony.Flow.cc a))
+
+let test_flow_pacing_spaces_packets () =
+  let _loop, a, _b = mk_flow_pair () in
+  let gen = Memory.Packet.Id_gen.create () in
+  let ck =
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+  in
+  (* Two 5000-byte items at 100 Gbps (Timely starts at half = 100 of 200
+     cap... rate is max_rate/2 = 50 Gbps): second release gated. *)
+  Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 1 }) ~payload_bytes:4000;
+  Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 2 }) ~payload_bytes:4000;
+  check_bool "first ready" true (Pony.Flow.ready_to_emit a ~now:0);
+  ignore (Pony.Flow.emit a ~now:0 ~gen);
+  check_bool "second paced" false (Pony.Flow.ready_to_emit a ~now:10);
+  (match Pony.Flow.next_deadline a with
+  | Some d -> check_bool "release in future" true (d > 10)
+  | None -> Alcotest.fail "expected pacing deadline");
+  check_bool "ready after release" true (Pony.Flow.ready_to_emit a ~now:(T.us 10))
+
+(* -- End-to-end Pony ----------------------------------------------------- *)
+
+type host = {
+  m : Cpu.Sched.machine;
+  pony : Pony.Express.t;
+  ctl : Control.t;
+}
+
+let mk_cluster ?(hosts = 2) ?(cores = 10) ?(mtu = 5000) ?(engines = 1)
+    ?(use_copy_engine = false) ?(mode = fun _ -> Engine.Dedicating { cores = 2 }) () =
+  let loop = Sim.Loop.create () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts in
+  let dir = Pony.Express.Directory.create () in
+  let mk addr =
+    let m =
+      Cpu.Sched.create_machine ~loop ~costs:Sim.Costs.default
+        ~name:(Printf.sprintf "m%d" addr) ~cores
+    in
+    let nic =
+      Nic.create ~loop ~machine:m ~fabric:fab ~addr
+        { Nic.default_config with Nic.mtu }
+    in
+    let ctl = Control.create ~loop ~machine:m ~name:(Printf.sprintf "snap%d" addr) in
+    let group = Engine.create_group ~machine:m ~name:"pony" ~mode:(mode addr) in
+    let pony =
+      Pony.Express.create ~directory:dir ~control:ctl ~machine:m ~nic ~group ~engines
+        ~use_copy_engine ()
+    in
+    { m; pony; ctl }
+  in
+  (loop, List.init hosts mk)
+
+let spawn ?(spin = false) h name body =
+  ignore
+    (Cpu.Thread.spawn h.m ~name ~account:"app"
+       ~klass:(Cpu.Sched.Cfs { nice = 0 })
+       ~idle:(if spin then Cpu.Sched.Spin else Cpu.Sched.Block)
+       body)
+
+let test_pony_two_sided_message () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let got = ref None in
+  let send_comp = ref None in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      let m = Pony.Express.await_message ctx c in
+      got := Some m.Pony.Express.msg_bytes);
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      (* Give the server time to come up. *)
+      Cpu.Thread.sleep ctx (T.us 200);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.send_message ctx conn ~bytes:1_000_000 ());
+      let comp = Pony.Express.await_completion ctx c in
+      send_comp := Some comp);
+  Sim.Loop.run ~until:(T.ms 50) loop;
+  (match !got with
+  | Some bytes -> check_int "message size" 1_000_000 bytes
+  | None -> Alcotest.fail "message not delivered");
+  match !send_comp with
+  | Some comp -> check_bool "send completed ok" true (comp.Pony.Express.status = Pony.Wire.Ok)
+  | None -> Alcotest.fail "send completion missing"
+
+let test_pony_ping_pong_latency () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let rtts = ref [] in
+  spawn ~spin:true b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      for _ = 1 to 30 do
+        let m = Pony.Express.await_message ctx c in
+        ignore (Pony.Express.send_message ctx m.Pony.Express.msg_conn ~bytes:64 ())
+      done);
+  spawn ~spin:true a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 500);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      for _ = 1 to 30 do
+        let t0 = Cpu.Thread.now ctx in
+        ignore (Pony.Express.send_message ctx conn ~bytes:64 ());
+        let _m = Pony.Express.await_message ctx c in
+        rtts := (Cpu.Thread.now ctx - t0) :: !rtts
+      done);
+  Sim.Loop.run ~until:(T.ms 100) loop;
+  check_int "30 rtts" 30 (List.length !rtts);
+  let avg = List.fold_left ( + ) 0 !rtts / List.length !rtts in
+  (* Figure 6(a): spinning client two-sided should be order-10us. *)
+  check_bool (Printf.sprintf "rtt plausible (%dns)" avg) true
+    (avg > T.us 4 && avg < T.us 25)
+
+let test_pony_one_sided_read_correct () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let region = Memory.Region.create ~id:7 ~size:65536 ~owner:"server" () in
+  Memory.Region.write_int64 region 4096 0xDEADBEEFL;
+  let result = ref None in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      Pony.Express.register_region ctx c region;
+      (* One-sided: the server thread does nothing else. *)
+      Cpu.Thread.sleep ctx (T.ms 40));
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 500);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.one_sided_read ctx conn ~region:7 ~off:4096 ~len:4096);
+      result := Some (Pony.Express.await_completion ctx c));
+  Sim.Loop.run ~until:(T.ms 50) loop;
+  match !result with
+  | Some comp ->
+      check_bool "status ok" true (comp.Pony.Express.status = Pony.Wire.Ok);
+      check_int "bytes" 4096 comp.Pony.Express.bytes;
+      Alcotest.(check (option int64)) "value read remotely" (Some 0xDEADBEEFL)
+        comp.Pony.Express.value;
+      check_int "server engine served it" 1 (Pony.Express.one_sided_served b.pony)
+  | None -> Alcotest.fail "no completion"
+
+let test_pony_one_sided_errors () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let region = Memory.Region.create ~id:1 ~size:1024 ~owner:"server" () in
+  let comps = ref [] in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      Pony.Express.register_region ctx c region;
+      Cpu.Thread.sleep ctx (T.ms 40));
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 500);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.one_sided_read ctx conn ~region:99 ~off:0 ~len:8);
+      comps := Pony.Express.await_completion ctx c :: !comps;
+      ignore (Pony.Express.one_sided_read ctx conn ~region:1 ~off:1000 ~len:100);
+      comps := Pony.Express.await_completion ctx c :: !comps);
+  Sim.Loop.run ~until:(T.ms 50) loop;
+  match List.rev !comps with
+  | [ c1; c2 ] ->
+      check_bool "bad region" true (c1.Pony.Express.status = Pony.Wire.Bad_region);
+      check_bool "bad range" true (c2.Pony.Express.status = Pony.Wire.Bad_range)
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_pony_indirect_read () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let table = Memory.Region.create ~id:1 ~size:4096 ~owner:"server" () in
+  let data = Memory.Region.create ~id:2 ~size:65536 ~owner:"server" () in
+  (* table[3] points at offset 512 where the value lives. *)
+  Memory.Region.write_int64 table (8 * 3) 512L;
+  Memory.Region.write_int64 data 512 0xCAFEL;
+  let result = ref None in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      Pony.Express.register_region ctx c table;
+      Pony.Express.register_region ctx c data;
+      Cpu.Thread.sleep ctx (T.ms 40));
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 500);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore
+        (Pony.Express.indirect_read ctx conn ~table_region:1 ~data_region:2
+           ~indices:[ 3; 3; 3; 3; 3; 3; 3; 3 ] ~len:128);
+      result := Some (Pony.Express.await_completion ctx c));
+  Sim.Loop.run ~until:(T.ms 50) loop;
+  match !result with
+  | Some comp ->
+      check_bool "ok" true (comp.Pony.Express.status = Pony.Wire.Ok);
+      check_int "batched bytes (8 x 128)" 1024 comp.Pony.Express.bytes;
+      Alcotest.(check (option int64)) "value" (Some 0xCAFEL) comp.Pony.Express.value
+  | None -> Alcotest.fail "no completion"
+
+let test_pony_scan_read () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let region = Memory.Region.create ~id:5 ~size:8192 ~owner:"server" () in
+  (* Entry 10: needle 777 -> pointer 2048; value there is 31337. *)
+  Memory.Region.write_int64 region (16 * 10) 777L;
+  Memory.Region.write_int64 region ((16 * 10) + 8) 2048L;
+  Memory.Region.write_int64 region 2048 31337L;
+  let results = ref [] in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      Pony.Express.register_region ctx c region;
+      Cpu.Thread.sleep ctx (T.ms 40));
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 500);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.scan_read ctx conn ~region:5 ~scan_limit:1024 ~needle:777L ~len:64);
+      results := Pony.Express.await_completion ctx c :: !results;
+      ignore (Pony.Express.scan_read ctx conn ~region:5 ~scan_limit:1024 ~needle:999L ~len:64);
+      results := Pony.Express.await_completion ctx c :: !results);
+  Sim.Loop.run ~until:(T.ms 50) loop;
+  match List.rev !results with
+  | [ hit; miss ] ->
+      check_bool "hit" true (hit.Pony.Express.status = Pony.Wire.Ok);
+      Alcotest.(check (option int64)) "value at pointer" (Some 31337L) hit.Pony.Express.value;
+      check_bool "miss" true (miss.Pony.Express.status = Pony.Wire.No_match)
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_pony_streaming_throughput () =
+  (* Dedicated spinning engines, 5000B MTU: expect tens of Gbps
+     (Table 1 ballpark). *)
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let total = 256 * 1024 * 1024 in
+  let received = ref 0 in
+  let finish = ref 0 in
+  spawn ~spin:true b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      while !received < total do
+        let m = Pony.Express.await_message ctx c in
+        received := !received + m.Pony.Express.msg_bytes
+      done;
+      finish := Cpu.Thread.now ctx);
+  spawn ~spin:true a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 500);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      let sent = ref 0 and inflight = ref 0 in
+      while !sent < total do
+        ignore (Pony.Express.send_message ctx conn ~bytes:65536 ());
+        sent := !sent + 65536;
+        incr inflight;
+        (* Bound outstanding sends by reaping completions. *)
+        if !inflight > 8 then begin
+          ignore (Pony.Express.await_completion ctx c);
+          decr inflight
+        end
+      done);
+  Sim.Loop.run ~until:(T.ms 200) loop;
+  check_int "all delivered" total !received;
+  let gbps = float_of_int total *. 8.0 /. float_of_int !finish in
+  check_bool (Printf.sprintf "throughput plausible (%.1f Gbps)" gbps) true
+    (gbps > 25.0 && gbps < 95.0)
+
+let test_pony_flow_stats_and_credit () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let got = ref 0 in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      (* 3 MB in 1 MB messages exceeds the 1 MB initial credit, forcing
+         the credit machinery to cycle. *)
+      for _ = 1 to 3 do
+        let m = Pony.Express.await_message ctx c in
+        got := !got + m.Pony.Express.msg_bytes
+      done);
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 500);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      for _ = 1 to 3 do
+        ignore (Pony.Express.send_message ctx conn ~bytes:1_000_000 ())
+      done;
+      for _ = 1 to 3 do
+        ignore (Pony.Express.await_completion ctx c)
+      done);
+  Sim.Loop.run ~until:(T.ms 100) loop;
+  check_int "3MB delivered despite 1MB credit" 3_000_000 !got;
+  let stats = Pony.Express.flow_stats a.pony in
+  check_bool "flow stats visible" true (List.length stats >= 1);
+  let delivered = List.fold_left (fun acc (_, d, _) -> acc + d) 0 stats in
+  check_bool "packets delivered on reverse flow" true (delivered > 0)
+
+let () =
+  Alcotest.run ~and_exit:false "pony"
+    [
+      ( "timely",
+        [
+          Alcotest.test_case "increase" `Quick test_timely_increase_on_low_rtt;
+          Alcotest.test_case "decrease" `Quick test_timely_decrease_on_high_rtt;
+          Alcotest.test_case "gradient" `Quick test_timely_gradient_response;
+          Alcotest.test_case "loss" `Quick test_timely_loss;
+          Alcotest.test_case "min rtt" `Quick test_timely_min_rtt_tracking;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "negotiate" `Quick test_wire_negotiate;
+          Alcotest.test_case "reverse" `Quick test_wire_reverse;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "delivers in order" `Quick test_flow_delivers_items;
+          Alcotest.test_case "dedup" `Quick test_flow_dedup_on_retransmit;
+          Alcotest.test_case "timeout retransmit" `Quick test_flow_retransmit_on_timeout;
+          Alcotest.test_case "ack clears flight" `Quick test_flow_ack_clears_flight;
+          Alcotest.test_case "pacing" `Quick test_flow_pacing_spaces_packets;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "two-sided message" `Quick test_pony_two_sided_message;
+          Alcotest.test_case "ping-pong latency" `Quick test_pony_ping_pong_latency;
+          Alcotest.test_case "one-sided read" `Quick test_pony_one_sided_read_correct;
+          Alcotest.test_case "one-sided errors" `Quick test_pony_one_sided_errors;
+          Alcotest.test_case "indirect read" `Quick test_pony_indirect_read;
+          Alcotest.test_case "scan read" `Quick test_pony_scan_read;
+          Alcotest.test_case "credit flow control" `Quick test_pony_flow_stats_and_credit;
+          Alcotest.test_case "streaming throughput" `Slow test_pony_streaming_throughput;
+        ] );
+    ]
+
+(* -- Appended edge-case tests -------------------------------------------- *)
+
+let test_mixed_release_version_negotiation () =
+  (* A host on an old release and one on a new release must speak the
+     least common denominator (§3.1). *)
+  let loop = Sim.Loop.create ~seed:5 () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let dir = Pony.Express.Directory.create () in
+  let mk addr versions =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr
+      ~mode:(Engine.Dedicating { cores = 1 })
+      ~wire_versions:versions ()
+  in
+  let a = mk 0 [ 5; 6 ] and b = mk 1 [ 6; 7 ] in
+  let got = ref None in
+  ignore
+    (Snap.Host.spawn_app b ~name:"server" (fun ctx ->
+         let c = Pony.Express.create_client ctx b.Snap.Host.pony ~name:"server" () in
+         let m = Pony.Express.await_message ctx c in
+         got := Some m.Pony.Express.msg_bytes));
+  ignore
+    (Snap.Host.spawn_app a ~name:"client" (fun ctx ->
+         let c = Pony.Express.create_client ctx a.Snap.Host.pony ~name:"client" () in
+         Cpu.Thread.sleep ctx (T.us 300);
+         let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+         ignore (Pony.Express.send_message ctx conn ~bytes:100 ())));
+  Sim.Loop.run ~until:(T.ms 20) loop;
+  Alcotest.(check (option int)) "delivered across releases" (Some 100) !got;
+  List.iter
+    (fun (_, v) -> check_int "negotiated LCD version" 6 v)
+    (Pony.Express.flow_versions a.Snap.Host.pony)
+
+let test_one_sided_write () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let region = Memory.Region.create ~id:4 ~size:1024 ~owner:"server" () in
+  let comp = ref None in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      Pony.Express.register_region ctx c region;
+      Cpu.Thread.sleep ctx (T.ms 30));
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 300);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.one_sided_write ctx conn ~region:4 ~off:100 ~len:200);
+      comp := Some (Pony.Express.await_completion ctx c));
+  Sim.Loop.run ~until:(T.ms 40) loop;
+  match !comp with
+  | Some c -> check_bool "write ok" true (c.Pony.Express.status = Pony.Wire.Ok)
+  | None -> Alcotest.fail "no completion"
+
+let test_zero_byte_message () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let got = ref None in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      let m = Pony.Express.await_message ctx c in
+      got := Some m.Pony.Express.msg_bytes);
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 300);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.send_message ctx conn ~bytes:0 ()));
+  Sim.Loop.run ~until:(T.ms 20) loop;
+  Alcotest.(check (option int)) "zero-byte message delivered" (Some 0) !got
+
+let test_streams_interleave () =
+  (* Messages on distinct streams of one connection all arrive, each
+     reassembled independently. *)
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let sizes = ref [] in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      for _ = 1 to 3 do
+        let m = Pony.Express.await_message ctx c in
+        sizes := (m.Pony.Express.stream, m.Pony.Express.msg_bytes) :: !sizes
+      done);
+  spawn a "client" (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 300);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.send_message ctx conn ~stream:1 ~bytes:500_000 ());
+      ignore (Pony.Express.send_message ctx conn ~stream:2 ~bytes:64 ());
+      ignore (Pony.Express.send_message ctx conn ~stream:3 ~bytes:100_000 ()));
+  Sim.Loop.run ~until:(T.ms 50) loop;
+  let sorted = List.sort compare !sizes in
+  Alcotest.(check (list (pair int int)))
+    "all three streams delivered"
+    [ (1, 500_000); (2, 64); (3, 100_000) ]
+    sorted
+
+let test_pony_recovers_from_fabric_loss () =
+  (* A lossy fabric (tiny egress buffers) forces flow-level
+     retransmission; a large message must still arrive intact. *)
+  let loop = Sim.Loop.create ~seed:17 () in
+  let fab =
+    Fabric.create ~loop
+      ~config:{ Fabric.default_config with Fabric.egress_buffer_bytes = 60_000 }
+      ~hosts:2
+  in
+  let dir = Pony.Express.Directory.create () in
+  let mk addr =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr
+      ~mode:(Engine.Dedicating { cores = 1 }) ()
+  in
+  let a = mk 0 and b = mk 1 in
+  let got = ref None in
+  ignore
+    (Snap.Host.spawn_app b ~name:"server" (fun ctx ->
+         let c = Pony.Express.create_client ctx b.Snap.Host.pony ~name:"server" () in
+         let m = Pony.Express.await_message ctx c in
+         got := Some m.Pony.Express.msg_bytes));
+  ignore
+    (Snap.Host.spawn_app a ~name:"client" (fun ctx ->
+         let c = Pony.Express.create_client ctx a.Snap.Host.pony ~name:"client" () in
+         Cpu.Thread.sleep ctx (T.us 300);
+         let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+         ignore (Pony.Express.send_message ctx conn ~bytes:4_000_000 ())));
+  Sim.Loop.run ~until:(T.sec 2) loop;
+  Alcotest.(check (option int)) "message intact despite loss" (Some 4_000_000) !got
+
+let test_completion_latency_fields () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let region = Memory.Region.create ~id:1 ~size:128 ~owner:"server" () in
+  let comp = ref None in
+  spawn b "server" (fun ctx ->
+      let c = Pony.Express.create_client ctx b.pony ~name:"server" () in
+      Pony.Express.register_region ctx c region;
+      Cpu.Thread.sleep ctx (T.ms 30));
+  spawn a "client" ~spin:true (fun ctx ->
+      let c = Pony.Express.create_client ctx a.pony ~name:"client" () in
+      Cpu.Thread.sleep ctx (T.us 300);
+      let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+      ignore (Pony.Express.one_sided_read ctx conn ~region:1 ~off:0 ~len:64);
+      comp := Some (Pony.Express.await_completion ctx c));
+  Sim.Loop.run ~until:(T.ms 40) loop;
+  match !comp with
+  | Some c ->
+      let lat = c.Pony.Express.completed_at - c.Pony.Express.issued_at in
+      check_bool "issue/complete stamps ordered" true (lat > 0);
+      check_bool "one-sided latency near Figure 6(a)" true
+        (lat > T.us 4 && lat < T.us 30)
+  | None -> Alcotest.fail "no completion"
+
+let () =
+  Alcotest.run "pony-extra"
+    [
+      ( "edge cases",
+        [
+          Alcotest.test_case "mixed-release versions" `Quick
+            test_mixed_release_version_negotiation;
+          Alcotest.test_case "one-sided write" `Quick test_one_sided_write;
+          Alcotest.test_case "zero-byte message" `Quick test_zero_byte_message;
+          Alcotest.test_case "streams interleave" `Quick test_streams_interleave;
+          Alcotest.test_case "recovers from loss" `Quick
+            test_pony_recovers_from_fabric_loss;
+          Alcotest.test_case "completion stamps" `Quick
+            test_completion_latency_fields;
+        ] );
+    ]

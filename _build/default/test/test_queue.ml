@@ -1,0 +1,125 @@
+(* Tests for SPSC rings, mailboxes, and notifiers. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_spsc_fifo () =
+  let q = Squeue.Spsc.create ~capacity:4 () in
+  check_bool "push 1" true (Squeue.Spsc.push q ~now:0 1);
+  check_bool "push 2" true (Squeue.Spsc.push q ~now:0 2);
+  check_bool "push 3" true (Squeue.Spsc.push q ~now:0 3);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Squeue.Spsc.pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Squeue.Spsc.pop q);
+  check_bool "push 4" true (Squeue.Spsc.push q ~now:0 4);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Squeue.Spsc.pop q);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Squeue.Spsc.pop q);
+  Alcotest.(check (option int)) "empty" None (Squeue.Spsc.pop q)
+
+let test_spsc_full_drop () =
+  let q = Squeue.Spsc.create ~capacity:2 () in
+  check_bool "a" true (Squeue.Spsc.push q ~now:0 'a');
+  check_bool "b" true (Squeue.Spsc.push q ~now:0 'b');
+  check_bool "c rejected" false (Squeue.Spsc.push q ~now:0 'c');
+  check_int "dropped" 1 (Squeue.Spsc.dropped q);
+  check_int "pushed" 2 (Squeue.Spsc.pushed q);
+  check_bool "full" true (Squeue.Spsc.is_full q)
+
+let test_spsc_oldest_age () =
+  let q = Squeue.Spsc.create ~capacity:8 () in
+  check_int "empty age" 0 (Squeue.Spsc.oldest_age q ~now:100);
+  ignore (Squeue.Spsc.push q ~now:10 "x");
+  ignore (Squeue.Spsc.push q ~now:50 "y");
+  check_int "age of head" 90 (Squeue.Spsc.oldest_age q ~now:100);
+  ignore (Squeue.Spsc.pop q);
+  check_int "age of next" 50 (Squeue.Spsc.oldest_age q ~now:100)
+
+let test_spsc_drain () =
+  let q = Squeue.Spsc.create ~capacity:16 () in
+  for i = 1 to 10 do
+    ignore (Squeue.Spsc.push q ~now:0 i)
+  done;
+  let sum = ref 0 in
+  let n = Squeue.Spsc.drain q (fun v -> sum := !sum + v) in
+  check_int "drained" 10 n;
+  check_int "sum" 55 !sum;
+  check_bool "empty after" true (Squeue.Spsc.is_empty q)
+
+let spsc_prop_fifo =
+  QCheck.Test.make ~name:"spsc preserves FIFO order under interleaving"
+    ~count:200
+    QCheck.(list (int_bound 1))
+    (fun ops ->
+      (* op 0 = push next int, op 1 = pop *)
+      let q = Squeue.Spsc.create ~capacity:1024 () in
+      let next = ref 0 in
+      let expect = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op = 0 then begin
+            if Squeue.Spsc.push q ~now:0 !next then incr next
+          end
+          else
+            match Squeue.Spsc.pop q with
+            | Some v ->
+                if v <> !expect then ok := false;
+                incr expect
+            | None -> ())
+        ops;
+      !ok)
+
+let test_mailbox () =
+  let mb = Squeue.Mailbox.create () in
+  let ran = ref 0 in
+  check_bool "post" true (Squeue.Mailbox.post mb (fun () -> ran := 1));
+  check_bool "second post fails" false (Squeue.Mailbox.post mb (fun () -> ran := 2));
+  check_bool "occupied" true (Squeue.Mailbox.is_occupied mb);
+  check_bool "service runs" true (Squeue.Mailbox.service mb);
+  check_int "first work ran" 1 !ran;
+  check_bool "service idle" false (Squeue.Mailbox.service mb);
+  check_bool "post again" true (Squeue.Mailbox.post mb (fun () -> ran := 3));
+  check_bool "service again" true (Squeue.Mailbox.service mb);
+  check_int "second work ran" 3 !ran;
+  check_int "posted" 2 (Squeue.Mailbox.posted mb);
+  check_int "serviced" 2 (Squeue.Mailbox.serviced mb)
+
+let test_notifier_armed () =
+  let n = Squeue.Notifier.create () in
+  let fired = ref 0 in
+  Squeue.Notifier.arm n (fun () -> incr fired);
+  Squeue.Notifier.signal n;
+  check_int "fired once" 1 !fired;
+  (* Disarmed after firing; signal latches. *)
+  Squeue.Notifier.signal n;
+  check_int "not fired again" 1 !fired;
+  Squeue.Notifier.arm n (fun () -> incr fired);
+  check_int "latched signal fires on arm" 2 !fired
+
+let test_notifier_coalesce () =
+  let n = Squeue.Notifier.create () in
+  Squeue.Notifier.signal n;
+  Squeue.Notifier.signal n;
+  Squeue.Notifier.signal n;
+  let fired = ref 0 in
+  Squeue.Notifier.arm n (fun () -> incr fired);
+  check_int "coalesced to one" 1 !fired;
+  check_int "signals counted" 3 (Squeue.Notifier.signals n)
+
+let () =
+  Alcotest.run "squeue"
+    [
+      ( "spsc",
+        [
+          Alcotest.test_case "fifo" `Quick test_spsc_fifo;
+          Alcotest.test_case "full drop" `Quick test_spsc_full_drop;
+          Alcotest.test_case "oldest age" `Quick test_spsc_oldest_age;
+          Alcotest.test_case "drain" `Quick test_spsc_drain;
+          QCheck_alcotest.to_alcotest spsc_prop_fifo;
+        ] );
+      ("mailbox", [ Alcotest.test_case "depth one" `Quick test_mailbox ]);
+      ( "notifier",
+        [
+          Alcotest.test_case "armed" `Quick test_notifier_armed;
+          Alcotest.test_case "coalesce" `Quick test_notifier_coalesce;
+        ] );
+    ]

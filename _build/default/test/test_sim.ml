@@ -1,0 +1,201 @@
+(* Tests for the discrete-event core: heap, rng, loop, time. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- Heap -------------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Sim.Heap.create () in
+  List.iter (fun k -> Sim.Heap.add h ~key:k k) [ 5; 3; 9; 1; 7; 3; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | Some v ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.add h ~key:1 "a";
+  Sim.Heap.add h ~key:1 "b";
+  Sim.Heap.add h ~key:1 "c";
+  Alcotest.(check (option string)) "first" (Some "a") (Sim.Heap.pop h);
+  Alcotest.(check (option string)) "second" (Some "b") (Sim.Heap.pop h);
+  Alcotest.(check (option string)) "third" (Some "c") (Sim.Heap.pop h)
+
+let test_heap_min_key () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check (option int)) "empty" None (Sim.Heap.min_key h);
+  Sim.Heap.add h ~key:42 ();
+  Sim.Heap.add h ~key:7 ();
+  Alcotest.(check (option int)) "min" (Some 7) (Sim.Heap.min_key h)
+
+let heap_prop_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing key order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iter (fun k -> Sim.Heap.add h ~key:k k) keys;
+      let rec drain acc =
+        match Sim.Heap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare keys)
+
+(* -- Rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:7 and b = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:7 in
+  let c = Sim.Rng.split a in
+  let x = Sim.Rng.int a 1_000_000 and y = Sim.Rng.int c 1_000_000 in
+  check_bool "streams diverge" true (x <> y)
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 10 in
+    check_bool "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Sim.Rng.create ~seed:11 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Sim.Rng.exponential r ~mean:50.0
+  done;
+  let mean = !acc /. float_of_int n in
+  check_bool "mean near 50" true (mean > 47.0 && mean < 53.0)
+
+let test_rng_float_bounds () =
+  let r = Sim.Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.float r 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+(* -- Loop -------------------------------------------------------------- *)
+
+let test_loop_ordering () =
+  let loop = Sim.Loop.create () in
+  let order = ref [] in
+  ignore (Sim.Loop.at loop (Sim.Time.us 30) (fun () -> order := 3 :: !order));
+  ignore (Sim.Loop.at loop (Sim.Time.us 10) (fun () -> order := 1 :: !order));
+  ignore (Sim.Loop.at loop (Sim.Time.us 20) (fun () -> order := 2 :: !order));
+  Sim.Loop.run loop;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order);
+  check_int "clock at last event" (Sim.Time.us 30) (Sim.Loop.now loop)
+
+let test_loop_same_time_fifo () =
+  let loop = Sim.Loop.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Loop.at loop (Sim.Time.us 10) (fun () -> order := i :: !order))
+  done;
+  Sim.Loop.run loop;
+  Alcotest.(check (list int)) "fifo among ties" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_loop_cancel () =
+  let loop = Sim.Loop.create () in
+  let fired = ref false in
+  let h = Sim.Loop.after loop (Sim.Time.us 5) (fun () -> fired := true) in
+  Sim.Loop.cancel h;
+  Sim.Loop.run loop;
+  check_bool "cancelled event did not fire" false !fired
+
+let test_loop_until () =
+  let loop = Sim.Loop.create () in
+  let count = ref 0 in
+  ignore (Sim.Loop.at loop (Sim.Time.us 10) (fun () -> incr count));
+  ignore (Sim.Loop.at loop (Sim.Time.us 90) (fun () -> incr count));
+  Sim.Loop.run ~until:(Sim.Time.us 50) loop;
+  check_int "only first fired" 1 !count;
+  check_int "clock at until" (Sim.Time.us 50) (Sim.Loop.now loop);
+  Sim.Loop.run loop;
+  check_int "second fires later" 2 !count
+
+let test_loop_every () =
+  let loop = Sim.Loop.create () in
+  let count = ref 0 in
+  let h = Sim.Loop.every loop (Sim.Time.us 10) (fun () -> incr count) in
+  Sim.Loop.run ~until:(Sim.Time.us 55) loop;
+  check_int "five periods" 5 !count;
+  Sim.Loop.cancel h;
+  Sim.Loop.run ~until:(Sim.Time.us 200) loop;
+  check_int "stopped after cancel" 5 !count
+
+let test_loop_nested_schedule () =
+  let loop = Sim.Loop.create () in
+  let hits = ref [] in
+  ignore
+    (Sim.Loop.at loop (Sim.Time.us 10) (fun () ->
+         hits := Sim.Loop.now loop :: !hits;
+         ignore
+           (Sim.Loop.after loop (Sim.Time.us 5) (fun () ->
+                hits := Sim.Loop.now loop :: !hits))));
+  Sim.Loop.run loop;
+  Alcotest.(check (list int))
+    "nested event at +5us"
+    [ Sim.Time.us 10; Sim.Time.us 15 ]
+    (List.rev !hits)
+
+let test_loop_past_event_runs_now () =
+  let loop = Sim.Loop.create () in
+  let at = ref (-1) in
+  ignore
+    (Sim.Loop.at loop (Sim.Time.us 10) (fun () ->
+         ignore (Sim.Loop.at loop (Sim.Time.us 3) (fun () -> at := Sim.Loop.now loop))));
+  Sim.Loop.run loop;
+  check_int "clamped to now" (Sim.Time.us 10) !at
+
+(* -- Time -------------------------------------------------------------- *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Sim.Time.us 1);
+  check_int "ms" 1_000_000 (Sim.Time.ms 1);
+  check_int "sec" 1_000_000_000 (Sim.Time.sec 1);
+  check_int "of_float_us" 1_500 (Sim.Time.of_float_us 1.5);
+  Alcotest.(check (float 1e-9)) "to_float_us" 2.5 (Sim.Time.to_float_us 2_500);
+  check_int "scale" 500 (Sim.Time.scale 1_000 0.5)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "min key" `Quick test_heap_min_key;
+          QCheck_alcotest.to_alcotest heap_prop_sorted;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "ordering" `Quick test_loop_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_loop_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_loop_cancel;
+          Alcotest.test_case "run until" `Quick test_loop_until;
+          Alcotest.test_case "every" `Quick test_loop_every;
+          Alcotest.test_case "nested" `Quick test_loop_nested_schedule;
+          Alcotest.test_case "past event" `Quick test_loop_past_event_runs_now;
+        ] );
+      ("time", [ Alcotest.test_case "units" `Quick test_time_units ]);
+    ]

@@ -1,0 +1,149 @@
+(* Tests for histograms, summaries, and series. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_hist_empty () =
+  let h = Stats.Histogram.create () in
+  check_int "count" 0 (Stats.Histogram.count h);
+  check_int "quantile" 0 (Stats.Histogram.quantile h 0.5);
+  check_int "min" 0 (Stats.Histogram.min_value h)
+
+let test_hist_exact_small () =
+  (* Values below 2^(sub_bits+1) are recorded exactly. *)
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  check_int "p50" 3 (Stats.Histogram.percentile h 50.);
+  check_int "min" 1 (Stats.Histogram.min_value h);
+  check_int "max" 5 (Stats.Histogram.max_value h);
+  check_int "sum" 15 (Stats.Histogram.sum h)
+
+let test_hist_relative_error () =
+  let h = Stats.Histogram.create () in
+  let v = 1_234_567 in
+  Stats.Histogram.record h v;
+  let q = Stats.Histogram.quantile h 1.0 in
+  (* max_value is exact *)
+  check_int "max exact" v (Stats.Histogram.max_value h);
+  let err = abs (q - v) in
+  check_bool "within 2% relative error" true
+    (float_of_int err /. float_of_int v < 0.02)
+
+let test_hist_quantiles_order () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 10_000 do
+    Stats.Histogram.record h i
+  done;
+  let p50 = Stats.Histogram.percentile h 50. in
+  let p90 = Stats.Histogram.percentile h 90. in
+  let p99 = Stats.Histogram.percentile h 99. in
+  check_bool "p50 near 5000" true (abs (p50 - 5000) < 200);
+  check_bool "p90 near 9000" true (abs (p90 - 9000) < 300);
+  check_bool "p99 near 9900" true (abs (p99 - 9900) < 300);
+  check_bool "ordered" true (p50 <= p90 && p90 <= p99)
+
+let test_hist_merge () =
+  let a = Stats.Histogram.create () in
+  let b = Stats.Histogram.create () in
+  for i = 1 to 100 do
+    Stats.Histogram.record a i
+  done;
+  for i = 101 to 200 do
+    Stats.Histogram.record b i
+  done;
+  Stats.Histogram.merge_into ~src:b ~dst:a;
+  check_int "count" 200 (Stats.Histogram.count a);
+  check_int "max" 200 (Stats.Histogram.max_value a);
+  check_int "min" 1 (Stats.Histogram.min_value a)
+
+let test_hist_negative_clamped () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.record h (-5);
+  check_int "clamped to zero" 0 (Stats.Histogram.max_value h);
+  check_int "counted" 1 (Stats.Histogram.count h)
+
+let test_hist_record_n () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.record_n h 10 ~n:5;
+  check_int "count" 5 (Stats.Histogram.count h);
+  check_int "sum" 50 (Stats.Histogram.sum h)
+
+let test_hist_cdf () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.record h i
+  done;
+  let cdf = Stats.Histogram.cdf h ~points:10 () in
+  check_int "ten points" 10 (List.length cdf);
+  let fractions = List.map snd cdf in
+  check_bool "monotone fractions" true
+    (List.sort compare fractions = fractions)
+
+let hist_prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantile stays within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (int_bound 1_000_000)) (float_bound_inclusive 1.0))
+    (fun (values, q) ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.record h) values;
+      let v = Stats.Histogram.quantile h q in
+      v >= Stats.Histogram.min_value h && v <= Stats.Histogram.max_value h)
+
+let hist_prop_mean_matches =
+  QCheck.Test.make ~name:"histogram mean equals arithmetic mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 100_000))
+    (fun values ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.record h) values;
+      let expect =
+        float_of_int (List.fold_left ( + ) 0 values)
+        /. float_of_int (List.length values)
+      in
+      Float.abs (Stats.Histogram.mean h -. expect) < 1e-6)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "std" (sqrt (32.0 /. 7.0)) (Stats.Summary.std s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Summary.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Summary.max_value s);
+  check_int "count" 8 (Stats.Summary.count s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check (float 1e-9)) "mean 0" 0.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "std 0" 0.0 (Stats.Summary.std s)
+
+let test_series () =
+  let s = Stats.Series.create ~name:"iops" () in
+  for i = 1 to 100 do
+    Stats.Series.add s (Sim.Time.ms i) (float_of_int (i * 10))
+  done;
+  check_int "length" 100 (Stats.Series.length s);
+  Alcotest.(check (float 1e-9)) "max" 1000.0 (Stats.Series.max_value s);
+  Alcotest.(check (float 1e-9)) "last" 1000.0 (Stats.Series.last_value s);
+  Alcotest.(check string) "name" "iops" (Stats.Series.name s)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "exact small values" `Quick test_hist_exact_small;
+          Alcotest.test_case "relative error" `Quick test_hist_relative_error;
+          Alcotest.test_case "quantile order" `Quick test_hist_quantiles_order;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "negative clamp" `Quick test_hist_negative_clamped;
+          Alcotest.test_case "record_n" `Quick test_hist_record_n;
+          Alcotest.test_case "cdf" `Quick test_hist_cdf;
+          QCheck_alcotest.to_alcotest hist_prop_quantile_bounds;
+          QCheck_alcotest.to_alcotest hist_prop_mean_matches;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "welford" `Quick test_summary;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+        ] );
+      ("series", [ Alcotest.test_case "basic" `Quick test_series ]);
+    ]
