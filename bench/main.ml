@@ -329,6 +329,47 @@ let micro () =
     (fun t -> benchmark (Test.make_grouped ~name:"g" [ t ]))
     [ heap_test; spsc_test; hist_test; timely_test ]
 
+(* -- Availability under faults ------------------------------------------- *)
+
+let chaos () =
+  section "Availability under faults (Workloads.Chaos)";
+  let cfg = Workloads.Chaos.default_config in
+  let baseline = Workloads.Chaos.run { cfg with plan = Fault.Plan.empty } in
+  let r = Workloads.Chaos.run cfg in
+  let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
+  Printf.printf "ops: %d/%d completed, %d lost\n" r.Workloads.Chaos.ops_completed
+    r.Workloads.Chaos.ops_expected r.Workloads.Chaos.lost_ops;
+  Printf.printf "%-10s %10s %10s %10s %10s %12s\n" "" "p50(us)" "p99(us)"
+    "p999(us)" "max(us)" "goodput";
+  let row name (res : Workloads.Chaos.result) =
+    Printf.printf "%-10s %10.1f %10.1f %10.1f %10.1f %9.2f Gbps\n" name
+      (pct res.Workloads.Chaos.latencies 50.0)
+      (pct res.Workloads.Chaos.latencies 99.0)
+      (pct res.Workloads.Chaos.latencies 99.9)
+      (T.to_float_us (Stats.Histogram.max_value res.Workloads.Chaos.latencies))
+      res.Workloads.Chaos.goodput_gbps
+  in
+  row "baseline" baseline;
+  row "faulted" r;
+  Printf.printf "goodput degradation: %.1f%%\n"
+    (Workloads.Chaos.goodput_degradation_pct ~baseline ~faulted:r);
+  Printf.printf "recovery: %d retransmits, %d corrupt drops caught, %d rx stalls\n"
+    r.Workloads.Chaos.retransmits r.Workloads.Chaos.corrupt_dropped
+    r.Workloads.Chaos.rx_stalled;
+  Printf.printf "injected: %s\n"
+    (String.concat ", "
+       (List.filter_map
+          (fun (name, v) ->
+            if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
+          r.Workloads.Chaos.fault_counters));
+  Printf.printf "fabric egress ports:\n";
+  Printf.printf "  %-6s %10s %16s\n" "port" "drops" "max-queue(B)";
+  List.iter
+    (fun (addr, drops, depth) ->
+      Printf.printf "  %-6d %10d %16d\n" addr drops depth)
+    r.Workloads.Chaos.port_report;
+  flush stdout
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all_benches =
@@ -345,6 +386,7 @@ let all_benches =
     ("ablate-mtu", ablate_mtu);
     ("ablate-indirect", ablate_indirect);
     ("ablate-slo", ablate_slo);
+    ("chaos", chaos);
     ("micro", micro);
   ]
 

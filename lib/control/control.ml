@@ -67,6 +67,19 @@ let regions_of t ~client =
 let memory_charged t ~client =
   List.fold_left (fun acc r -> acc + Memory.Region.size r) 0 (regions_of t ~client)
 
+let recover_engine t ~group engine ~after ~on_recovered =
+  (* Crash recovery is a control-plane action: detection plus a restart
+     RPC round trip, then the engine is reloaded into its group with its
+     queues intact (same mechanism as a transparent upgrade, §4.3). *)
+  let delay = Time.add after rpc_round_trip in
+  ignore
+    (Loop.after t.lp delay (fun () ->
+         if not (Engine.is_attached engine) then begin
+           Engine.add group engine;
+           Engine.notify engine;
+           on_recovered ()
+         end))
+
 let post_to_engine ctx engine work =
   let done_flag = ref false in
   let self = Cpu.Thread.task ctx in

@@ -49,6 +49,19 @@ val memory_charged : t -> client:string -> int
 
 (** {1 Engine synchronization} *)
 
+val recover_engine :
+  t ->
+  group:Engine.group ->
+  Engine.t ->
+  after:Sim.Time.t ->
+  on_recovered:(unit -> unit) ->
+  unit
+(** Restart a crashed (detached) engine: [after] the detection delay plus
+    one control RPC round trip, reload it into [group] and notify it.
+    Pending ring/mailbox inputs survive the crash, mirroring how
+    transparent upgrades preserve engine state.  No-op if the engine was
+    already reattached. *)
+
 val post_to_engine :
   Cpu.Thread.ctx -> Engine.t -> (unit -> unit) -> unit
 (** Post work to an engine mailbox, retrying (with backoff sleeps) while

@@ -83,6 +83,7 @@ and machine = {
   mutable vr_clock : float;
   mutable rr_interrupt : int;
   mutable total_busy : int;
+  mutable m_cost_scale : float;
 }
 
 let create_machine ~loop ~costs ~name ~cores =
@@ -108,10 +109,21 @@ let create_machine ~loop ~costs ~name ~cores =
     vr_clock = 0.0;
     rr_interrupt = 0;
     total_busy = 0;
+    m_cost_scale = 1.0;
   }
 
 let machine_name m = m.m_name
 let num_cores m = Array.length m.cores_arr
+
+let set_cost_scale m scale =
+  if scale < 1.0 then invalid_arg "Sched.set_cost_scale";
+  m.m_cost_scale <- scale
+
+let cost_scale m = m.m_cost_scale
+
+let scale_cost m c =
+  if m.m_cost_scale = 1.0 then c
+  else int_of_float (Float.round (float_of_int c *. m.m_cost_scale))
 let loop m = m.lp
 let costs m = m.cost
 
@@ -321,8 +333,9 @@ and step_event m core task gen =
     end
     else begin
       match task.step () with
-      | Ran cost -> after_run m core task cost ~nonpreempt:false
-      | Ran_nonpreemptible cost -> after_run m core task cost ~nonpreempt:true
+      | Ran cost -> after_run m core task (scale_cost m cost) ~nonpreempt:false
+      | Ran_nonpreemptible cost ->
+          after_run m core task (scale_cost m cost) ~nonpreempt:true
       | Idle ->
           if task.wake_pending then begin
             (* A wake raced with this step; poll once more rather than

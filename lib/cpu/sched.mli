@@ -51,6 +51,13 @@ val num_cores : machine -> int
 val loop : machine -> Sim.Loop.t
 val costs : machine -> Sim.Costs.t
 
+val set_cost_scale : machine -> float -> unit
+(** Inflate every subsequent task-step cost on this machine by the given
+    factor (>= 1.0).  Fault injection uses this to model straggler hosts
+    (thermal throttling, noisy neighbours); 1.0 restores normal speed. *)
+
+val cost_scale : machine -> float
+
 val reserve_core : machine -> int
 (** Take a core out of the floating pool for a [Pinned] task.  Raises
     [Failure] if none remain. *)

@@ -19,10 +19,18 @@ let default_config =
     qos_classes = 4;
   }
 
+type fault_action =
+  | Fault_pass
+  | Fault_drop
+  | Fault_corrupt
+  | Fault_delay of Time.t
+
 type port = {
   class_queues : Packet.t Queue.t array;
   class_bytes : int array;
   mutable draining : bool;
+  mutable p_drops : int;
+  mutable p_max_bytes : int;
 }
 
 type t = {
@@ -33,6 +41,10 @@ type t = {
   mutable n_delivered : int;
   mutable n_dropped : int;
   mutable bytes_delivered : int;
+  mutable fault_hook : Packet.t -> fault_action;
+  mutable n_fault_dropped : int;
+  mutable n_fault_corrupted : int;
+  mutable n_fault_delayed : int;
 }
 
 let create ~loop ~config ~hosts =
@@ -47,11 +59,17 @@ let create ~loop ~config ~hosts =
             class_queues = Array.init config.qos_classes (fun _ -> Queue.create ());
             class_bytes = Array.make config.qos_classes 0;
             draining = false;
+            p_drops = 0;
+            p_max_bytes = 0;
           });
     rx_handlers = Array.make hosts None;
     n_delivered = 0;
     n_dropped = 0;
     bytes_delivered = 0;
+    fault_hook = (fun _ -> Fault_pass);
+    n_fault_dropped = 0;
+    n_fault_corrupted = 0;
+    n_fault_delayed = 0;
   }
 
 let config t = t.cfg
@@ -64,6 +82,9 @@ let attach t ~addr ~rx =
   | Some _ -> invalid_arg "Fabric.attach: already attached"
   | None -> t.rx_handlers.(addr) <- Some rx
 
+let set_fault_hook t hook = t.fault_hook <- hook
+let clear_fault_hook t = t.fault_hook <- (fun _ -> Fault_pass)
+
 let wire_time cfg bytes =
   int_of_float (Float.round (float_of_int bytes *. 8.0 /. cfg.link_gbps))
 
@@ -73,7 +94,10 @@ let deliver t (pkt : Packet.t) =
       t.n_delivered <- t.n_delivered + 1;
       t.bytes_delivered <- t.bytes_delivered + pkt.Packet.wire_bytes;
       rx pkt
-  | None -> t.n_dropped <- t.n_dropped + 1
+  | None ->
+      t.n_dropped <- t.n_dropped + 1;
+      let port = t.ports.(pkt.Packet.dst) in
+      port.p_drops <- port.p_drops + 1
 
 (* Strict-priority drain of one egress port: serialize the head packet of
    the highest non-empty class, then propagate it to the host. *)
@@ -96,17 +120,36 @@ let rec drain_port t port =
                (Loop.after t.lp t.cfg.propagation (fun () -> deliver t pkt));
              drain_port t port))
 
-let enqueue_egress t (pkt : Packet.t) =
+let rec enqueue_egress t (pkt : Packet.t) =
   let port = t.ports.(pkt.Packet.dst) in
+  match t.fault_hook pkt with
+  | Fault_drop ->
+      t.n_fault_dropped <- t.n_fault_dropped + 1;
+      port.p_drops <- port.p_drops + 1
+  | Fault_delay d ->
+      t.n_fault_delayed <- t.n_fault_delayed + 1;
+      ignore (Loop.after t.lp d (fun () -> enqueue_port t port pkt))
+  | Fault_corrupt ->
+      t.n_fault_corrupted <- t.n_fault_corrupted + 1;
+      pkt.Packet.corrupted <- true;
+      enqueue_port t port pkt
+  | Fault_pass -> enqueue_port t port pkt
+
+and enqueue_port t port (pkt : Packet.t) =
   let cls =
     let c = pkt.Packet.qos in
     if c < 0 then 0 else if c >= t.cfg.qos_classes then t.cfg.qos_classes - 1 else c
   in
   if port.class_bytes.(cls) + pkt.Packet.wire_bytes > t.cfg.egress_buffer_bytes
-  then t.n_dropped <- t.n_dropped + 1
+  then begin
+    t.n_dropped <- t.n_dropped + 1;
+    port.p_drops <- port.p_drops + 1
+  end
   else begin
     Queue.add pkt port.class_queues.(cls);
     port.class_bytes.(cls) <- port.class_bytes.(cls) + pkt.Packet.wire_bytes;
+    let depth = Array.fold_left ( + ) 0 port.class_bytes in
+    if depth > port.p_max_bytes then port.p_max_bytes <- depth;
     if not port.draining then drain_port t port
   end
 
@@ -119,6 +162,12 @@ let send t (pkt : Packet.t) =
 let delivered t = t.n_delivered
 let dropped t = t.n_dropped
 let delivered_bytes t = t.bytes_delivered
+let fault_dropped t = t.n_fault_dropped
+let fault_corrupted t = t.n_fault_corrupted
+let fault_delayed t = t.n_fault_delayed
 
 let port_queue_bytes t ~addr =
   Array.fold_left ( + ) 0 t.ports.(addr).class_bytes
+
+let port_drops t ~addr = t.ports.(addr).p_drops
+let port_max_queue_bytes t ~addr = t.ports.(addr).p_max_bytes

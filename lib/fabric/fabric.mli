@@ -32,6 +32,26 @@ val attach : t -> addr:Memory.Packet.addr -> rx:(Memory.Packet.t -> unit) -> uni
 (** Register the receive callback for a host (its NIC).  Must be called
     exactly once per host before traffic flows to it. *)
 
+(** {1 Fault injection}
+
+    A single hook consulted at egress enqueue, the point where the switch
+    commits a packet to a destination port.  Fault injection (lib/fault)
+    uses it to model link blackouts, bursty loss, reordering and
+    corruption without the fabric knowing about plans or windows. *)
+
+type fault_action =
+  | Fault_pass  (** Forward normally (the default hook's only answer). *)
+  | Fault_drop  (** Silently discard, as a lossy link would. *)
+  | Fault_corrupt
+      (** Deliver with [corrupted] set; the transport's end-to-end check
+          must catch it. *)
+  | Fault_delay of Sim.Time.t
+      (** Hold the packet before egress queueing, reordering it past
+          later traffic. *)
+
+val set_fault_hook : t -> (Memory.Packet.t -> fault_action) -> unit
+val clear_fault_hook : t -> unit
+
 val send : t -> Memory.Packet.t -> unit
 (** Hand a packet to the fabric at the sender's uplink (the sender NIC
     has already paid tx serialization).  The packet is delivered to the
@@ -46,3 +66,16 @@ val dropped : t -> int
 val delivered_bytes : t -> int
 val port_queue_bytes : t -> addr:Memory.Packet.addr -> int
 (** Bytes currently queued toward the given host, all classes. *)
+
+val port_drops : t -> addr:Memory.Packet.addr -> int
+(** Packets lost on the egress toward the given host: drop-tail overflow,
+    injected drops, and arrivals with no rx handler attached. *)
+
+val port_max_queue_bytes : t -> addr:Memory.Packet.addr -> int
+(** High-water mark of the egress queue toward the given host, all
+    classes. *)
+
+val fault_dropped : t -> int
+val fault_corrupted : t -> int
+val fault_delayed : t -> int
+(** Totals of injected drop / corrupt / delay actions. *)

@@ -1,0 +1,237 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module Rng = Sim.Rng
+module Trace = Sim.Trace
+module Packet = Memory.Packet
+module Sched = Cpu.Sched
+
+type host = {
+  h_addr : int;
+  h_nic : Nic.t;
+  h_machine : Sched.machine;
+  h_control : Control.t;
+  h_group : Engine.group;
+  h_engines : Engine.t list;
+}
+
+(* Fabric-level fault windows active right now.  Toggled by loop events
+   scheduled at install time, so at any instant membership is a pure
+   function of the plan — the hook below only consults this list and the
+   injector's private RNG stream. *)
+type window =
+  | W_blackout of int * int
+  | W_loss of int * float
+  | W_reorder of int * float * Time.t
+  | W_corrupt of int * float
+
+type t = {
+  lp : Loop.t;
+  fabric : Fabric.t;
+  hosts : host list;
+  rng : Rng.t;
+  log : Log.t;
+  mutable active : (int * window) list;
+  mutable next_wid : int;
+  c_blackout_drops : Stats.Counter.t;
+  c_loss_drops : Stats.Counter.t;
+  c_reorder_delays : Stats.Counter.t;
+  c_corruptions : Stats.Counter.t;
+  c_rx_stalls : Stats.Counter.t;
+  c_engine_crashes : Stats.Counter.t;
+  c_engine_restarts : Stats.Counter.t;
+  c_straggler_windows : Stats.Counter.t;
+}
+
+let component = "fault"
+
+let record t ~kind detail =
+  Log.record t.log ~at:(Loop.now t.lp) ~kind ~detail;
+  Trace.emit t.lp Trace.Debug ~component "%s %s" kind detail
+
+let announce t ~kind detail =
+  Log.record t.log ~at:(Loop.now t.lp) ~kind ~detail;
+  Trace.emit t.lp Trace.Info ~component "%s %s" kind detail
+
+let find_host t addr =
+  match List.find_opt (fun h -> h.h_addr = addr) t.hosts with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Fault.Injector: no host %d" addr)
+
+let pkt_detail (pkt : Packet.t) =
+  Printf.sprintf "pkt#%d %d->%d" pkt.Packet.id pkt.Packet.src pkt.Packet.dst
+
+(* The single fabric hook: consulted once per packet at egress enqueue,
+   in deterministic simulation order.  Window kinds are checked in a
+   fixed severity order (blackout, loss, corruption, reordering) and RNG
+   draws happen only for windows that match the packet, so the random
+   stream is identical across runs of the same plan. *)
+let hook t (pkt : Packet.t) =
+  if t.active = [] then Fabric.Fault_pass
+  else begin
+    let src = pkt.Packet.src and dst = pkt.Packet.dst in
+    let matching f = List.find_opt (fun (_, w) -> f w) t.active in
+    let blackout =
+      matching (function
+        | W_blackout (a, b) -> (src = a && dst = b) || (src = b && dst = a)
+        | _ -> false)
+    in
+    match blackout with
+    | Some _ ->
+        Stats.Counter.incr t.c_blackout_drops;
+        record t ~kind:"blackout-drop" (pkt_detail pkt);
+        Fabric.Fault_drop
+    | None -> (
+        let lossy =
+          matching (function W_loss (p, _) -> p = dst | _ -> false)
+        in
+        match lossy with
+        | Some (_, W_loss (_, pct)) when Rng.float t.rng 100.0 < pct ->
+            Stats.Counter.incr t.c_loss_drops;
+            record t ~kind:"loss-drop" (pkt_detail pkt);
+            Fabric.Fault_drop
+        | _ -> (
+            let corrupting =
+              matching (function W_corrupt (p, _) -> p = dst | _ -> false)
+            in
+            match corrupting with
+            | Some (_, W_corrupt (_, pct)) when Rng.float t.rng 100.0 < pct ->
+                Stats.Counter.incr t.c_corruptions;
+                record t ~kind:"corrupt" (pkt_detail pkt);
+                Fabric.Fault_corrupt
+            | _ -> (
+                let reordering =
+                  matching (function W_reorder (p, _, _) -> p = dst | _ -> false)
+                in
+                match reordering with
+                | Some (_, W_reorder (_, pct, max_delay))
+                  when Rng.float t.rng 100.0 < pct ->
+                    let d = 1 + Rng.int t.rng max_delay in
+                    Stats.Counter.incr t.c_reorder_delays;
+                    record t ~kind:"reorder-delay"
+                      (Printf.sprintf "%s +%dns" (pkt_detail pkt) d);
+                    Fabric.Fault_delay d
+                | _ -> Fabric.Fault_pass)))
+  end
+
+let open_window t w =
+  let wid = t.next_wid in
+  t.next_wid <- wid + 1;
+  t.active <- t.active @ [ (wid, w) ];
+  wid
+
+let close_window t wid =
+  t.active <- List.filter (fun (id, _) -> id <> wid) t.active
+
+let schedule_fabric_window t ~start ~duration ~kind ~detail w =
+  ignore
+    (Loop.at t.lp start (fun () ->
+         let wid = open_window t w in
+         announce t ~kind:(kind ^ "-start") detail;
+         ignore
+           (Loop.at t.lp (Time.add start duration) (fun () ->
+                close_window t wid;
+                announce t ~kind:(kind ^ "-end") detail))))
+
+let schedule t (ev : Plan.event) =
+  match ev with
+  | Plan.Link_blackout { a; b; start; duration } ->
+      schedule_fabric_window t ~start ~duration ~kind:"blackout"
+        ~detail:(Printf.sprintf "link %d<->%d" a b)
+        (W_blackout (a, b))
+  | Plan.Burst_loss { port; start; duration; loss_pct } ->
+      schedule_fabric_window t ~start ~duration ~kind:"loss"
+        ~detail:(Printf.sprintf "port %d %.1f%%" port loss_pct)
+        (W_loss (port, loss_pct))
+  | Plan.Reorder { port; start; duration; reorder_pct; max_delay } ->
+      schedule_fabric_window t ~start ~duration ~kind:"reorder"
+        ~detail:(Printf.sprintf "port %d %.1f%%" port reorder_pct)
+        (W_reorder (port, reorder_pct, max_delay))
+  | Plan.Corrupt { port; start; duration; corrupt_pct } ->
+      schedule_fabric_window t ~start ~duration ~kind:"corrupt"
+        ~detail:(Printf.sprintf "port %d %.1f%%" port corrupt_pct)
+        (W_corrupt (port, corrupt_pct))
+  | Plan.Rx_stall { host; queue; start; duration } ->
+      let h = find_host t host in
+      ignore
+        (Loop.at t.lp start (fun () ->
+             Nic.stall_rx h.h_nic ~queue ~until:(Time.add start duration);
+             Stats.Counter.incr t.c_rx_stalls;
+             announce t ~kind:"rx-stall"
+               (Format.asprintf "host %d q%d for %a" host queue Time.pp
+                  duration)))
+  | Plan.Engine_crash { host; engine; start; restart_after } ->
+      let h = find_host t host in
+      let eng =
+        match List.nth_opt h.h_engines engine with
+        | Some e -> e
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Fault.Injector: host %d has no engine %d" host
+                 engine)
+      in
+      ignore
+        (Loop.at t.lp start (fun () ->
+             if Engine.is_attached eng then begin
+               Engine.remove h.h_group eng;
+               Stats.Counter.incr t.c_engine_crashes;
+               announce t ~kind:"engine-crash"
+                 (Printf.sprintf "host %d engine %d" host engine);
+               Control.recover_engine h.h_control ~group:h.h_group eng
+                 ~after:restart_after ~on_recovered:(fun () ->
+                   Stats.Counter.incr t.c_engine_restarts;
+                   announce t ~kind:"engine-restart"
+                     (Printf.sprintf "host %d engine %d" host engine))
+             end))
+  | Plan.Straggler { host; start; duration; slowdown } ->
+      let h = find_host t host in
+      ignore
+        (Loop.at t.lp start (fun () ->
+             Sched.set_cost_scale h.h_machine slowdown;
+             Stats.Counter.incr t.c_straggler_windows;
+             announce t ~kind:"straggler-start"
+               (Printf.sprintf "host %d x%.1f" host slowdown);
+             ignore
+               (Loop.at t.lp (Time.add start duration) (fun () ->
+                    Sched.set_cost_scale h.h_machine 1.0;
+                    announce t ~kind:"straggler-end"
+                      (Printf.sprintf "host %d" host)))))
+
+let install ~loop ~plan ~fabric ~hosts =
+  let t =
+    {
+      lp = loop;
+      fabric;
+      hosts;
+      rng = Rng.create ~seed:(Plan.seed plan);
+      log = Log.create ();
+      active = [];
+      next_wid = 0;
+      c_blackout_drops = Stats.Counter.create ~name:"blackout_drops";
+      c_loss_drops = Stats.Counter.create ~name:"loss_drops";
+      c_reorder_delays = Stats.Counter.create ~name:"reorder_delays";
+      c_corruptions = Stats.Counter.create ~name:"corruptions";
+      c_rx_stalls = Stats.Counter.create ~name:"rx_stalls";
+      c_engine_crashes = Stats.Counter.create ~name:"engine_crashes";
+      c_engine_restarts = Stats.Counter.create ~name:"engine_restarts";
+      c_straggler_windows = Stats.Counter.create ~name:"straggler_windows";
+    }
+  in
+  List.iter (schedule t) (Plan.events plan);
+  Fabric.set_fault_hook fabric (hook t);
+  t
+
+let log t = t.log
+
+let counters t =
+  List.map
+    (fun c -> (Stats.Counter.name c, Stats.Counter.value c))
+    [
+      t.c_blackout_drops;
+      t.c_loss_drops;
+      t.c_reorder_delays;
+      t.c_corruptions;
+      t.c_rx_stalls;
+      t.c_engine_crashes;
+      t.c_engine_restarts;
+      t.c_straggler_windows;
+    ]

@@ -1,0 +1,32 @@
+(** Replays a {!Plan} deterministically on the sim loop.
+
+    Window open/close transitions are scheduled as loop events at install
+    time; packet-level decisions draw from the injector's private RNG
+    (seeded from the plan) in deterministic simulation order, so two runs
+    of the same seeded plan inject byte-identical fault sequences.  Every
+    transition and packet effect is appended to a {!Log} and emitted on
+    [Sim.Trace] under component ["fault"] (Info for windows, Debug for
+    per-packet effects). *)
+
+type host = {
+  h_addr : int;
+  h_nic : Nic.t;
+  h_machine : Cpu.Sched.machine;
+  h_control : Control.t;
+  h_group : Engine.group;
+  h_engines : Engine.t list;
+      (** Indexed by [Plan.Engine_crash.engine]. *)
+}
+
+type t
+
+val install :
+  loop:Sim.Loop.t -> plan:Plan.t -> fabric:Fabric.t -> hosts:host list -> t
+(** Schedules every plan event and claims the fabric's fault hook.  Call
+    before running the loop.  Hosts only need to cover the addresses the
+    plan targets with host-level faults. *)
+
+val log : t -> Log.t
+
+val counters : t -> (string * int) list
+(** Per-fault-kind injection counts, e.g. [("loss_drops", 17)]. *)

@@ -1,0 +1,111 @@
+module Time = Sim.Time
+
+type event =
+  | Link_blackout of {
+      a : int;
+      b : int;
+      start : Time.t;
+      duration : Time.t;
+    }
+  | Burst_loss of {
+      port : int;
+      start : Time.t;
+      duration : Time.t;
+      loss_pct : float;
+    }
+  | Reorder of {
+      port : int;
+      start : Time.t;
+      duration : Time.t;
+      reorder_pct : float;
+      max_delay : Time.t;
+    }
+  | Corrupt of {
+      port : int;
+      start : Time.t;
+      duration : Time.t;
+      corrupt_pct : float;
+    }
+  | Rx_stall of {
+      host : int;
+      queue : int;
+      start : Time.t;
+      duration : Time.t;
+    }
+  | Engine_crash of {
+      host : int;
+      engine : int;
+      start : Time.t;
+      restart_after : Time.t;
+    }
+  | Straggler of {
+      host : int;
+      start : Time.t;
+      duration : Time.t;
+      slowdown : float;
+    }
+
+type t = { seed : int; evs : event list }
+
+let pct_ok p = p >= 0.0 && p <= 100.0
+
+let validate_event = function
+  | Link_blackout { a; b; start; duration } ->
+      if a < 0 || b < 0 || a = b then invalid_arg "Fault.Plan: blackout hosts";
+      if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: blackout window"
+  | Burst_loss { port; start; duration; loss_pct } ->
+      if port < 0 then invalid_arg "Fault.Plan: loss port";
+      if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: loss window";
+      if not (pct_ok loss_pct) then invalid_arg "Fault.Plan: loss_pct"
+  | Reorder { port; start; duration; reorder_pct; max_delay } ->
+      if port < 0 then invalid_arg "Fault.Plan: reorder port";
+      if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: reorder window";
+      if not (pct_ok reorder_pct) then invalid_arg "Fault.Plan: reorder_pct";
+      if max_delay <= 0 then invalid_arg "Fault.Plan: reorder max_delay"
+  | Corrupt { port; start; duration; corrupt_pct } ->
+      if port < 0 then invalid_arg "Fault.Plan: corrupt port";
+      if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: corrupt window";
+      if not (pct_ok corrupt_pct) then invalid_arg "Fault.Plan: corrupt_pct"
+  | Rx_stall { host; queue; start; duration } ->
+      if host < 0 || queue < 0 then invalid_arg "Fault.Plan: rx_stall target";
+      if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: rx_stall window"
+  | Engine_crash { host; engine; start; restart_after } ->
+      if host < 0 || engine < 0 then invalid_arg "Fault.Plan: crash target";
+      if start < 0 || restart_after <= 0 then invalid_arg "Fault.Plan: crash times"
+  | Straggler { host; start; duration; slowdown } ->
+      if host < 0 then invalid_arg "Fault.Plan: straggler host";
+      if start < 0 || duration <= 0 then
+        invalid_arg "Fault.Plan: straggler window";
+      if slowdown < 1.0 then invalid_arg "Fault.Plan: straggler slowdown"
+
+let make ?(seed = 42) events =
+  List.iter validate_event events;
+  { seed; evs = events }
+
+let empty = { seed = 42; evs = [] }
+let seed t = t.seed
+let events t = t.evs
+let is_empty t = t.evs = []
+
+let pp_event fmt = function
+  | Link_blackout { a; b; start; duration } ->
+      Format.fprintf fmt "blackout %d<->%d @%a for %a" a b Time.pp start Time.pp
+        duration
+  | Burst_loss { port; start; duration; loss_pct } ->
+      Format.fprintf fmt "loss %.1f%% port %d @%a for %a" loss_pct port Time.pp
+        start Time.pp duration
+  | Reorder { port; start; duration; reorder_pct; max_delay } ->
+      Format.fprintf fmt "reorder %.1f%% (<=%a) port %d @%a for %a" reorder_pct
+        Time.pp max_delay port Time.pp start Time.pp duration
+  | Corrupt { port; start; duration; corrupt_pct } ->
+      Format.fprintf fmt "corrupt %.1f%% port %d @%a for %a" corrupt_pct port
+        Time.pp start Time.pp duration
+  | Rx_stall { host; queue; start; duration } ->
+      Format.fprintf fmt "rx-stall host %d q%d @%a for %a" host queue Time.pp
+        start Time.pp duration
+  | Engine_crash { host; engine; start; restart_after } ->
+      Format.fprintf fmt "crash host %d engine %d @%a restart after %a" host
+        engine Time.pp start Time.pp restart_after
+  | Straggler { host; start; duration; slowdown } ->
+      Format.fprintf fmt "straggler host %d x%.1f @%a for %a" host slowdown
+        Time.pp start Time.pp duration

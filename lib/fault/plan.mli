@@ -1,0 +1,78 @@
+(** Declarative fault plans.
+
+    A plan is a seed plus a list of timed events; the {!Injector} replays
+    it on the sim loop.  All times are absolute virtual time.  Hosts and
+    egress ports are fabric addresses; [port n] faults affect traffic
+    *toward* host [n] at the switch's egress, where drop-tail loss also
+    lives. *)
+
+type event =
+  | Link_blackout of {
+      a : int;
+      b : int;
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+    }
+      (** All packets between hosts [a] and [b] (both directions) are
+          dropped during the window: a link flap. *)
+  | Burst_loss of {
+      port : int;
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+      loss_pct : float;
+    }  (** Random loss at the given rate on one egress port. *)
+  | Reorder of {
+      port : int;
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+      reorder_pct : float;
+      max_delay : Sim.Time.t;
+    }
+      (** A fraction of packets is held for a random extra delay up to
+          [max_delay] before egress queueing, jumping the queue order. *)
+  | Corrupt of {
+      port : int;
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+      corrupt_pct : float;
+    }
+      (** A fraction of packets is delivered with a poisoned payload; the
+          transport's end-to-end check must drop and retransmit. *)
+  | Rx_stall of {
+      host : int;
+      queue : int;
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+    }
+      (** The host NIC's rx queue stops posting packets for the window
+          (PCIe hiccup, host memory pressure); arrivals are deferred, not
+          lost. *)
+  | Engine_crash of {
+      host : int;
+      engine : int;
+      start : Sim.Time.t;
+      restart_after : Sim.Time.t;
+    }
+      (** The engine detaches from its group at [start]; the control
+          plane reloads it [restart_after] later (plus one RPC round
+          trip).  Queued inputs survive. *)
+  | Straggler of {
+      host : int;
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+      slowdown : float;
+    }
+      (** Every per-core cost on the host is inflated by [slowdown]
+          (>= 1.0) during the window. *)
+
+type t
+
+val make : ?seed:int -> event list -> t
+(** Validates every event ([Invalid_argument] on nonsense windows or
+    rates).  [seed] (default 42) drives all per-packet randomness. *)
+
+val empty : t
+val seed : t -> int
+val events : t -> event list
+val is_empty : t -> bool
+val pp_event : Format.formatter -> event -> unit

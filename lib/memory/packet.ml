@@ -12,12 +12,24 @@ type t = {
   payload_bytes : int;
   payload : payload;
   mutable sent_at : Sim.Time.t;
+  mutable corrupted : bool;
 }
 
 let make ~id ~src ~dst ?(flow_hash = 0) ?(qos = 0) ~wire_bytes ?(payload_bytes = 0)
     payload () =
   if wire_bytes <= 0 then invalid_arg "Packet.make: wire_bytes";
-  { id; src; dst; flow_hash; qos; wire_bytes; payload_bytes; payload; sent_at = 0 }
+  {
+    id;
+    src;
+    dst;
+    flow_hash;
+    qos;
+    wire_bytes;
+    payload_bytes;
+    payload;
+    sent_at = 0;
+    corrupted = false;
+  }
 
 let pp fmt p =
   Format.fprintf fmt "pkt#%d %d->%d %dB(qos %d)" p.id p.src p.dst p.wire_bytes

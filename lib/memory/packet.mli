@@ -26,6 +26,11 @@ type t = {
   payload_bytes : int;  (** Application bytes carried. *)
   payload : payload;
   mutable sent_at : Sim.Time.t;  (** Stamped by the NIC on transmit. *)
+  mutable corrupted : bool;
+      (** Payload poisoned in flight (fault injection).  The wire CRC
+          still passes — corruption is detected only by the transport's
+          end-to-end check, which must discard the packet and recover by
+          retransmission. *)
 }
 
 val make :

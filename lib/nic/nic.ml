@@ -32,6 +32,7 @@ type rx_queue = {
   mutable notify : rx_notify;
   mutable irq_armed : bool;
   mutable pending_while_disarmed : bool;
+  mutable stalled_until : Time.t;
 }
 
 type t = {
@@ -50,6 +51,7 @@ type t = {
   mutable n_rx : int;
   mutable n_tx : int;
   mutable n_rx_dropped : int;
+  mutable n_rx_stalled : int;
 }
 
 let gbps t = (Fabric.config t.fabric).Fabric.link_gbps
@@ -70,17 +72,27 @@ let notify_rx t q =
       else q.pending_while_disarmed <- true
   | Soft f -> f ()
 
+let rx_post t q (pkt : Packet.t) =
+  if Squeue.Spsc.push q.ring ~now:(Loop.now t.lp) pkt then begin
+    t.n_rx <- t.n_rx + 1;
+    notify_rx t q
+  end
+  else t.n_rx_dropped <- t.n_rx_dropped + 1
+
 let receive t (pkt : Packet.t) =
   ignore
     (Loop.after t.lp t.cfg.rx_latency (fun () ->
          let qi = t.steer pkt in
          let qi = if qi < 0 || qi >= t.cfg.num_rx_queues then 0 else qi in
          let q = t.rx_queues.(qi) in
-         if Squeue.Spsc.push q.ring ~now:(Loop.now t.lp) pkt then begin
-           t.n_rx <- t.n_rx + 1;
-           notify_rx t q
+         if Loop.now t.lp < q.stalled_until then begin
+           (* Queue stalled (fault injection): the DMA write is held back
+              until the stall lifts; arrival order within the queue is
+              preserved by the loop's FIFO tie-break. *)
+           t.n_rx_stalled <- t.n_rx_stalled + 1;
+           ignore (Loop.at t.lp q.stalled_until (fun () -> rx_post t q pkt))
          end
-         else t.n_rx_dropped <- t.n_rx_dropped + 1))
+         else rx_post t q pkt))
 
 let create ~loop ~machine ~fabric ~addr (config : config) =
   if config.num_rx_queues <= 0 then invalid_arg "Nic.create: num_rx_queues";
@@ -101,6 +113,7 @@ let create ~loop ~machine ~fabric ~addr (config : config) =
               notify = No_notify;
               irq_armed = true;
               pending_while_disarmed = false;
+              stalled_until = 0;
             });
       steer = (fun pkt -> pkt.Packet.flow_hash mod config.num_rx_queues);
       tx_ring = Queue.create ();
@@ -110,6 +123,7 @@ let create ~loop ~machine ~fabric ~addr (config : config) =
       n_rx = 0;
       n_tx = 0;
       n_rx_dropped = 0;
+      n_rx_stalled = 0;
     }
   in
   Fabric.attach fabric ~addr ~rx:(receive t);
@@ -134,6 +148,12 @@ let rearm_rx_interrupt t ~queue =
 
 let rx_ring t ~queue = t.rx_queues.(queue).ring
 let install_steering t steer = t.steer <- steer
+
+let stall_rx t ~queue ~until =
+  if queue < 0 || queue >= t.cfg.num_rx_queues then
+    invalid_arg "Nic.stall_rx: bad queue";
+  let q = t.rx_queues.(queue) in
+  q.stalled_until <- Time.max q.stalled_until until
 
 let tx_slots_free t = t.cfg.tx_ring_slots - t.tx_in_flight
 
@@ -171,6 +191,7 @@ let link_gbps t = gbps t
 let rx_count t = t.n_rx
 let tx_count t = t.n_tx
 let rx_dropped t = t.n_rx_dropped
+let rx_stalled t = t.n_rx_stalled
 
 module Copy_engine = struct
   type job = { bytes : int; on_complete : unit -> unit }

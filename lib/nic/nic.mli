@@ -68,6 +68,11 @@ val install_steering : t -> (Memory.Packet.t -> int) -> unit
     count).  Used by Snap to direct flow groups at specific engines
     (§2.2 "utilizing NIC steering functionality as needed"). *)
 
+val stall_rx : t -> queue:int -> until:Sim.Time.t -> unit
+(** Fault injection: packets steered to [queue] are held (DMA write
+    deferred, arrival order preserved) until the virtual clock reaches
+    [until].  Overlapping stalls keep the later deadline. *)
+
 (** {1 Transmit} *)
 
 val tx_slots_free : t -> int
@@ -87,6 +92,9 @@ val rx_count : t -> int
 val tx_count : t -> int
 val rx_dropped : t -> int
 (** Packets dropped because an rx ring was full. *)
+
+val rx_stalled : t -> int
+(** Packets deferred by an injected rx-queue stall. *)
 
 (** I/OAT-style asynchronous copy offload (§3.4).
 

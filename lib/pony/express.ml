@@ -98,6 +98,7 @@ and t = {
   clients_tbl : (int, client) Hashtbl.t;
   gen : Packet.Id_gen.t;
   mutable rr_assign : int;
+  mutable n_corrupt_dropped : int;
 }
 
 and dir = { hosts : (Packet.addr, t) Hashtbl.t }
@@ -126,6 +127,8 @@ let flow_versions t =
   List.concat_map
     (fun e -> List.map (fun f -> (Flow.key f, Flow.version f)) e.flow_list)
     t.engs
+
+let corrupt_dropped t = t.n_corrupt_dropped
 
 let flow_stats t =
   List.concat_map
@@ -575,6 +578,16 @@ let engine_run eng () =
           + (if pkt.Packet.payload_bytes > 0 then
                costs.Sim.Costs.pony_rx_per_packet
              else Time.scale costs.Sim.Costs.pony_rx_per_packet 0.35);
+        if pkt.Packet.corrupted then begin
+          (* End-to-end integrity check (§3.1): the payload failed
+             verification, so the packet is discarded before transport
+             processing.  No ack advances; the sender retransmits. *)
+          t.n_corrupt_dropped <- t.n_corrupt_dropped + 1;
+          Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
+            "corrupt packet dropped pkt#%d from %d" pkt.Packet.id
+            pkt.Packet.src
+        end
+        else
         match pkt.Packet.payload with
         | Wire.Pony { flow = k; _ } -> (
             let f = get_flow eng (Wire.reverse k) in
@@ -739,6 +752,7 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
       clients_tbl = Hashtbl.create 32;
       gen = Packet.Id_gen.create ();
       rr_assign = 0;
+      n_corrupt_dropped = 0;
     }
   in
   Hashtbl.replace directory.hosts (Nic.addr nic) t;

@@ -160,6 +160,10 @@ val bytes_received : client -> int
 val flow_stats : t -> (Wire.flow_key * int * int) list
 (** Per-flow (key, delivered, retransmits). *)
 
+val corrupt_dropped : t -> int
+(** Packets this host discarded because the end-to-end integrity check
+    failed (injected corruption); each is recovered by retransmission. *)
+
 val flow_versions : t -> (Wire.flow_key * int) list
 (** The negotiated wire-protocol version of each flow. *)
 

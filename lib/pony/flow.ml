@@ -203,6 +203,8 @@ let process_ack t ~now ~ack ~ts_echo ~pure =
          nothing about loss. *)
       t.dup_acks <- t.dup_acks + 1;
       if t.dup_acks = dupack_threshold then begin
+        Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony.flow"
+          "fast-retransmit seq=%d" t.last_ack_seen;
         ignore (schedule_retransmit t 1);
         Timely.on_loss t.timely;
         t.dup_acks <- 0
@@ -273,6 +275,8 @@ let check_timeout t ~now =
   | fe :: _ ->
       if Time.sub now fe.sent_at >= t.rto && Queue.is_empty t.retx then begin
         let n = schedule_retransmit t gbn_window in
+        Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony.flow"
+          "rto go-back-n n=%d from seq=%d" n fe.f_seq;
         Timely.on_loss t.timely;
         (* Back off the timer so a stalled peer is not hammered. *)
         t.rto <- Time.min (Time.ms 50) (2 * t.rto);

@@ -10,6 +10,10 @@ let enable_component c =
   filter_components := true;
   Hashtbl.replace components c ()
 
+let clear_components () =
+  filter_components := false;
+  Hashtbl.reset components
+
 let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
 
 let enabled lvl =
@@ -23,9 +27,40 @@ let label = function
   | Info -> "INFO "
   | Debug -> "DEBUG"
 
+(* In-memory capture: a bounded ring of recent lines, so tests can assert
+   on emitted events instead of scraping stderr.  While active, lines
+   that pass the filters go to the ring only. *)
+type ring = { lines : string Queue.t; cap : int }
+
+let capture_ring : ring option ref = ref None
+
+let set_capture = function
+  | None -> capture_ring := None
+  | Some cap ->
+      if cap <= 0 then invalid_arg "Trace.set_capture: capacity";
+      capture_ring := Some { lines = Queue.create (); cap }
+
+let capture_line r s =
+  Queue.add s r.lines;
+  if Queue.length r.lines > r.cap then ignore (Queue.take r.lines)
+
+let captured () =
+  match !capture_ring with
+  | None -> []
+  | Some r -> List.of_seq (Queue.to_seq r.lines)
+
+let clear_capture () =
+  match !capture_ring with None -> () | Some r -> Queue.clear r.lines
+
 let emit loop lvl ~component fmt =
   if enabled lvl && component_enabled component then
-    Format.eprintf
-      ("[%a] %s %s: " ^^ fmt ^^ "@.")
-      Time.pp (Loop.now loop) (label lvl) component
+    match !capture_ring with
+    | Some r ->
+        Format.kasprintf (capture_line r)
+          ("[%a] %s %s: " ^^ fmt)
+          Time.pp (Loop.now loop) (label lvl) component
+    | None ->
+        Format.eprintf
+          ("[%a] %s %s: " ^^ fmt ^^ "@.")
+          Time.pp (Loop.now loop) (label lvl) component
   else Format.ifprintf Format.err_formatter fmt

@@ -13,7 +13,28 @@ val enable_component : string -> unit
 (** Restrict output to the given components (cumulative).  When no
     component was ever enabled, all components pass the level filter. *)
 
+val clear_components : unit -> unit
+(** Drop the component restriction: all components pass again. *)
+
 val enabled : level -> bool
+
+(** {1 In-memory capture}
+
+    A bounded ring buffer of the most recent trace lines, for tests that
+    assert on emitted events (fault injections, retransmissions) without
+    scraping stderr.  While capture is active, lines passing the
+    level/component filters are stored in the ring instead of printed. *)
+
+val set_capture : int option -> unit
+(** [set_capture (Some n)] starts capturing the last [n] lines;
+    [set_capture None] stops capturing (subsequent lines print to stderr
+    again).  Capture is global, like the level filter. *)
+
+val captured : unit -> string list
+(** Captured lines, oldest first.  Empty when capture is off. *)
+
+val clear_capture : unit -> unit
+(** Drop the captured lines, keeping capture active. *)
 
 val emit :
   Loop.t -> level -> component:string -> ('a, Format.formatter, unit) format -> 'a

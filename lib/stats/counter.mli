@@ -1,0 +1,14 @@
+(** Named monotonic counters.
+
+    The simplest telemetry primitive: subsystems that want queryable
+    event counts (fault injections, retransmissions) expose these instead
+    of ad-hoc mutable ints, so reports can enumerate them uniformly. *)
+
+type t
+
+val create : name:string -> t
+val incr : ?by:int -> t -> unit
+val value : t -> int
+val name : t -> string
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,171 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+
+type config = {
+  clients : int;
+  ops_per_client : int;
+  op_bytes : int;
+  seed : int;
+  mode : Engine.mode;
+  plan : Fault.Plan.t;
+  run_cap : Time.t;
+}
+
+let default_plan ?(seed = 11) () =
+  Fault.Plan.make ~seed
+    [
+      (* Bursty loss toward the server across most of the steady state. *)
+      Fault.Plan.Burst_loss
+        { port = 1; start = Time.ms 1; duration = Time.ms 30; loss_pct = 2.0 };
+      (* Corrupted deliveries toward the clients early on. *)
+      Fault.Plan.Corrupt
+        { port = 0; start = Time.ms 2; duration = Time.ms 10; corrupt_pct = 5.0 };
+      (* A reordering window toward the server. *)
+      Fault.Plan.Reorder
+        {
+          port = 1;
+          start = Time.ms 3;
+          duration = Time.ms 6;
+          reorder_pct = 10.0;
+          max_delay = Time.us 50;
+        };
+      (* A 10 ms link flap: nothing gets through in either direction. *)
+      Fault.Plan.Link_blackout
+        { a = 0; b = 1; start = Time.ms 6; duration = Time.ms 10 };
+      (* The server's Pony engine crashes and the control plane reloads
+         it. *)
+      Fault.Plan.Engine_crash
+        { host = 1; engine = 0; start = Time.ms 18; restart_after = Time.ms 3 };
+      (* The clients' NIC stops posting receives briefly. *)
+      Fault.Plan.Rx_stall
+        { host = 0; queue = 0; start = Time.ms 22; duration = Time.ms 2 };
+      (* The server machine runs 3x slow for a window. *)
+      Fault.Plan.Straggler
+        { host = 1; start = Time.ms 24; duration = Time.ms 5; slowdown = 3.0 };
+    ]
+
+let default_config =
+  {
+    clients = 2;
+    ops_per_client = 1500;
+    op_bytes = 1024;
+    seed = 7;
+    mode = Engine.Dedicating { cores = 1 };
+    plan = default_plan ();
+    run_cap = Time.ms 500;
+  }
+
+type result = {
+  ops_expected : int;
+  ops_completed : int;
+  lost_ops : int;
+  latencies : Stats.Histogram.t;
+  goodput_gbps : float;
+  completion_time : Time.t;
+  fault_log : Fault.Log.t;
+  fault_counters : (string * int) list;
+  retransmits : int;
+  corrupt_dropped : int;
+  rx_stalled : int;
+  port_report : (int * int * int) list;
+}
+
+let fault_host (h : Snap.Host.t) addr =
+  {
+    Fault.Injector.h_addr = addr;
+    h_nic = h.Snap.Host.nic;
+    h_machine = h.Snap.Host.machine;
+    h_control = h.Snap.Host.control;
+    h_group = h.Snap.Host.group;
+    h_engines =
+      List.init
+        (Pony.Express.num_engines h.Snap.Host.pony)
+        (Pony.Express.engine_handle h.Snap.Host.pony);
+  }
+
+let run (cfg : config) : result =
+  let loop = Loop.create ~seed:cfg.seed () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let dir = Pony.Express.Directory.create () in
+  let mk addr =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr ~mode:cfg.mode ()
+  in
+  let ha = mk 0 and hb = mk 1 in
+  let inj =
+    Fault.Injector.install ~loop ~plan:cfg.plan ~fabric:fab
+      ~hosts:[ fault_host ha 0; fault_host hb 1 ]
+  in
+  let hist = Stats.Histogram.create () in
+  let completed = ref 0 in
+  let last_done = ref Time.zero in
+  ignore
+    (Snap.Host.spawn_app hb ~name:"server" ~spin:true (fun ctx ->
+         let c =
+           Pony.Express.create_client ctx hb.Snap.Host.pony ~name:"server" ()
+         in
+         while true do
+           let m = Pony.Express.await_message ctx c in
+           ignore
+             (Pony.Express.send_message ctx m.Pony.Express.msg_conn
+                ~bytes:cfg.op_bytes ())
+         done));
+  for i = 0 to cfg.clients - 1 do
+    ignore
+      (Snap.Host.spawn_app ha
+         ~name:(Printf.sprintf "client%d" i)
+         ~spin:true
+         (fun ctx ->
+           let c =
+             Pony.Express.create_client ctx ha.Snap.Host.pony
+               ~name:(Printf.sprintf "client%d" i)
+               ()
+           in
+           Cpu.Thread.sleep ctx (Time.us 500);
+           let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+           for _ = 1 to cfg.ops_per_client do
+             let t0 = Cpu.Thread.now ctx in
+             ignore (Pony.Express.send_message ctx conn ~bytes:cfg.op_bytes ());
+             let _m = Pony.Express.await_message ctx c in
+             Stats.Histogram.record hist (Cpu.Thread.now ctx - t0);
+             incr completed;
+             last_done := Loop.now loop
+           done))
+  done;
+  Loop.run ~until:cfg.run_cap loop;
+  let expected = cfg.clients * cfg.ops_per_client in
+  let sum_hosts f = f ha.Snap.Host.pony + f hb.Snap.Host.pony in
+  let retransmits =
+    sum_hosts (fun p ->
+        List.fold_left (fun acc (_, _, r) -> acc + r) 0 (Pony.Express.flow_stats p))
+  in
+  let goodput_gbps =
+    if !last_done = 0 then 0.0
+    else
+      (* Request + echoed reply both carry [op_bytes] of goodput. *)
+      float_of_int (!completed * cfg.op_bytes * 2 * 8)
+      /. float_of_int !last_done
+  in
+  {
+    ops_expected = expected;
+    ops_completed = !completed;
+    lost_ops = expected - !completed;
+    latencies = hist;
+    goodput_gbps;
+    completion_time = !last_done;
+    fault_log = Fault.Injector.log inj;
+    fault_counters = Fault.Injector.counters inj;
+    retransmits;
+    corrupt_dropped = sum_hosts Pony.Express.corrupt_dropped;
+    rx_stalled = Nic.rx_stalled ha.Snap.Host.nic + Nic.rx_stalled hb.Snap.Host.nic;
+    port_report =
+      List.map
+        (fun addr ->
+          (addr, Fabric.port_drops fab ~addr, Fabric.port_max_queue_bytes fab ~addr))
+        [ 0; 1 ];
+  }
+
+let goodput_degradation_pct ~baseline ~faulted =
+  if baseline.goodput_gbps <= 0.0 then 0.0
+  else
+    (baseline.goodput_gbps -. faulted.goodput_gbps)
+    /. baseline.goodput_gbps *. 100.0

@@ -1,0 +1,53 @@
+(** Availability under faults: a closed-loop RR workload run beneath a
+    fault plan.
+
+    Clients on host 0 ping-pong fixed-size messages against an echo
+    server on host 1 while the {!Fault.Injector} replays the configured
+    plan.  The claim under test is Snap's (§4.3): the transport absorbs
+    loss, corruption, reordering, stalls, and an engine crash/restart
+    without losing a single operation — faults cost latency and goodput,
+    never correctness.  Runs are deterministic: the same config produces
+    an identical fault log and latency histogram. *)
+
+type config = {
+  clients : int;  (** Concurrent closed-loop clients on host 0. *)
+  ops_per_client : int;
+  op_bytes : int;  (** Request and reply size. *)
+  seed : int;  (** Sim-loop seed (the plan carries its own). *)
+  mode : Engine.mode;  (** Engine scheduling mode for both hosts. *)
+  plan : Fault.Plan.t;
+  run_cap : Sim.Time.t;
+      (** Virtual-time budget; generous so recovery can finish. *)
+}
+
+val default_plan : ?seed:int -> unit -> Fault.Plan.t
+(** The acceptance scenario: 2% bursty loss for 30 ms, a 5% corruption
+    window, a reordering window, one 10 ms link blackout, one engine
+    crash + restart, an rx stall and a straggler window — staged across
+    the first ~30 ms so every fault overlaps live traffic. *)
+
+val default_config : config
+(** 2 clients x 1500 ops of 1 KiB under {!default_plan}, dedicated
+    engine cores. *)
+
+type result = {
+  ops_expected : int;
+  ops_completed : int;
+  lost_ops : int;  (** Must be 0: faults may slow ops, never eat them. *)
+  latencies : Stats.Histogram.t;  (** Per-op completion latency, ns. *)
+  goodput_gbps : float;  (** Application bytes moved per virtual time. *)
+  completion_time : Sim.Time.t;  (** Virtual time of the last completion. *)
+  fault_log : Fault.Log.t;
+  fault_counters : (string * int) list;
+  retransmits : int;  (** Summed over every flow on both hosts. *)
+  corrupt_dropped : int;  (** Poisoned packets caught end-to-end. *)
+  rx_stalled : int;  (** NIC receives deferred by injected stalls. *)
+  port_report : (int * int * int) list;
+      (** Per egress port: (addr, drops, max queue depth in bytes). *)
+}
+
+val run : config -> result
+
+val goodput_degradation_pct : baseline:result -> faulted:result -> float
+(** How much goodput the faults cost, as a percentage of the baseline
+    (run the same config with [Fault.Plan.empty] for the baseline). *)
