@@ -370,6 +370,56 @@ let chaos () =
     r.Workloads.Chaos.port_report;
   flush stdout
 
+(* -- Availability under upgrade ------------------------------------------ *)
+
+let chaos_upgrade () =
+  section "Availability under upgrade (Workloads.Chaos_upgrade)";
+  let module CU = Workloads.Chaos_upgrade in
+  let r = CU.run CU.default_config in
+  let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
+  Printf.printf "ops: %d/%d completed, %d lost\n" r.CU.ops_completed
+    r.CU.ops_expected r.CU.lost_ops;
+  Printf.printf "latency: p50 %.1fus p99 %.1fus p999 %.1fus max %.1fus\n"
+    (pct r.CU.latencies 50.0) (pct r.CU.latencies 99.0)
+    (pct r.CU.latencies 99.9)
+    (T.to_float_us (Stats.Histogram.max_value r.CU.latencies));
+  Printf.printf
+    "upgrade: %d committed, %d rollbacks, %d give-ups, max blackout %.1fms\n"
+    r.CU.committed r.CU.rollbacks r.CU.give_ups
+    (T.to_float_ms r.CU.max_blackout);
+  List.iter
+    (fun (addr, rs) ->
+      List.iter
+        (fun (u : Upgrade.report) ->
+          Printf.printf
+            "  host %d %s: %s after %d attempt(s), brownout %.1fms blackout %.1fms\n"
+            addr u.Upgrade.engine_name
+            (match u.Upgrade.outcome with
+            | Upgrade.Committed -> "committed"
+            | Upgrade.Gave_up why -> "gave up (" ^ why ^ ")")
+            u.Upgrade.attempts
+            (T.to_float_ms u.Upgrade.brownout)
+            (T.to_float_ms u.Upgrade.blackout))
+        rs)
+    r.CU.reports;
+  Printf.printf "watchdog: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (name, v) -> Printf.sprintf "%s=%d" name v)
+          r.CU.watchdog_counters));
+  Printf.printf "flow resyncs: %d\n" r.CU.flow_resyncs;
+  Printf.printf "injected: %s\n"
+    (String.concat ", "
+       (List.filter_map
+          (fun (name, v) ->
+            if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
+          r.CU.fault_counters));
+  Printf.printf "groups consistent: %b\n" r.CU.groups_consistent;
+  let r2 = CU.run CU.default_config in
+  Printf.printf "deterministic across runs: %b\n"
+    (String.equal (CU.fingerprint r) (CU.fingerprint r2));
+  flush stdout
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all_benches =
@@ -387,11 +437,14 @@ let all_benches =
     ("ablate-indirect", ablate_indirect);
     ("ablate-slo", ablate_slo);
     ("chaos", chaos);
+    ("chaos_upgrade", chaos_upgrade);
     ("micro", micro);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* Accept `--only NAME` as an alias for the positional form. *)
+  let args = List.filter (fun a -> a <> "--only") args in
   match args with
   | [] | [ "all" ] ->
       (* fig6b and fig6c share one run; don't execute twice. *)

@@ -101,3 +101,243 @@ let post_to_engine ctx engine work =
     end
   in
   try_post ()
+
+(* -- Watchdog: engine health monitoring (§4.3) -------------------------- *)
+
+module Watchdog = struct
+  type control = t
+
+  type state = Healthy | Suspect | Restarting | Quarantined
+
+  let state_to_string = function
+    | Healthy -> "healthy"
+    | Suspect -> "suspect"
+    | Restarting -> "restarting"
+    | Quarantined -> "quarantined"
+
+  type entry = {
+    w_eng : Engine.t;
+    w_group : Engine.group;  (* fallback when the engine has no home *)
+    mutable st : state;
+    mutable last_beat : Time.t;
+    mutable probe_outstanding : bool;
+    mutable probe_seq : int;
+    mutable missed : int;
+    mutable restarts : int;
+    mutable consec_failures : int;
+    mutable healthy_since : Time.t;
+        (* Start of the current healthy stretch; [max_int] while the
+           engine is declared dead.  The consecutive-failure count only
+           resets after a full stability window of health, so an engine
+           that answers one heartbeat between flaps still escalates. *)
+  }
+
+  type t = {
+    wd_ctl : control;
+    wd_lp : Loop.t;
+    period : Time.t;
+    miss_threshold : int;
+    restart_backoff : Time.t;
+    max_restart_attempts : int;
+    stable_window : Time.t;
+    mutable entries : entry list;
+    mutable timer : Loop.handle option;
+    c_detections : Stats.Counter.t;
+    c_restarts : Stats.Counter.t;
+    c_quarantines : Stats.Counter.t;
+    c_heartbeats : Stats.Counter.t;
+    detect_hist : Stats.Histogram.t;
+  }
+
+  let component = "watchdog"
+
+  let trace t fmt = Sim.Trace.emit t.wd_lp Sim.Trace.Info ~component fmt
+
+  let create ~control ?(period = Time.us 100) ?(miss_threshold = 3)
+      ?(restart_backoff = Time.us 200) ?(max_restart_attempts = 3) () =
+    if period <= 0 then invalid_arg "Watchdog.create: period";
+    if miss_threshold <= 0 then invalid_arg "Watchdog.create: miss_threshold";
+    if restart_backoff <= 0 then invalid_arg "Watchdog.create: restart_backoff";
+    if max_restart_attempts <= 0 then
+      invalid_arg "Watchdog.create: max_restart_attempts";
+    {
+      wd_ctl = control;
+      wd_lp = control.lp;
+      period;
+      miss_threshold;
+      restart_backoff;
+      max_restart_attempts;
+      stable_window = Time.scale period (float_of_int (2 * miss_threshold));
+      entries = [];
+      timer = None;
+      c_detections = Stats.Counter.create ~name:"wd_detections";
+      c_restarts = Stats.Counter.create ~name:"wd_restarts";
+      c_quarantines = Stats.Counter.create ~name:"wd_quarantines";
+      c_heartbeats = Stats.Counter.create ~name:"wd_heartbeats";
+      detect_hist = Stats.Histogram.create ();
+    }
+
+  let find_entry t e = List.find_opt (fun en -> en.w_eng == e) t.entries
+
+  let watch t ~group e =
+    match find_entry t e with
+    | Some _ -> ()
+    | None ->
+        t.entries <-
+          t.entries
+          @ [
+              {
+                w_eng = e;
+                w_group = group;
+                st = Healthy;
+                last_beat = Loop.now t.wd_lp;
+                probe_outstanding = false;
+                probe_seq = 0;
+                missed = 0;
+                restarts = 0;
+                consec_failures = 0;
+                healthy_since = Loop.now t.wd_lp;
+              };
+            ]
+
+  let watch_group t g =
+    List.iter (fun e -> watch t ~group:g e) (Engine.engines g)
+
+  let restore_group en =
+    match Engine.home en.w_eng with Some g -> g | None -> en.w_group
+
+  let heal en ~now =
+    en.st <- Healthy;
+    en.probe_outstanding <- false;
+    en.missed <- 0;
+    en.last_beat <- now;
+    if en.healthy_since = max_int then en.healthy_since <- now
+
+  let detect t en ~now =
+    en.healthy_since <- max_int;
+    Stats.Counter.incr t.c_detections;
+    Stats.Histogram.record t.detect_hist
+      (Time.max 0 (Time.sub now en.last_beat));
+    en.consec_failures <- en.consec_failures + 1;
+    trace t "detected unresponsive engine %s (miss %d, failure %d)"
+      (Engine.name en.w_eng) en.missed en.consec_failures;
+    if en.consec_failures > t.max_restart_attempts then begin
+      (* Escalate: repeated restarts did not stick.  Quarantine the
+         engine (degraded state, operator intervention required) instead
+         of flapping forever. *)
+      en.st <- Quarantined;
+      Stats.Counter.incr t.c_quarantines;
+      if Engine.is_attached en.w_eng then
+        Engine.remove (restore_group en) en.w_eng;
+      trace t "quarantined engine %s after %d failed restarts"
+        (Engine.name en.w_eng)
+        (en.consec_failures - 1)
+    end
+    else begin
+      en.st <- Restarting;
+      let group = restore_group en in
+      (* A wedged instance is still attached: kill it first so the
+         reload instantiates fresh run state (mailbox and rings
+         survive). *)
+      if Engine.is_attached en.w_eng then Engine.remove group en.w_eng;
+      (* Exponential backoff between restart attempts. *)
+      let backoff =
+        Time.scale t.restart_backoff
+          (2.0 ** float_of_int (en.consec_failures - 1))
+      in
+      recover_engine t.wd_ctl ~group en.w_eng ~after:backoff
+        ~on_recovered:(fun () ->
+          en.restarts <- en.restarts + 1;
+          Stats.Counter.incr t.c_restarts;
+          heal en ~now:(Loop.now t.wd_lp);
+          trace t "restarted engine %s (attempt %d)" (Engine.name en.w_eng)
+            en.consec_failures)
+    end
+
+  let miss t en ~now =
+    en.missed <- en.missed + 1;
+    if en.st = Healthy then en.st <- Suspect;
+    if en.missed >= t.miss_threshold then detect t en ~now
+
+  let probe t en ~now =
+    en.probe_seq <- en.probe_seq + 1;
+    let seq = en.probe_seq in
+    let posted =
+      Squeue.Mailbox.post (Engine.mailbox en.w_eng) (fun () ->
+          (* Runs on the engine's own thread: proof of liveness.  The
+             sequence check discards stale probes left in the surviving
+             mailbox across a restart: only the current outstanding
+             probe counts, so "the restart stuck" is proven by answering
+             a fresh heartbeat, not by draining the backlog. *)
+          if seq = en.probe_seq && en.st <> Quarantined then begin
+            heal en ~now:(Loop.now t.wd_lp);
+            Stats.Counter.incr t.c_heartbeats
+          end)
+    in
+    if posted then begin
+      en.probe_outstanding <- true;
+      Engine.notify en.w_eng
+    end
+    else
+      (* The depth-1 mailbox has been occupied for a full period: the
+         engine is not draining it, which is itself a missed
+         heartbeat. *)
+      miss t en ~now
+
+  let tick t () =
+    let now = Loop.now t.wd_lp in
+    List.iter
+      (fun en ->
+        match en.st with
+        | Quarantined -> ()
+        | Restarting ->
+            (* Recovery in flight.  If someone else (e.g. crash
+               recovery) reattached the engine meanwhile, our pending
+               reload is a no-op and the engine is healthy again. *)
+            if Engine.is_attached en.w_eng && not (Engine.is_wedged en.w_eng)
+            then heal en ~now
+        | Healthy | Suspect ->
+            (* A full stability window of health forgives past failures;
+               until then, a flapping engine keeps escalating toward
+               quarantine even though each restart briefly sticks. *)
+            if
+              en.consec_failures > 0
+              && en.missed = 0
+              && en.healthy_since <> max_int
+              && Time.sub now en.healthy_since >= t.stable_window
+            then en.consec_failures <- 0;
+            if Engine.is_migrating en.w_eng then begin
+              (* An upgrade transaction owns the engine: excused from
+                 heartbeat deadlines until it commits or rolls back. *)
+              en.probe_outstanding <- false;
+              en.missed <- 0;
+              en.last_beat <- now
+            end
+            else if en.probe_outstanding then miss t en ~now
+            else probe t en ~now)
+      t.entries
+
+  let start t =
+    match t.timer with
+    | Some _ -> ()
+    | None -> t.timer <- Some (Loop.every t.wd_lp t.period (tick t))
+
+  let stop t =
+    match t.timer with
+    | Some h ->
+        Loop.cancel h;
+        t.timer <- None
+    | None -> ()
+
+  let state t e = Option.map (fun en -> en.st) (find_entry t e)
+
+  let restarts_of t e =
+    match find_entry t e with Some en -> en.restarts | None -> 0
+
+  let detection_latency t = t.detect_hist
+
+  let counters t =
+    List.map
+      (fun c -> (Stats.Counter.name c, Stats.Counter.value c))
+      [ t.c_heartbeats; t.c_detections; t.c_restarts; t.c_quarantines ]
+end

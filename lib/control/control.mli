@@ -68,3 +68,76 @@ val post_to_engine :
     the depth-1 mailbox is occupied, and return once the engine has
     executed it.  Runs on the engine's thread, lock-free for the engine
     (§2.3). *)
+
+(** {1 Watchdog}
+
+    Health checking for engines (§4.3): the control plane posts
+    heartbeat probes through each watched engine's mailbox and expects
+    them to execute within a deadline.  A wedged engine (spinning
+    without servicing its mailbox) or a crashed (detached) engine misses
+    heartbeats; after [miss_threshold] consecutive misses the watchdog
+    declares it unhealthy, restarts it through {!recover_engine} with
+    exponential backoff, and — if restarts keep failing — escalates to a
+    quarantined, degraded state instead of flapping forever.  Engines
+    owned by an in-flight upgrade transaction are excused from heartbeat
+    deadlines. *)
+
+module Watchdog : sig
+  type control := t
+  type t
+
+  type state =
+    | Healthy  (** Responding to heartbeats. *)
+    | Suspect  (** Missed at least one heartbeat. *)
+    | Restarting  (** Declared dead; a restart is scheduled or running. *)
+    | Quarantined
+        (** Exceeded the restart budget; removed from its group and left
+            for operator intervention. *)
+
+  val state_to_string : state -> string
+
+  val create :
+    control:control ->
+    ?period:Sim.Time.t ->
+    ?miss_threshold:int ->
+    ?restart_backoff:Sim.Time.t ->
+    ?max_restart_attempts:int ->
+    unit ->
+    t
+  (** [period] (default 100us) is the heartbeat interval;
+      [miss_threshold] (default 3) consecutive unanswered probes declare
+      an engine dead, so detection latency is bounded by about
+      [period * (miss_threshold + 1)].  [restart_backoff] (default
+      200us) is the base delay before a restart, doubled per consecutive
+      failure; after [max_restart_attempts] (default 3) failed restarts
+      the engine is quarantined.  The consecutive-failure count resets
+      only after the engine stays responsive for a stability window
+      ([2 * period * miss_threshold]), so flapping engines escalate even
+      if each restart briefly sticks.  Raises [Invalid_argument] on
+      non-positive parameters. *)
+
+  val watch : t -> group:Engine.group -> Engine.t -> unit
+  (** Start monitoring an engine ([group] is the restart target when the
+      engine has never been attached).  Idempotent. *)
+
+  val watch_group : t -> Engine.group -> unit
+  (** {!watch} every engine currently in the group. *)
+
+  val start : t -> unit
+  (** Arm the periodic heartbeat timer (no-op if already armed). *)
+
+  val stop : t -> unit
+
+  val state : t -> Engine.t -> state option
+  (** Health state of a watched engine; [None] if not watched. *)
+
+  val restarts_of : t -> Engine.t -> int
+
+  val detection_latency : t -> Stats.Histogram.t
+  (** Time from last successful heartbeat to failure declaration, per
+      detection. *)
+
+  val counters : t -> (string * int) list
+  (** [wd_heartbeats], [wd_detections], [wd_restarts],
+      [wd_quarantines]. *)
+end

@@ -12,6 +12,10 @@ let mailbox_service_cost = Time.ns 250
    delays" (§2.4). *)
 let rebalance_period = Time.us 25
 
+(* CPU a wedged engine burns per quantum: stuck in a loop, making no
+   progress and never servicing its mailbox. *)
+let wedge_spin_cost = Time.us 1
+
 type t = {
   e_name : string;
   e_account : string;
@@ -22,6 +26,11 @@ type t = {
   mutable n_steps : int;
   mutable work_ns : int;
   mutable owner : cthread option;
+  mutable e_epoch : int;  (* bumped on every (re)attach *)
+  mutable wedged : bool;
+  mutable fail_flag : bool;  (* fault landed on a detached instance *)
+  mutable migrating : bool;  (* under an upgrade transaction's blackout *)
+  mutable home : group option;  (* group the engine last belonged to *)
 }
 
 and cthread = {
@@ -60,6 +69,11 @@ let create ~name ?(account = "snap") ~run ?(queue_delay = fun _ -> 0)
     n_steps = 0;
     work_ns = 0;
     owner = None;
+    e_epoch = 0;
+    wedged = false;
+    fail_flag = false;
+    migrating = false;
+    home = None;
   }
 
 let name e = e.e_name
@@ -71,6 +85,15 @@ let state_bytes e = e.state_size ()
 let steps e = e.n_steps
 let busy_ns e = e.work_ns
 let is_attached e = Option.is_some e.owner
+let epoch e = e.e_epoch
+let is_wedged e = e.wedged
+let set_wedged e b = e.wedged <- b
+let is_failed e = e.fail_flag
+let mark_failed e = e.fail_flag <- true
+let clear_failed e = e.fail_flag <- false
+let is_migrating e = e.migrating
+let set_migrating e b = e.migrating <- b
+let home e = e.home
 
 let notify e =
   match e.owner with Some ct -> Sched.kick ct.task | None -> ()
@@ -83,14 +106,21 @@ let thread_step ct () =
   let cost = ref 0 in
   List.iter
     (fun e ->
-      if Squeue.Mailbox.service e.mb then
-        cost := !cost + mailbox_service_cost;
-      match e.run_fn () with
-      | Worked c ->
-          e.n_steps <- e.n_steps + 1;
-          e.work_ns <- e.work_ns + c;
-          cost := !cost + c
-      | No_work -> ())
+      if e.wedged then
+        (* A wedged engine spins without servicing its mailbox or making
+           progress: the silent failure mode the watchdog's heartbeats
+           exist to detect. *)
+        cost := !cost + wedge_spin_cost
+      else begin
+        if Squeue.Mailbox.service e.mb then
+          cost := !cost + mailbox_service_cost;
+        match e.run_fn () with
+        | Worked c ->
+            e.n_steps <- e.n_steps + 1;
+            e.work_ns <- e.work_ns + c;
+            cost := !cost + c
+        | No_work -> ()
+      end)
     ct.owned;
   if !cost > 0 then Sched.Ran !cost else Sched.Idle
 
@@ -248,6 +278,13 @@ let create_group ~machine ~name ~mode =
 
 let add g e =
   if Option.is_some e.owner then invalid_arg "Engine.add: already attached";
+  (* (Re)loading an engine instantiates it afresh: the epoch bump lets
+     transports detect the restart and resynchronize, and any stuck
+     computation of the previous instance is discarded.  Queued ring and
+     mailbox inputs survive (§4.3). *)
+  e.e_epoch <- e.e_epoch + 1;
+  e.wedged <- false;
+  e.home <- Some g;
   g.all <- g.all @ [ e ];
   match g.g_mode with
   | Dedicating { cores } ->

@@ -66,6 +66,42 @@ val busy_ns : t -> int
 
 val is_attached : t -> bool
 
+(** {1 Restart epochs and failure flags}
+
+    The availability machinery (watchdog, transactional upgrades, crash
+    recovery) coordinates through a small amount of per-engine state:
+    an {e epoch} that counts instantiations, and flags marking wedged,
+    faulted, or migrating instances. *)
+
+val epoch : t -> int
+(** Incremented every time the engine is (re)loaded into a group.
+    Transports compare epochs to detect a restart and resynchronize
+    in-flight state (see [Pony.Flow.resync]). *)
+
+val is_wedged : t -> bool
+
+val set_wedged : t -> bool -> unit
+(** A wedged engine spins on its thread without servicing its mailbox or
+    making progress — a silent failure only heartbeat monitoring can
+    see.  Reloading the engine ({!add}) clears the wedge: a fresh
+    instance discards the stuck computation while its queues survive. *)
+
+val is_failed : t -> bool
+
+val mark_failed : t -> unit
+(** Record that a fault (e.g. an injected crash) landed on this engine
+    while it was detached — mid-migration or awaiting recovery.  The
+    upgrade transaction checks this at commit and rolls back. *)
+
+val clear_failed : t -> unit
+
+val is_migrating : t -> bool
+
+val set_migrating : t -> bool -> unit
+(** Set while an upgrade transaction owns the engine (blackout).  The
+    watchdog excuses migrating engines from heartbeat deadlines so
+    recovery cannot race a planned migration. *)
+
 (** {1 Groups} *)
 
 type mode =
@@ -98,6 +134,10 @@ val engines : group -> t list
 
 val active_threads : group -> int
 (** Threads currently running engines (interesting for compacting). *)
+
+val home : t -> group option
+(** The group the engine last belonged to, surviving detach — where
+    crash recovery reloads it. *)
 
 val owner_task : t -> Cpu.Sched.task option
 (** The scheduler task currently responsible for running this engine,

@@ -40,6 +40,7 @@ type t = {
   c_engine_crashes : Stats.Counter.t;
   c_engine_restarts : Stats.Counter.t;
   c_straggler_windows : Stats.Counter.t;
+  c_engine_wedges : Stats.Counter.t;
 }
 
 let component = "fault"
@@ -56,6 +57,13 @@ let find_host t addr =
   match List.find_opt (fun h -> h.h_addr = addr) t.hosts with
   | Some h -> h
   | None -> invalid_arg (Printf.sprintf "Fault.Injector: no host %d" addr)
+
+let nth_engine h ~host ~engine =
+  match List.nth_opt h.h_engines engine with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Fault.Injector: host %d has no engine %d" host engine)
 
 let pkt_detail (pkt : Packet.t) =
   Printf.sprintf "pkt#%d %d->%d" pkt.Packet.id pkt.Packet.src pkt.Packet.dst
@@ -161,14 +169,7 @@ let schedule t (ev : Plan.event) =
                   duration)))
   | Plan.Engine_crash { host; engine; start; restart_after } ->
       let h = find_host t host in
-      let eng =
-        match List.nth_opt h.h_engines engine with
-        | Some e -> e
-        | None ->
-            invalid_arg
-              (Printf.sprintf "Fault.Injector: host %d has no engine %d" host
-                 engine)
-      in
+      let eng = nth_engine h ~host ~engine in
       ignore
         (Loop.at t.lp start (fun () ->
              if Engine.is_attached eng then begin
@@ -181,6 +182,29 @@ let schedule t (ev : Plan.event) =
                    Stats.Counter.incr t.c_engine_restarts;
                    announce t ~kind:"engine-restart"
                      (Printf.sprintf "host %d engine %d" host engine))
+             end
+             else begin
+               (* The engine is detached — mid-blackout of an upgrade
+                  transaction (or already crashed).  Mark the in-flight
+                  instance failed so the owning transaction aborts at
+                  commit time; do not schedule a recovery of our own,
+                  the owner handles the restart. *)
+               Engine.mark_failed eng;
+               Stats.Counter.incr t.c_engine_crashes;
+               announce t ~kind:"engine-crash-inflight"
+                 (Printf.sprintf "host %d engine %d" host engine)
+             end))
+  | Plan.Engine_wedge { host; engine; start } ->
+      let h = find_host t host in
+      let eng = nth_engine h ~host ~engine in
+      ignore
+        (Loop.at t.lp start (fun () ->
+             if Engine.is_attached eng && not (Engine.is_wedged eng) then begin
+               Engine.set_wedged eng true;
+               Engine.notify eng;
+               Stats.Counter.incr t.c_engine_wedges;
+               announce t ~kind:"engine-wedge"
+                 (Printf.sprintf "host %d engine %d" host engine)
              end))
   | Plan.Straggler { host; start; duration; slowdown } ->
       let h = find_host t host in
@@ -214,6 +238,7 @@ let install ~loop ~plan ~fabric ~hosts =
       c_engine_crashes = Stats.Counter.create ~name:"engine_crashes";
       c_engine_restarts = Stats.Counter.create ~name:"engine_restarts";
       c_straggler_windows = Stats.Counter.create ~name:"straggler_windows";
+      c_engine_wedges = Stats.Counter.create ~name:"engine_wedges";
     }
   in
   List.iter (schedule t) (Plan.events plan);
@@ -234,4 +259,5 @@ let counters t =
       t.c_engine_crashes;
       t.c_engine_restarts;
       t.c_straggler_windows;
+      t.c_engine_wedges;
     ]

@@ -15,7 +15,8 @@ type host = {
   h_control : Control.t;
   h_group : Engine.group;
   h_engines : Engine.t list;
-      (** Indexed by [Plan.Engine_crash.engine]. *)
+      (** Indexed by [Plan.Engine_crash.engine] /
+          [Plan.Engine_wedge.engine]. *)
 }
 
 type t

@@ -44,12 +44,13 @@ type event =
       duration : Time.t;
       slowdown : float;
     }
+  | Engine_wedge of { host : int; engine : int; start : Time.t }
 
 type t = { seed : int; evs : event list }
 
 let pct_ok p = p >= 0.0 && p <= 100.0
 
-let validate_event = function
+let validate = function
   | Link_blackout { a; b; start; duration } ->
       if a < 0 || b < 0 || a = b then invalid_arg "Fault.Plan: blackout hosts";
       if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: blackout window"
@@ -77,9 +78,12 @@ let validate_event = function
       if start < 0 || duration <= 0 then
         invalid_arg "Fault.Plan: straggler window";
       if slowdown < 1.0 then invalid_arg "Fault.Plan: straggler slowdown"
+  | Engine_wedge { host; engine; start } ->
+      if host < 0 || engine < 0 then invalid_arg "Fault.Plan: wedge target";
+      if start < 0 then invalid_arg "Fault.Plan: wedge start"
 
 let make ?(seed = 42) events =
-  List.iter validate_event events;
+  List.iter validate events;
   { seed; evs = events }
 
 let empty = { seed = 42; evs = [] }
@@ -109,3 +113,6 @@ let pp_event fmt = function
   | Straggler { host; start; duration; slowdown } ->
       Format.fprintf fmt "straggler host %d x%.1f @%a for %a" host slowdown
         Time.pp start Time.pp duration
+  | Engine_wedge { host; engine; start } ->
+      Format.fprintf fmt "wedge host %d engine %d @%a" host engine Time.pp
+        start

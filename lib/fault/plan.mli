@@ -55,7 +55,10 @@ type event =
     }
       (** The engine detaches from its group at [start]; the control
           plane reloads it [restart_after] later (plus one RPC round
-          trip).  Queued inputs survive. *)
+          trip).  Queued inputs survive.  If the engine is already
+          detached at [start] (mid-blackout of an upgrade transaction),
+          the in-flight instance is marked failed instead — the owner
+          observes this at commit and rolls back. *)
   | Straggler of {
       host : int;
       start : Sim.Time.t;
@@ -64,8 +67,19 @@ type event =
     }
       (** Every per-core cost on the host is inflated by [slowdown]
           (>= 1.0) during the window. *)
+  | Engine_wedge of { host : int; engine : int; start : Sim.Time.t }
+      (** The engine's thread starts spinning at [start] without
+          servicing its mailbox or run function — a silent failure the
+          control plane can only detect by missed heartbeats
+          ({!Control.Watchdog}).  Cleared when the engine is reloaded. *)
 
 type t
+
+val validate : event -> unit
+(** Reject nonsense events: negative start times or targets,
+    non-positive durations, rates outside [\[0, 100\]], slowdowns below
+    1.  Raises [Invalid_argument] with a message naming the offending
+    field.  {!make} calls this on every event. *)
 
 val make : ?seed:int -> event list -> t
 (** Validates every event ([Invalid_argument] on nonsense windows or

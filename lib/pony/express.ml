@@ -80,6 +80,7 @@ and eng = {
   mutable timer : Loop.handle option;
   mutable served_one_sided : int;
   mutable tx_rr : int;
+  mutable last_epoch : int;  (* engine restart detection (§4.3) *)
 }
 
 and t = {
@@ -99,6 +100,7 @@ and t = {
   gen : Packet.Id_gen.t;
   mutable rr_assign : int;
   mutable n_corrupt_dropped : int;
+  mutable n_flow_resyncs : int;
 }
 
 and dir = { hosts : (Packet.addr, t) Hashtbl.t }
@@ -129,6 +131,7 @@ let flow_versions t =
     t.engs
 
 let corrupt_dropped t = t.n_corrupt_dropped
+let flow_resyncs t = t.n_flow_resyncs
 
 let flow_stats t =
   List.concat_map
@@ -562,6 +565,24 @@ let engine_run eng () =
   let cost = ref 0 in
   let pkts = ref 0 in
   let worked = ref false in
+  (* 0. Restart detection: an epoch bump means this engine was reloaded
+     (crash recovery or upgrade rollback/commit).  Resynchronize every
+     flow so in-flight operations retransmit immediately instead of
+     waiting out a backed-off RTO. *)
+  let ep = Engine.epoch eng.core in
+  if ep <> eng.last_epoch then begin
+    eng.last_epoch <- ep;
+    let requeued =
+      List.fold_left (fun acc f -> acc + Flow.resync f ~now) 0 eng.flow_list
+    in
+    if requeued > 0 then begin
+      t.n_flow_resyncs <- t.n_flow_resyncs + 1;
+      worked := true;
+      Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
+        "engine %s epoch %d: resynced flows, %d packets requeued"
+        (Engine.name eng.core) ep requeued
+    end
+  end;
   (* 1. Receive a bounded batch from this engine's NIC ring. *)
   let ring = Nic.rx_ring t.nic ~queue:eng.rxq in
   let n = ref 0 in
@@ -715,11 +736,13 @@ let new_engine t =
       timer = None;
       served_one_sided = 0;
       tx_rr = 0;
+      last_epoch = 0;
     }
   in
   eng_ref := Some eng;
   t.engs <- t.engs @ [ eng ];
   Engine.add t.group eng.core;
+  eng.last_epoch <- Engine.epoch eng.core;
   (* Receive notification policy depends on the group's scheduling mode
      (§2.4): interrupts for spreading, polling kicks otherwise. *)
   (match Engine.group_mode t.group with
@@ -753,6 +776,7 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
       gen = Packet.Id_gen.create ();
       rr_assign = 0;
       n_corrupt_dropped = 0;
+      n_flow_resyncs = 0;
     }
   in
   Hashtbl.replace directory.hosts (Nic.addr nic) t;

@@ -164,6 +164,11 @@ val corrupt_dropped : t -> int
 (** Packets this host discarded because the end-to-end integrity check
     failed (injected corruption); each is recovered by retransmission. *)
 
+val flow_resyncs : t -> int
+(** Engine-restart resynchronizations performed: each counts one epoch
+    bump after which at least one in-flight packet was requeued for
+    immediate retransmission (§4.3 crash recovery / upgrade rollback). *)
+
 val flow_versions : t -> (Wire.flow_key * int) list
 (** The negotiated wire-protocol version of each flow. *)
 

@@ -175,6 +175,20 @@ let schedule_retransmit t n =
   (* Avoid duplicating entries already queued for retransmission. *)
   !count
 
+let resync t ~now =
+  (* Engine-restart resynchronization (§4.3): after a crash or upgrade
+     rollback the peer may have missed anything we had in flight during
+     the outage, and our RTO may have backed off far into the future.
+     Requeue the whole flight for immediate retransmission and reset the
+     timers so recovery does not wait out a stale RTO.  Receive-side
+     sequencing state survives the restart (queues persist), so the
+     peer's dedup absorbs any duplicates this creates. *)
+  t.dup_acks <- 0;
+  t.rto <- min_rto;
+  t.next_release <- now;
+  if Queue.is_empty t.retx then schedule_retransmit t (List.length t.flight)
+  else 0
+
 let sample_rtt t ~now ~ts_echo =
   if ts_echo > 0 then begin
     let rtt = Time.sub now ts_echo in

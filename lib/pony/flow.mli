@@ -73,6 +73,14 @@ val check_timeout : t -> now:Sim.Time.t -> int
     signal to congestion control.  Returns how many packets were
     requeued. *)
 
+val resync : t -> now:Sim.Time.t -> int
+(** Engine-restart resynchronization: requeue the entire flight for
+    immediate retransmission and reset the RTO, pacer release and
+    duplicate-ack state, so in-flight operations complete by
+    retransmission instead of waiting out a backed-off timeout.  Called
+    when the owning engine's restart epoch bumps.  Returns how many
+    packets were requeued (0 if retransmissions were already pending). *)
+
 (** {1 Telemetry} *)
 
 val retransmits : t -> int

@@ -1,14 +1,55 @@
 module Time = Sim.Time
 module Loop = Sim.Loop
 
+type phase =
+  | Prepare
+  | Brownout
+  | Blackout
+  | Commit
+  | Rollback of string
+  | Retry of int
+  | Give_up of string
+
+let phase_to_string = function
+  | Prepare -> "prepare"
+  | Brownout -> "brownout"
+  | Blackout -> "blackout"
+  | Commit -> "commit"
+  | Rollback r -> "rollback:" ^ r
+  | Retry n -> Printf.sprintf "retry:%d" n
+  | Give_up r -> "give-up:" ^ r
+
+type outcome = Committed | Gave_up of string
+
 type report = {
   engine_name : string;
   state_bytes : int;
-  brownout : Time.t;
-  blackout : Time.t;
+  brownout_scheduled : Time.t;
+  brownout : Time.t;  (* measured: blackout start - attempt start *)
+  blackout : Time.t;  (* measured on the final attempt *)
   started_at : Time.t;
   finished_at : Time.t;
+  attempts : int;
+  rollbacks : int;
+  outcome : outcome;
 }
+
+type config = {
+  gap : Time.t;
+  blackout_slo : Time.t option;
+  max_attempts : int;
+  retry_backoff : Time.t;
+}
+
+let default_config =
+  {
+    gap = Time.ms 1;
+    blackout_slo = None;
+    max_attempts = 3;
+    retry_backoff = Time.ms 5;
+  }
+
+let component = "upgrade"
 
 let serialize_time ~(costs : Sim.Costs.t) bytes =
   int_of_float
@@ -26,40 +67,142 @@ let brownout_of ~costs ~state_bytes =
   Time.max (Time.ms 1) (serialize_time ~costs (state_bytes / 4))
 
 let upgrade ~loop ~costs ~old_group ~new_group
-    ?(extra_state_bytes = fun _ -> 0) ?(gap = Time.ms 1) ~on_done () =
+    ?(extra_state_bytes = fun _ -> 0) ?(config = default_config)
+    ?(on_transition = fun ~engine:_ _ -> ()) ~on_done () =
+  if config.max_attempts <= 0 then invalid_arg "Upgrade.upgrade: max_attempts";
   let queue = Queue.create () in
   List.iter (fun e -> Queue.add e queue) (Engine.engines old_group);
   let reports = ref [] in
   let rec next () =
     match Queue.take_opt queue with
     | None -> on_done (List.rev !reports)
-    | Some e ->
-        let state_bytes = Engine.state_bytes e + extra_state_bytes e in
-        let brownout = brownout_of ~costs ~state_bytes in
-        let started_at = Loop.now loop in
+    | Some e -> migrate e
+  and migrate e =
+    let name = Engine.name e in
+    let started_at = Loop.now loop in
+    let rollbacks = ref 0 in
+    let transition ph =
+      Sim.Trace.emit loop Sim.Trace.Info ~component "engine %s: %s" name
+        (phase_to_string ph);
+      on_transition ~engine:name ph
+    in
+    let finish ~state_bytes ~brownout_scheduled ~brownout ~blackout ~attempts
+        ~outcome =
+      reports :=
+        {
+          engine_name = name;
+          state_bytes;
+          brownout_scheduled;
+          brownout;
+          blackout;
+          started_at;
+          finished_at = Loop.now loop;
+          attempts;
+          rollbacks = !rollbacks;
+          outcome;
+        }
+        :: !reports;
+      ignore (Loop.after loop config.gap next)
+    in
+    let rec attempt n =
+      let attempt_start = Loop.now loop in
+      let state_bytes = Engine.state_bytes e + extra_state_bytes e in
+      let brownout_scheduled = brownout_of ~costs ~state_bytes in
+      (* Abort the transaction: restore the old instance (state intact)
+         and either retry after a backed-off delay or give up, leaving
+         the engine in the old group.  [readd] is false when the
+         transaction never took ownership (crash recovery may hold a
+         pending reload we must not race). *)
+      let abort ?(readd = true) ~brownout ~blackout reason =
+        transition (Rollback reason);
+        incr rollbacks;
+        Engine.set_migrating e false;
+        Engine.clear_failed e;
+        if readd && not (Engine.is_attached e) then begin
+          Engine.add old_group e;
+          Engine.notify e
+        end;
+        if n >= config.max_attempts then begin
+          transition (Give_up reason);
+          finish ~state_bytes ~brownout_scheduled ~brownout ~blackout
+            ~attempts:n ~outcome:(Gave_up reason)
+        end
+        else begin
+          transition (Retry (n + 1));
+          let backoff =
+            Time.scale config.retry_backoff (2.0 ** float_of_int (n - 1))
+          in
+          ignore (Loop.after loop backoff (fun () -> attempt (n + 1)))
+        end
+      in
+      transition Prepare;
+      if not (Engine.is_attached e) then
+        (* Engine is down (crashed, or crash recovery in flight): we
+           cannot brown it out.  Leave it to its recovery and retry. *)
+        abort ~readd:false ~brownout:0 ~blackout:0 "not-attached"
+      else begin
         (* Brownout: background transfer; the engine keeps running. *)
+        transition Brownout;
         ignore
-          (Loop.after loop brownout (fun () ->
-               (* Blackout: cease processing, detach, serialize; then
-                  attach, deserialize, resume in the new instance. *)
+          (Loop.after loop brownout_scheduled (fun () ->
                let black_start = Loop.now loop in
-               Engine.remove old_group e;
-               let blackout = blackout_of ~costs ~state_bytes in
-               ignore
-                 (Loop.after loop blackout (fun () ->
-                      Engine.add new_group e;
-                      Engine.notify e;
-                      let finished_at = Loop.now loop in
-                      reports :=
-                        {
-                          engine_name = Engine.name e;
-                          state_bytes;
-                          brownout;
-                          blackout = Time.sub finished_at black_start;
-                          started_at;
-                          finished_at;
-                        }
-                        :: !reports;
-                      ignore (Loop.after loop gap next)))))
+               let brownout = Time.sub black_start attempt_start in
+               if not (Engine.is_attached e) then
+                 (* Lost the engine during brownout (crash): nothing was
+                    quiesced yet, so simply retry once it is back. *)
+                 abort ~readd:false ~brownout ~blackout:0
+                   "engine-lost-in-brownout"
+               else begin
+                 (* Blackout: the transaction takes ownership.  Cease
+                    processing, detach filters, serialize. *)
+                 Engine.set_migrating e true;
+                 Engine.remove old_group e;
+                 transition Blackout;
+                 let blackout = blackout_of ~costs ~state_bytes in
+                 let over_slo =
+                   match config.blackout_slo with
+                   | Some slo -> blackout > slo
+                   | None -> false
+                 in
+                 if over_slo then
+                   (* The serialize/deserialize would exceed the
+                      per-engine blackout SLO: abort at the deadline and
+                      resume the old instance rather than finish late. *)
+                   let slo = Option.get config.blackout_slo in
+                   ignore
+                     (Loop.after loop slo (fun () ->
+                          abort ~brownout ~blackout:slo
+                            "blackout-slo-exceeded"))
+                 else
+                   ignore
+                     (Loop.after loop blackout (fun () ->
+                          Engine.set_migrating e false;
+                          let measured =
+                            Time.sub (Loop.now loop) black_start
+                          in
+                          if Engine.is_failed e then
+                            (* A fault landed on the detached instance
+                               mid-blackout: its serialized state is
+                               suspect, so restore the old instance. *)
+                            abort ~brownout ~blackout:measured
+                              "fault-during-blackout"
+                          else if Engine.is_attached e then
+                            (* Someone (crash recovery racing us)
+                               reattached the engine mid-blackout; it is
+                               already serving, so do not move it. *)
+                            abort ~brownout ~blackout:measured
+                              "concurrent-recovery"
+                          else begin
+                            Engine.add new_group e;
+                            Engine.notify e;
+                            transition Commit;
+                            finish ~state_bytes ~brownout_scheduled
+                              ~brownout ~blackout:measured ~attempts:n
+                              ~outcome:Committed
+                          end))
+               end))
+      end
+    in
+    attempt 1
   in
   next ()

@@ -1,0 +1,290 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module PE = Pony.Express
+
+type config = {
+  clients : int;
+  ops_per_client : int;
+  op_bytes : int;
+  think : Time.t;
+  seed : int;
+  mode : Engine.mode;
+  state_bytes : int;
+  upgrade_at : (int * Time.t) list;
+  upgrade_config : Upgrade.config;
+  watchdog_period : Time.t;
+  plan : Fault.Plan.t;
+  run_cap : Time.t;
+}
+
+let default_plan ?(seed = 13) () =
+  Fault.Plan.make ~seed
+    [
+      (* A link flap exactly across the server upgrade's brownout. *)
+      Fault.Plan.Link_blackout
+        { a = 0; b = 1; start = Time.ms 10; duration = Time.ms 2 };
+      (* The server engine "crashes" mid-blackout: it is detached, so
+         the crash lands on the in-flight instance and must abort the
+         transaction at commit. *)
+      Fault.Plan.Engine_crash
+        { host = 1; engine = 0; start = Time.ms 15; restart_after = Time.ms 3 };
+      (* Long after the client host committed onto the new release, its
+         engine wedges; the watchdog must restart it into the engine's
+         new home group. *)
+      Fault.Plan.Engine_wedge { host = 0; engine = 0; start = Time.ms 60 };
+    ]
+
+let default_config =
+  {
+    clients = 2;
+    ops_per_client = 1200;
+    op_bytes = 1024;
+    think = Time.us 50;
+    seed = 7;
+    mode = Engine.Dedicating { cores = 1 };
+    state_bytes = 4_000_000;
+    upgrade_at = [ (1, Time.ms 10); (0, Time.ms 40) ];
+    upgrade_config = Upgrade.default_config;
+    watchdog_period = Time.us 100;
+    plan = default_plan ();
+    run_cap = Time.ms 500;
+  }
+
+type result = {
+  ops_expected : int;
+  ops_completed : int;
+  lost_ops : int;
+  latencies : Stats.Histogram.t;
+  completion_time : Time.t;
+  reports : (int * Upgrade.report list) list;
+  committed : int;
+  rollbacks : int;
+  give_ups : int;
+  max_blackout : Time.t;
+  transition_log : Fault.Log.t;
+  fault_log : Fault.Log.t;
+  fault_counters : (string * int) list;
+  watchdog_counters : (string * int) list;
+  watchdog_restarts : int;
+  flow_resyncs : int;
+  groups_consistent : bool;
+}
+
+let fault_host (h : Snap.Host.t) addr =
+  {
+    Fault.Injector.h_addr = addr;
+    h_nic = h.Snap.Host.nic;
+    h_machine = h.Snap.Host.machine;
+    h_control = h.Snap.Host.control;
+    h_group = h.Snap.Host.group;
+    h_engines =
+      List.init
+        (PE.num_engines h.Snap.Host.pony)
+        (PE.engine_handle h.Snap.Host.pony);
+  }
+
+let run (cfg : config) : result =
+  let loop = Loop.create ~seed:cfg.seed () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let dir = PE.Directory.create () in
+  let mk addr =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr ~mode:cfg.mode ()
+  in
+  let ha = mk 0 and hb = mk 1 in
+  let host_of = function 0 -> ha | 1 -> hb | a ->
+    invalid_arg (Printf.sprintf "Chaos_upgrade: no host %d" a)
+  in
+  let inj =
+    Fault.Injector.install ~loop ~plan:cfg.plan ~fabric:fab
+      ~hosts:[ fault_host ha 0; fault_host hb 1 ]
+  in
+  (* Watchdogs: one per host, monitoring the Pony engines.  They must
+     coexist with the upgrade (migrating engines are excused) and catch
+     the injected wedge. *)
+  let watchdogs =
+    List.map
+      (fun h ->
+        let wd =
+          Control.Watchdog.create ~control:h.Snap.Host.control
+            ~period:cfg.watchdog_period ()
+        in
+        Control.Watchdog.watch_group wd h.Snap.Host.group;
+        Control.Watchdog.start wd;
+        wd)
+      [ ha; hb ]
+  in
+  (* Staggered fleet upgrade: each host's engines migrate into a fresh
+     new-release group, as transactions that roll back under faults. *)
+  let transition_log = Fault.Log.create () in
+  let reports = ref [] in
+  let new_groups = ref [] in
+  List.iter
+    (fun (addr, at) ->
+      let h = host_of addr in
+      ignore
+        (Loop.at loop at (fun () ->
+             let machine = h.Snap.Host.machine in
+             let ng =
+               Engine.create_group ~machine
+                 ~name:(Printf.sprintf "snap-v2-h%d" addr)
+                 ~mode:cfg.mode
+             in
+             new_groups := ng :: !new_groups;
+             Upgrade.upgrade ~loop ~costs:(Cpu.Sched.costs machine)
+               ~old_group:h.Snap.Host.group ~new_group:ng
+               ~extra_state_bytes:(fun _ -> cfg.state_bytes)
+               ~config:cfg.upgrade_config
+               ~on_transition:(fun ~engine ph ->
+                 Fault.Log.record transition_log ~at:(Loop.now loop)
+                   ~kind:"upgrade"
+                   ~detail:
+                     (Printf.sprintf "host %d %s %s" addr engine
+                        (Upgrade.phase_to_string ph)))
+               ~on_done:(fun rs -> reports := (addr, rs) :: !reports)
+               ())))
+    cfg.upgrade_at;
+  (* Closed-loop RR traffic underneath it all. *)
+  let hist = Stats.Histogram.create () in
+  let completed = ref 0 in
+  let last_done = ref Time.zero in
+  ignore
+    (Snap.Host.spawn_app hb ~name:"server" ~spin:true (fun ctx ->
+         let c = PE.create_client ctx hb.Snap.Host.pony ~name:"server" () in
+         while true do
+           let m = PE.await_message ctx c in
+           ignore (PE.send_message ctx m.PE.msg_conn ~bytes:cfg.op_bytes ())
+         done));
+  for i = 0 to cfg.clients - 1 do
+    ignore
+      (Snap.Host.spawn_app ha
+         ~name:(Printf.sprintf "client%d" i)
+         ~spin:true
+         (fun ctx ->
+           let c =
+             PE.create_client ctx ha.Snap.Host.pony
+               ~name:(Printf.sprintf "client%d" i)
+               ()
+           in
+           Cpu.Thread.sleep ctx (Time.us 500);
+           let conn = PE.connect ctx c ~dst_host:1 ~dst_client:0 in
+           for _ = 1 to cfg.ops_per_client do
+             let t0 = Cpu.Thread.now ctx in
+             ignore (PE.send_message ctx conn ~bytes:cfg.op_bytes ());
+             let _m = PE.await_message ctx c in
+             Stats.Histogram.record hist (Cpu.Thread.now ctx - t0);
+             incr completed;
+             last_done := Loop.now loop;
+             (* Think time keeps the closed loop issuing across the
+                whole upgrade window instead of draining early. *)
+             if cfg.think > 0 then Cpu.Thread.sleep ctx cfg.think
+           done))
+  done;
+  Loop.run ~until:cfg.run_cap loop;
+  let expected = cfg.clients * cfg.ops_per_client in
+  let all_reports = List.concat_map snd !reports in
+  let committed =
+    List.length
+      (List.filter (fun r -> r.Upgrade.outcome = Upgrade.Committed) all_reports)
+  in
+  let give_ups = List.length all_reports - committed in
+  let rollbacks =
+    List.fold_left (fun acc r -> acc + r.Upgrade.rollbacks) 0 all_reports
+  in
+  let max_blackout =
+    List.fold_left (fun acc r -> Time.max acc r.Upgrade.blackout) 0 all_reports
+  in
+  let sum_counters lists =
+    match lists with
+    | [] -> []
+    | first :: rest ->
+        List.fold_left
+          (List.map2 (fun (n, a) (n', b) ->
+               assert (n = n');
+               (n, a + b)))
+          first rest
+  in
+  let watchdog_counters =
+    sum_counters (List.map Control.Watchdog.counters watchdogs)
+  in
+  let watchdog_restarts =
+    try List.assoc "wd_restarts" watchdog_counters with Not_found -> 0
+  in
+  (* Invariant: after a partial or contested fleet upgrade, every engine
+     is attached and belongs to exactly one group. *)
+  let engines =
+    List.concat_map
+      (fun h ->
+        List.init
+          (PE.num_engines h.Snap.Host.pony)
+          (PE.engine_handle h.Snap.Host.pony))
+      [ ha; hb ]
+  in
+  let groups = [ ha.Snap.Host.group; hb.Snap.Host.group ] @ !new_groups in
+  let groups_consistent =
+    List.for_all
+      (fun e ->
+        let memberships =
+          List.length
+            (List.filter (fun g -> List.memq e (Engine.engines g)) groups)
+        in
+        memberships = 1 && Engine.is_attached e)
+      engines
+  in
+  {
+    ops_expected = expected;
+    ops_completed = !completed;
+    lost_ops = expected - !completed;
+    latencies = hist;
+    completion_time = !last_done;
+    reports = List.rev !reports;
+    committed;
+    rollbacks;
+    give_ups;
+    max_blackout;
+    transition_log;
+    fault_log = Fault.Injector.log inj;
+    fault_counters = Fault.Injector.counters inj;
+    watchdog_counters;
+    watchdog_restarts;
+    flow_resyncs =
+      PE.flow_resyncs ha.Snap.Host.pony + PE.flow_resyncs hb.Snap.Host.pony;
+    groups_consistent;
+  }
+
+(* Byte-identical across same-seed runs: the determinism check folds the
+   fault log, the upgrade transition log, and every report into one
+   string. *)
+let fingerprint (r : result) : string =
+  let buf = Buffer.create 4096 in
+  let add_log name l =
+    Buffer.add_string buf name;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (e : Fault.Log.entry) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d %s %s\n" e.Fault.Log.at e.Fault.Log.kind
+             e.Fault.Log.detail))
+      (Fault.Log.entries l)
+  in
+  add_log "faults" r.fault_log;
+  add_log "transitions" r.transition_log;
+  Buffer.add_string buf "reports\n";
+  List.iter
+    (fun (addr, rs) ->
+      List.iter
+        (fun (u : Upgrade.report) ->
+          Buffer.add_string buf
+            (Printf.sprintf "host %d %s bytes %d bs %d b %d bl %d s %d f %d a %d rb %d %s\n"
+               addr u.Upgrade.engine_name u.Upgrade.state_bytes
+               u.Upgrade.brownout_scheduled u.Upgrade.brownout
+               u.Upgrade.blackout u.Upgrade.started_at u.Upgrade.finished_at
+               u.Upgrade.attempts u.Upgrade.rollbacks
+               (match u.Upgrade.outcome with
+               | Upgrade.Committed -> "committed"
+               | Upgrade.Gave_up reason -> "gave-up:" ^ reason)))
+        rs)
+    r.reports;
+  Buffer.add_string buf
+    (Printf.sprintf "ops %d/%d resyncs %d\n" r.ops_completed r.ops_expected
+       r.flow_resyncs);
+  Buffer.contents buf
