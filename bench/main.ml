@@ -4,6 +4,12 @@
 
    Usage: main.exe [table1|fig6a|fig6b|fig6c|fig6d|fig7a|fig7b|fig8|fig9|
                     ablate-mtu|ablate-indirect|ablate-slo|micro|all]
+                   [--metrics-out FILE.json] [--trace-out FILE.json]
+
+   --metrics-out dumps the full Stats.Registry (every counter, gauge,
+   histogram and series the selected sections touched) as JSON.
+   --trace-out turns on Sim.Span capture for the run and writes the
+   result as Chrome trace-event JSON (chrome://tracing, perfetto).
 
    Absolute numbers come from a calibrated cost model (lib/sim/costs.ml);
    the claim checked here is the paper's shape: who wins, by what factor,
@@ -441,11 +447,32 @@ let all_benches =
     ("micro", micro);
   ]
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Pull `--flag VALUE` pairs out of the arg list, returning the value
+   (last wins) and the remaining positional args. *)
+let extract_flag flag args =
+  let rec go acc value = function
+    | [] -> (value, List.rev acc)
+    | a :: v :: rest when a = flag -> go acc (Some v) rest
+    | [ a ] when a = flag ->
+        Printf.eprintf "%s requires a file argument\n" flag;
+        exit 2
+    | a :: rest -> go (a :: acc) value rest
+  in
+  go [] None args
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   (* Accept `--only NAME` as an alias for the positional form. *)
   let args = List.filter (fun a -> a <> "--only") args in
-  match args with
+  let metrics_out, args = extract_flag "--metrics-out" args in
+  let trace_out, args = extract_flag "--trace-out" args in
+  if trace_out <> None then Sim.Span.set_capture (Some 200_000);
+  (match args with
   | [] | [ "all" ] ->
       (* fig6b and fig6c share one run; don't execute twice. *)
       List.iter
@@ -459,4 +486,16 @@ let () =
           | None ->
               Printf.eprintf "unknown bench %s; known: %s\n" name
                 (String.concat ", " (List.map fst all_benches)))
-        names
+        names);
+  Option.iter
+    (fun path ->
+      write_file path (Stats.Registry.to_json ());
+      Printf.printf "metrics written to %s\n%!" path)
+    metrics_out;
+  Option.iter
+    (fun path ->
+      write_file path (Sim.Span.to_chrome_json ());
+      if Sim.Span.dropped () > 0 then
+        Printf.printf "trace ring dropped %d events\n" (Sim.Span.dropped ());
+      Printf.printf "trace written to %s\n%!" path)
+    trace_out

@@ -142,14 +142,23 @@ module Watchdog = struct
     stable_window : Time.t;
     mutable entries : entry list;
     mutable timer : Loop.handle option;
-    c_detections : Stats.Counter.t;
-    c_restarts : Stats.Counter.t;
-    c_quarantines : Stats.Counter.t;
-    c_heartbeats : Stats.Counter.t;
-    detect_hist : Stats.Histogram.t;
+    (* Registry counters ("wd_*", labeled by control name) are
+       cumulative across watchdog instances; the baselines snapshotted
+       at create time keep [counters] per-instance. *)
+    wcnt : (string * (Stats.Counter.t * int)) list;
+    detect_hist : Stats.Histogram.t;  (* per-instance, for exact tests *)
+    reg_detect_hist : Stats.Histogram.t;  (* registry twin *)
   }
 
   let component = "watchdog"
+
+  let counter_names =
+    [ "wd_heartbeats"; "wd_detections"; "wd_restarts"; "wd_quarantines" ]
+
+  let wbump t key =
+    match List.assoc_opt key t.wcnt with
+    | Some (c, _) -> Stats.Counter.incr c
+    | None -> invalid_arg ("Watchdog: unknown counter " ^ key)
 
   let trace t fmt = Sim.Trace.emit t.wd_lp Sim.Trace.Info ~component fmt
 
@@ -170,11 +179,18 @@ module Watchdog = struct
       stable_window = Time.scale period (float_of_int (2 * miss_threshold));
       entries = [];
       timer = None;
-      c_detections = Stats.Counter.create ~name:"wd_detections";
-      c_restarts = Stats.Counter.create ~name:"wd_restarts";
-      c_quarantines = Stats.Counter.create ~name:"wd_quarantines";
-      c_heartbeats = Stats.Counter.create ~name:"wd_heartbeats";
+      wcnt =
+        (let labels = [ ("control", control.ctl_name) ] in
+         List.map
+           (fun n ->
+             let c = Stats.Registry.counter ~labels n in
+             (n, (c, Stats.Counter.value c)))
+           counter_names);
       detect_hist = Stats.Histogram.create ();
+      reg_detect_hist =
+        Stats.Registry.histogram
+          ~labels:[ ("control", control.ctl_name) ]
+          "wd_detection_latency_ns";
     }
 
   let find_entry t e = List.find_opt (fun en -> en.w_eng == e) t.entries
@@ -215,9 +231,10 @@ module Watchdog = struct
 
   let detect t en ~now =
     en.healthy_since <- max_int;
-    Stats.Counter.incr t.c_detections;
-    Stats.Histogram.record t.detect_hist
-      (Time.max 0 (Time.sub now en.last_beat));
+    wbump t "wd_detections";
+    let latency = Time.max 0 (Time.sub now en.last_beat) in
+    Stats.Histogram.record t.detect_hist latency;
+    Stats.Histogram.record t.reg_detect_hist latency;
     en.consec_failures <- en.consec_failures + 1;
     trace t "detected unresponsive engine %s (miss %d, failure %d)"
       (Engine.name en.w_eng) en.missed en.consec_failures;
@@ -226,7 +243,7 @@ module Watchdog = struct
          engine (degraded state, operator intervention required) instead
          of flapping forever. *)
       en.st <- Quarantined;
-      Stats.Counter.incr t.c_quarantines;
+      wbump t "wd_quarantines";
       if Engine.is_attached en.w_eng then
         Engine.remove (restore_group en) en.w_eng;
       trace t "quarantined engine %s after %d failed restarts"
@@ -248,7 +265,7 @@ module Watchdog = struct
       recover_engine t.wd_ctl ~group en.w_eng ~after:backoff
         ~on_recovered:(fun () ->
           en.restarts <- en.restarts + 1;
-          Stats.Counter.incr t.c_restarts;
+          wbump t "wd_restarts";
           heal en ~now:(Loop.now t.wd_lp);
           trace t "restarted engine %s (attempt %d)" (Engine.name en.w_eng)
             en.consec_failures)
@@ -271,7 +288,7 @@ module Watchdog = struct
              a fresh heartbeat, not by draining the backlog. *)
           if seq = en.probe_seq && en.st <> Quarantined then begin
             heal en ~now:(Loop.now t.wd_lp);
-            Stats.Counter.incr t.c_heartbeats
+            wbump t "wd_heartbeats"
           end)
     in
     if posted then begin
@@ -337,7 +354,77 @@ module Watchdog = struct
   let detection_latency t = t.detect_hist
 
   let counters t =
-    List.map
-      (fun c -> (Stats.Counter.name c, Stats.Counter.value c))
-      [ t.c_heartbeats; t.c_detections; t.c_restarts; t.c_quarantines ]
+    List.map (fun (n, (c, base)) -> (n, Stats.Counter.value c - base)) t.wcnt
+end
+
+(* -- Poller: periodic telemetry sampling -------------------------------- *)
+
+module Poller = struct
+  type control = t
+
+  type probe = { sample : unit -> int; ser : Stats.Series.t }
+
+  type t = {
+    po_ctl : control;
+    po_lp : Loop.t;
+    po_period : Time.t;
+    mutable probes : probe list;
+    mutable timer : Loop.handle option;
+    mutable n_ticks : int;
+  }
+
+  let create ~control ?(period = Time.us 50) () =
+    if period <= 0 then invalid_arg "Poller.create: period";
+    {
+      po_ctl = control;
+      po_lp = control.lp;
+      po_period = period;
+      probes = [];
+      timer = None;
+      n_ticks = 0;
+    }
+
+  let machine_label t =
+    ("machine", Cpu.Sched.machine_name t.po_ctl.mach)
+
+  let watch_queue t ~name sample =
+    let ser =
+      Stats.Registry.series
+        ~labels:[ machine_label t; ("queue", name) ]
+        "queue_depth"
+    in
+    t.probes <- t.probes @ [ { sample; ser } ]
+
+  (* One sampling pass.  Strictly read-only against simulation state:
+     the poller observes queue depths and CPU accounts but never mutates
+     them, draws no randomness, and so cannot perturb same-seed runs. *)
+  let tick t () =
+    let now = Loop.now t.po_lp in
+    t.n_ticks <- t.n_ticks + 1;
+    List.iter
+      (fun p -> Stats.Series.add p.ser now (float_of_int (p.sample ())))
+      t.probes;
+    List.iter
+      (fun (account, busy) ->
+        let ser =
+          Stats.Registry.series
+            ~labels:[ machine_label t; ("account", account) ]
+            "cpu_account_busy_ns"
+        in
+        Stats.Series.add ser now (float_of_int busy))
+      (Cpu.Sched.accounts t.po_ctl.mach)
+
+  let start t =
+    match t.timer with
+    | Some _ -> ()
+    | None -> t.timer <- Some (Loop.every t.po_lp t.po_period (tick t))
+
+  let stop t =
+    match t.timer with
+    | Some h ->
+        Loop.cancel h;
+        t.timer <- None
+    | None -> ()
+
+  let ticks t = t.n_ticks
 end

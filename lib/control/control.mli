@@ -141,3 +141,37 @@ module Watchdog : sig
   (** [wd_heartbeats], [wd_detections], [wd_restarts],
       [wd_quarantines]. *)
 end
+
+(** {1 Poller}
+
+    Periodic telemetry sampling (§5 of the paper: engine groups export
+    queue depths and CPU attribution to fleet monitoring).  Each tick
+    samples every registered queue probe plus the machine's per-account
+    CPU totals into {!Stats.Series} entries in the metric registry
+    ([queue_depth] and [cpu_account_busy_ns], labeled by machine).
+
+    Sampling is strictly read-only against simulation state, so it
+    cannot perturb same-seed determinism.  Note the timer re-arms
+    forever: drive the loop with [~until] (or {!stop} the poller) or
+    [Sim.Loop.run] will never go idle. *)
+
+module Poller : sig
+  type control := t
+  type t
+
+  val create : control:control -> ?period:Sim.Time.t -> unit -> t
+  (** [period] defaults to 50us.  Raises [Invalid_argument] when
+      non-positive. *)
+
+  val watch_queue : t -> name:string -> (unit -> int) -> unit
+  (** Sample [f ()] each tick into a [queue_depth] series labeled with
+      the machine and [name]. *)
+
+  val start : t -> unit
+  (** Arm the periodic timer (no-op if already armed). *)
+
+  val stop : t -> unit
+
+  val ticks : t -> int
+  (** Sampling passes completed so far. *)
+end

@@ -66,6 +66,8 @@ and core = {
   mutable idle_since : Time.t;
   mutable steal : int;  (* interrupt time to inject before the next step *)
   mutable nonpreempt_until : Time.t;
+  mutable core_busy : int;  (* task + softirq ns attributed to this core *)
+  mutable switches : int;  (* dispatches onto this core *)
   (* A fair task woken onto this busy core (wake affinity): it runs when
      this core yields, rather than migrating instantly to whichever core
      frees first — load balancing is much slower than wakeups. *)
@@ -86,8 +88,29 @@ and machine = {
   mutable m_cost_scale : float;
 }
 
+(* Per-core utilization and context-switch gauges.  Pull-model: the
+   registry samples live core state at snapshot time, and re-creating a
+   machine under the same name re-points the gauges at the new cores
+   (last registration wins). *)
+let register_core_gauges m =
+  Array.iter
+    (fun core ->
+      let labels =
+        [ ("machine", m.m_name); ("core", string_of_int core.cid) ]
+      in
+      ignore
+        (Stats.Registry.gauge_fn ~labels "cpu_core_utilization" (fun () ->
+             let now = Loop.now m.lp in
+             if now <= 0 then 0.0
+             else float_of_int core.core_busy /. float_of_int now));
+      ignore
+        (Stats.Registry.gauge_fn ~labels "cpu_core_context_switches"
+           (fun () -> float_of_int core.switches)))
+    m.cores_arr
+
 let create_machine ~loop ~costs ~name ~cores =
   if cores <= 0 then invalid_arg "Sched.create_machine";
+  let m =
   {
     lp = loop;
     cost = costs;
@@ -101,6 +124,8 @@ let create_machine ~loop ~costs ~name ~cores =
             idle_since = Time.zero;
             steal = 0;
             nonpreempt_until = Time.zero;
+            core_busy = 0;
+            switches = 0;
             waiter = None;
           });
     mq_ready = Queue.create ();
@@ -111,6 +136,9 @@ let create_machine ~loop ~costs ~name ~cores =
     total_busy = 0;
     m_cost_scale = 1.0;
   }
+  in
+  register_core_gauges m;
+  m
 
 let machine_name m = m.m_name
 let num_cores m = Array.length m.cores_arr
@@ -157,6 +185,11 @@ let account_add m account cost =
 
 let charge task cost =
   task.busy <- task.busy + cost;
+  (match task.state with
+  | Running cid | Spinning cid ->
+      let core = task.m.cores_arr.(cid) in
+      core.core_busy <- core.core_busy + cost
+  | Created | Ready | Blocked | Throttled | Done -> ());
   account_add task.m task.account cost
 
 (* Spin time is CPU time: a spinning task holds its core busy.  The
@@ -224,6 +257,7 @@ let rec schedule_step m core task ~delay =
 
 and dispatch m core task ~delay =
   core.current <- Some task;
+  core.switches <- core.switches + 1;
   task.state <- Running core.cid;
   task.slice_used <- 0;
   task.preempt_rt <- false;
@@ -549,6 +583,11 @@ let kick task = wake task
 let task_name t = t.t_name
 let task_machine t = t.m
 
+let task_core t =
+  match t.state with
+  | Running cid | Spinning cid -> Some cid
+  | Created | Ready | Blocked | Throttled | Done -> None
+
 let is_blocked t =
   match t.state with
   | Blocked -> true
@@ -587,6 +626,7 @@ let interrupt m ?core ~cost f =
   ignore
     (Loop.after m.lp delay (fun () ->
          account_add m "softirq" cost;
+         core.core_busy <- core.core_busy + cost;
          (match core.current with
          | Some _ -> core.steal <- core.steal + cost
          | None -> core.idle_since <- Loop.now m.lp);
@@ -604,6 +644,7 @@ let softirq_charge m cost =
     let cid = pick 0 (m.rr_interrupt mod n) in
     m.rr_interrupt <- m.rr_interrupt + 1;
     let core = m.cores_arr.(cid) in
+    core.core_busy <- core.core_busy + cost;
     match core.current with
     | Some _ -> core.steal <- core.steal + cost
     | None -> core.idle_since <- Loop.now m.lp

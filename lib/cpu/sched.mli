@@ -107,6 +107,10 @@ val kick : task -> unit
 
 val task_name : task -> string
 val task_machine : task -> machine
+
+val task_core : task -> int option
+(** Core the task currently occupies (running or spinning), if any. *)
+
 val task_busy_ns : task -> int
 val is_blocked : task -> bool
 val is_spinning : task -> bool

@@ -31,6 +31,8 @@ type t = {
   mutable fail_flag : bool;  (* fault landed on a detached instance *)
   mutable migrating : bool;  (* under an upgrade transaction's blackout *)
   mutable home : group option;  (* group the engine last belonged to *)
+  h_delay : Stats.Histogram.t;  (* queueing delay observed at batch start *)
+  h_cost : Stats.Histogram.t;  (* per-batch execution cost *)
 }
 
 and cthread = {
@@ -74,6 +76,14 @@ let create ~name ?(account = "snap") ~run ?(queue_delay = fun _ -> 0)
     fail_flag = false;
     migrating = false;
     home = None;
+    h_delay =
+      Stats.Registry.histogram
+        ~labels:[ ("engine", name) ]
+        "engine_sched_delay_ns";
+    h_cost =
+      Stats.Registry.histogram
+        ~labels:[ ("engine", name) ]
+        "engine_batch_cost_ns";
   }
 
 let name e = e.e_name
@@ -103,14 +113,32 @@ let owner_task e = Option.map (fun ct -> ct.task) e.owner
 (* One scheduling quantum of a thread: service mailboxes, then give each
    owned engine one bounded batch. *)
 let thread_step ct () =
+  let lp = ct.grp.lp in
+  let now = Loop.now lp in
+  (* Built only when span capture is on; the track identifies the lane
+     (group/thread) the batch ran on. *)
+  let batch_span e ~outcome ~dur =
+    Sim.Span.emit lp ~cat:"engine"
+      ~track:(Printf.sprintf "%s/t%d" ct.grp.g_name ct.tid)
+      ~args:
+        (("account", e.e_account) :: ("outcome", outcome)
+        ::
+        (match Sched.task_core ct.task with
+        | Some cid -> [ ("core", string_of_int cid) ]
+        | None -> []))
+      ~start:now ~dur e.e_name
+  in
   let cost = ref 0 in
   List.iter
     (fun e ->
-      if e.wedged then
+      if e.wedged then begin
         (* A wedged engine spins without servicing its mailbox or making
            progress: the silent failure mode the watchdog's heartbeats
            exist to detect. *)
-        cost := !cost + wedge_spin_cost
+        cost := !cost + wedge_spin_cost;
+        if Sim.Span.enabled () then
+          batch_span e ~outcome:"wedged" ~dur:wedge_spin_cost
+      end
       else begin
         if Squeue.Mailbox.service e.mb then
           cost := !cost + mailbox_service_cost;
@@ -118,6 +146,9 @@ let thread_step ct () =
         | Worked c ->
             e.n_steps <- e.n_steps + 1;
             e.work_ns <- e.work_ns + c;
+            Stats.Histogram.record e.h_delay (e.qdelay now);
+            Stats.Histogram.record e.h_cost c;
+            if Sim.Span.enabled () then batch_span e ~outcome:"worked" ~dur:c;
             cost := !cost + c
         | No_work -> ()
       end)

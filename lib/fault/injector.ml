@@ -32,16 +32,30 @@ type t = {
   log : Log.t;
   mutable active : (int * window) list;
   mutable next_wid : int;
-  c_blackout_drops : Stats.Counter.t;
-  c_loss_drops : Stats.Counter.t;
-  c_reorder_delays : Stats.Counter.t;
-  c_corruptions : Stats.Counter.t;
-  c_rx_stalls : Stats.Counter.t;
-  c_engine_crashes : Stats.Counter.t;
-  c_engine_restarts : Stats.Counter.t;
-  c_straggler_windows : Stats.Counter.t;
-  c_engine_wedges : Stats.Counter.t;
+  (* Registry-backed counters, in registration order.  The registry
+     entries ("fault_<name>") are cumulative across injector instances;
+     the baseline snapshot taken at install time keeps [counters]
+     per-instance. *)
+  cnt : (string * (Stats.Counter.t * int)) list;
 }
+
+let counter_names =
+  [
+    "blackout_drops";
+    "loss_drops";
+    "reorder_delays";
+    "corruptions";
+    "rx_stalls";
+    "engine_crashes";
+    "engine_restarts";
+    "straggler_windows";
+    "engine_wedges";
+  ]
+
+let bump t key =
+  match List.assoc_opt key t.cnt with
+  | Some (c, _) -> Stats.Counter.incr c
+  | None -> invalid_arg ("Fault.Injector.bump: " ^ key)
 
 let component = "fault"
 
@@ -51,6 +65,10 @@ let record t ~kind detail =
 
 let announce t ~kind detail =
   Log.record t.log ~at:(Loop.now t.lp) ~kind ~detail;
+  if Sim.Span.enabled () then
+    Sim.Span.emit t.lp ~cat:"fault" ~track:"fault"
+      ~args:[ ("detail", detail) ]
+      kind;
   Trace.emit t.lp Trace.Info ~component "%s %s" kind detail
 
 let find_host t addr =
@@ -85,7 +103,7 @@ let hook t (pkt : Packet.t) =
     in
     match blackout with
     | Some _ ->
-        Stats.Counter.incr t.c_blackout_drops;
+        bump t "blackout_drops";
         record t ~kind:"blackout-drop" (pkt_detail pkt);
         Fabric.Fault_drop
     | None -> (
@@ -94,7 +112,7 @@ let hook t (pkt : Packet.t) =
         in
         match lossy with
         | Some (_, W_loss (_, pct)) when Rng.float t.rng 100.0 < pct ->
-            Stats.Counter.incr t.c_loss_drops;
+            bump t "loss_drops";
             record t ~kind:"loss-drop" (pkt_detail pkt);
             Fabric.Fault_drop
         | _ -> (
@@ -103,7 +121,7 @@ let hook t (pkt : Packet.t) =
             in
             match corrupting with
             | Some (_, W_corrupt (_, pct)) when Rng.float t.rng 100.0 < pct ->
-                Stats.Counter.incr t.c_corruptions;
+                bump t "corruptions";
                 record t ~kind:"corrupt" (pkt_detail pkt);
                 Fabric.Fault_corrupt
             | _ -> (
@@ -114,7 +132,7 @@ let hook t (pkt : Packet.t) =
                 | Some (_, W_reorder (_, pct, max_delay))
                   when Rng.float t.rng 100.0 < pct ->
                     let d = 1 + Rng.int t.rng max_delay in
-                    Stats.Counter.incr t.c_reorder_delays;
+                    bump t "reorder_delays";
                     record t ~kind:"reorder-delay"
                       (Printf.sprintf "%s +%dns" (pkt_detail pkt) d);
                     Fabric.Fault_delay d
@@ -163,7 +181,7 @@ let schedule t (ev : Plan.event) =
       ignore
         (Loop.at t.lp start (fun () ->
              Nic.stall_rx h.h_nic ~queue ~until:(Time.add start duration);
-             Stats.Counter.incr t.c_rx_stalls;
+             bump t "rx_stalls";
              announce t ~kind:"rx-stall"
                (Format.asprintf "host %d q%d for %a" host queue Time.pp
                   duration)))
@@ -174,12 +192,12 @@ let schedule t (ev : Plan.event) =
         (Loop.at t.lp start (fun () ->
              if Engine.is_attached eng then begin
                Engine.remove h.h_group eng;
-               Stats.Counter.incr t.c_engine_crashes;
+               bump t "engine_crashes";
                announce t ~kind:"engine-crash"
                  (Printf.sprintf "host %d engine %d" host engine);
                Control.recover_engine h.h_control ~group:h.h_group eng
                  ~after:restart_after ~on_recovered:(fun () ->
-                   Stats.Counter.incr t.c_engine_restarts;
+                   bump t "engine_restarts";
                    announce t ~kind:"engine-restart"
                      (Printf.sprintf "host %d engine %d" host engine))
              end
@@ -190,7 +208,7 @@ let schedule t (ev : Plan.event) =
                   commit time; do not schedule a recovery of our own,
                   the owner handles the restart. *)
                Engine.mark_failed eng;
-               Stats.Counter.incr t.c_engine_crashes;
+               bump t "engine_crashes";
                announce t ~kind:"engine-crash-inflight"
                  (Printf.sprintf "host %d engine %d" host engine)
              end))
@@ -202,7 +220,7 @@ let schedule t (ev : Plan.event) =
              if Engine.is_attached eng && not (Engine.is_wedged eng) then begin
                Engine.set_wedged eng true;
                Engine.notify eng;
-               Stats.Counter.incr t.c_engine_wedges;
+               bump t "engine_wedges";
                announce t ~kind:"engine-wedge"
                  (Printf.sprintf "host %d engine %d" host engine)
              end))
@@ -211,7 +229,7 @@ let schedule t (ev : Plan.event) =
       ignore
         (Loop.at t.lp start (fun () ->
              Sched.set_cost_scale h.h_machine slowdown;
-             Stats.Counter.incr t.c_straggler_windows;
+             bump t "straggler_windows";
              announce t ~kind:"straggler-start"
                (Printf.sprintf "host %d x%.1f" host slowdown);
              ignore
@@ -230,15 +248,12 @@ let install ~loop ~plan ~fabric ~hosts =
       log = Log.create ();
       active = [];
       next_wid = 0;
-      c_blackout_drops = Stats.Counter.create ~name:"blackout_drops";
-      c_loss_drops = Stats.Counter.create ~name:"loss_drops";
-      c_reorder_delays = Stats.Counter.create ~name:"reorder_delays";
-      c_corruptions = Stats.Counter.create ~name:"corruptions";
-      c_rx_stalls = Stats.Counter.create ~name:"rx_stalls";
-      c_engine_crashes = Stats.Counter.create ~name:"engine_crashes";
-      c_engine_restarts = Stats.Counter.create ~name:"engine_restarts";
-      c_straggler_windows = Stats.Counter.create ~name:"straggler_windows";
-      c_engine_wedges = Stats.Counter.create ~name:"engine_wedges";
+      cnt =
+        List.map
+          (fun n ->
+            let c = Stats.Registry.counter ("fault_" ^ n) in
+            (n, (c, Stats.Counter.value c)))
+          counter_names;
     }
   in
   List.iter (schedule t) (Plan.events plan);
@@ -249,15 +264,5 @@ let log t = t.log
 
 let counters t =
   List.map
-    (fun c -> (Stats.Counter.name c, Stats.Counter.value c))
-    [
-      t.c_blackout_drops;
-      t.c_loss_drops;
-      t.c_reorder_delays;
-      t.c_corruptions;
-      t.c_rx_stalls;
-      t.c_engine_crashes;
-      t.c_engine_restarts;
-      t.c_straggler_windows;
-      t.c_engine_wedges;
-    ]
+    (fun (n, (c, base)) -> (n, Stats.Counter.value c - base))
+    t.cnt

@@ -99,8 +99,13 @@ and t = {
   clients_tbl : (int, client) Hashtbl.t;
   gen : Packet.Id_gen.t;
   mutable rr_assign : int;
-  mutable n_corrupt_dropped : int;
-  mutable n_flow_resyncs : int;
+  (* Registry counters are cumulative across host instances sharing an
+     address (bench sections re-create hosts); the [_base] snapshot
+     taken at creation keeps the per-instance accessors exact. *)
+  c_corrupt : Stats.Counter.t;
+  corrupt_base : int;
+  c_resync : Stats.Counter.t;
+  resync_base : int;
 }
 
 and dir = { hosts : (Packet.addr, t) Hashtbl.t }
@@ -130,8 +135,8 @@ let flow_versions t =
     (fun e -> List.map (fun f -> (Flow.key f, Flow.version f)) e.flow_list)
     t.engs
 
-let corrupt_dropped t = t.n_corrupt_dropped
-let flow_resyncs t = t.n_flow_resyncs
+let corrupt_dropped t = Stats.Counter.value t.c_corrupt - t.corrupt_base
+let flow_resyncs t = Stats.Counter.value t.c_resync - t.resync_base
 
 let flow_stats t =
   List.concat_map
@@ -576,7 +581,7 @@ let engine_run eng () =
       List.fold_left (fun acc f -> acc + Flow.resync f ~now) 0 eng.flow_list
     in
     if requeued > 0 then begin
-      t.n_flow_resyncs <- t.n_flow_resyncs + 1;
+      Stats.Counter.incr t.c_resync;
       worked := true;
       Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
         "engine %s epoch %d: resynced flows, %d packets requeued"
@@ -603,7 +608,7 @@ let engine_run eng () =
           (* End-to-end integrity check (§3.1): the payload failed
              verification, so the packet is discarded before transport
              processing.  No ack advances; the sender retransmits. *)
-          t.n_corrupt_dropped <- t.n_corrupt_dropped + 1;
+          Stats.Counter.incr t.c_corrupt;
           Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
             "corrupt packet dropped pkt#%d from %d" pkt.Packet.id
             pkt.Packet.src
@@ -758,6 +763,9 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
     ?(use_copy_engine = false) ?(wire_versions = Wire.supported_versions) () =
   if engines <= 0 then invalid_arg "Pony.create: engines";
   let lp = Sched.loop machine in
+  let labels = [ ("host", string_of_int (Nic.addr nic)) ] in
+  let c_corrupt = Stats.Registry.counter ~labels "pony_corrupt_dropped" in
+  let c_resync = Stats.Registry.counter ~labels "pony_flow_resyncs" in
   let t =
     {
       dir = directory;
@@ -775,8 +783,10 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
       clients_tbl = Hashtbl.create 32;
       gen = Packet.Id_gen.create ();
       rr_assign = 0;
-      n_corrupt_dropped = 0;
-      n_flow_resyncs = 0;
+      c_corrupt;
+      corrupt_base = Stats.Counter.value c_corrupt;
+      c_resync;
+      resync_base = Stats.Counter.value c_resync;
     }
   in
   Hashtbl.replace directory.hosts (Nic.addr nic) t;

@@ -39,9 +39,17 @@ type t = {
   mutable n_retx : int;
   mutable n_delivered : int;
   mutable n_acked : int;
+  fl_label : string;  (* "srcHost.srcEng->dstHost.dstEng" *)
+  h_rtt : Stats.Histogram.t;
+  h_flight : Stats.Histogram.t;
 }
 
 let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
+  let fl_label =
+    Printf.sprintf "%d.%d->%d.%d" key.Wire.src_host key.Wire.src_engine
+      key.Wire.dst_host key.Wire.dst_engine
+  in
+  let labels = [ ("flow", fl_label) ] in
   {
     lp = loop;
     fkey = key;
@@ -63,7 +71,16 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
     n_retx = 0;
     n_delivered = 0;
     n_acked = 0;
+    fl_label;
+    h_rtt = Stats.Registry.histogram ~labels "pony_flow_rtt_ns";
+    h_flight = Stats.Registry.histogram ~labels "pony_flow_flight";
   }
+
+(* Flow events share one track per flow so chrome://tracing shows each
+   flow as its own lane. *)
+let span t ~now ?(args = []) name =
+  Sim.Span.emit t.lp ~cat:"pony" ~track:("flow " ^ t.fl_label) ~args ~start:now
+    name
 
 let key t = t.fkey
 let version t = t.ver
@@ -133,6 +150,9 @@ let rec emit t ~now ~gen =
       t.owe_ack <- false;
       let pkt = build_packet t ~now ~gen ~seq:fe.f_seq ~item:fe.f_item ~payload:fe.f_payload in
       advance_pacer t ~now pkt.Packet.wire_bytes;
+      Stats.Histogram.record t.h_flight (List.length t.flight);
+      if Sim.Span.enabled () then
+        span t ~now ~args:[ ("seq", string_of_int fe.f_seq) ] "retx";
       Some pkt
   | None ->
       if
@@ -149,6 +169,9 @@ let rec emit t ~now ~gen =
         t.owe_ack <- false;
         let pkt = build_packet t ~now ~gen ~seq ~item ~payload in
         advance_pacer t ~now pkt.Packet.wire_bytes;
+        Stats.Histogram.record t.h_flight (List.length t.flight);
+        if Sim.Span.enabled () then
+          span t ~now ~args:[ ("seq", string_of_int seq) ] "tx";
         Some pkt
       end
 
@@ -158,6 +181,8 @@ let make_ack t ~now ~gen =
   if not t.owe_ack then None
   else begin
     t.owe_ack <- false;
+    if Sim.Span.enabled () then
+      span t ~now ~args:[ ("ack", string_of_int t.rcv_cum) ] "ack";
     Some (build_packet t ~now ~gen ~seq:(-1) ~item:Wire.Bare_ack ~payload:0)
   end
 
@@ -186,6 +211,10 @@ let resync t ~now =
   t.dup_acks <- 0;
   t.rto <- min_rto;
   t.next_release <- now;
+  if Sim.Span.enabled () then
+    span t ~now
+      ~args:[ ("flight", string_of_int (List.length t.flight)) ]
+      "resync";
   if Queue.is_empty t.retx then schedule_retransmit t (List.length t.flight)
   else 0
 
@@ -193,6 +222,7 @@ let sample_rtt t ~now ~ts_echo =
   if ts_echo > 0 then begin
     let rtt = Time.sub now ts_echo in
     if rtt > 0 then begin
+      Stats.Histogram.record t.h_rtt rtt;
       Timely.on_rtt_sample t.timely rtt;
       t.srtt_ns <-
         (if t.srtt_ns = 0.0 then float_of_int rtt
@@ -219,6 +249,10 @@ let process_ack t ~now ~ack ~ts_echo ~pure =
       if t.dup_acks = dupack_threshold then begin
         Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony.flow"
           "fast-retransmit seq=%d" t.last_ack_seen;
+        if Sim.Span.enabled () then
+          span t ~now
+            ~args:[ ("seq", string_of_int t.last_ack_seen) ]
+            "fast_retx";
         ignore (schedule_retransmit t 1);
         Timely.on_loss t.timely;
         t.dup_acks <- 0
@@ -291,6 +325,11 @@ let check_timeout t ~now =
         let n = schedule_retransmit t gbn_window in
         Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony.flow"
           "rto go-back-n n=%d from seq=%d" n fe.f_seq;
+        if Sim.Span.enabled () then
+          span t ~now
+            ~args:
+              [ ("n", string_of_int n); ("seq", string_of_int fe.f_seq) ]
+            "rto_gbn";
         Timely.on_loss t.timely;
         (* Back off the timer so a stalled peer is not hammered. *)
         t.rto <- Time.min (Time.ms 50) (2 * t.rto);

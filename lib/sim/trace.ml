@@ -63,4 +63,9 @@ let emit loop lvl ~component fmt =
         Format.eprintf
           ("[%a] %s %s: " ^^ fmt ^^ "@.")
           Time.pp (Loop.now loop) (label lvl) component
-  else Format.ifprintf Format.err_formatter fmt
+  else
+    (* Rejected line: consume the arguments without interpreting the
+       format at all.  Unlike [ifprintf], [ikfprintf] never walks the
+       format string, so %a/%t printers are not even looked at and a hot
+       path with tracing off pays only this branch. *)
+    Format.ikfprintf ignore Format.err_formatter fmt

@@ -4,11 +4,13 @@ type t = {
   control : Control.t;
   group : Engine.group;
   pony : Pony.Express.t;
+  poller : Control.Poller.t option;
 }
 
 let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
     ?(mode = Engine.Dedicating { cores = 2 }) ?(engines = 1)
-    ?(use_copy_engine = false) ?(costs = Sim.Costs.default) ?wire_versions () =
+    ?(use_copy_engine = false) ?(costs = Sim.Costs.default) ?wire_versions
+    ?poll_period () =
   let machine =
     Cpu.Sched.create_machine ~loop ~costs
       ~name:(Printf.sprintf "host%d" addr)
@@ -24,7 +26,26 @@ let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
     Pony.Express.create ~directory ~control ~machine ~nic ~group ~engines
       ~use_copy_engine ?wire_versions ()
   in
-  { machine; nic; control; group; pony }
+  (* Telemetry polling is opt-in: the periodic timer re-arms forever, so
+     hosts sampled by default would keep an un-bounded [Sim.Loop.run]
+     from ever going idle. *)
+  let poller =
+    match poll_period with
+    | None -> None
+    | Some period ->
+        let p = Control.Poller.create ~control ~period () in
+        for q = 0 to nic_config.Nic.num_rx_queues - 1 do
+          let ring = Nic.rx_ring nic ~queue:q in
+          Control.Poller.watch_queue p
+            ~name:(Printf.sprintf "host%d/rxq%d" addr q)
+            (fun () -> Squeue.Spsc.length ring)
+        done;
+        Control.Poller.start p;
+        Some p
+  in
+  { machine; nic; control; group; pony; poller }
+
+let poller t = t.poller
 
 let spawn_app t ~name ?(klass = Cpu.Sched.Cfs { nice = 0 }) ?(spin = false)
     body =

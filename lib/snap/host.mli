@@ -12,6 +12,7 @@ type t = {
   control : Control.t;
   group : Engine.group;
   pony : Pony.Express.t;
+  poller : Control.Poller.t option;
 }
 
 val create :
@@ -26,10 +27,16 @@ val create :
   ?use_copy_engine:bool ->
   ?costs:Sim.Costs.t ->
   ?wire_versions:int list ->
+  ?poll_period:Sim.Time.t ->
   unit ->
   t
 (** Defaults: 16 cores, default NIC, dedicating 2 cores, 1 Pony
-    engine. *)
+    engine.  [poll_period] arms a {!Control.Poller} sampling every NIC
+    rx-ring depth and the machine's per-account CPU into the metric
+    registry; it is off by default because the periodic timer keeps an
+    un-bounded [Sim.Loop.run] from going idle. *)
+
+val poller : t -> Control.Poller.t option
 
 val spawn_app :
   t ->

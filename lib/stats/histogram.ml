@@ -86,7 +86,11 @@ let quantile t q =
 let percentile t p = quantile t (p /. 100.)
 
 let merge_into ~src ~dst =
-  if src.sub_bits <> dst.sub_bits then invalid_arg "Histogram.merge_into";
+  if src.sub_bits <> dst.sub_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Histogram.merge_into: sub_bits mismatch (src %d, dst %d)"
+         src.sub_bits dst.sub_bits);
   Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
   dst.total <- dst.total + src.total;
   dst.sum <- dst.sum + src.sum;

@@ -34,7 +34,11 @@ val percentile : t -> float -> int
 (** [percentile t p] is [quantile t (p /. 100.)]. *)
 
 val merge_into : src:t -> dst:t -> unit
-(** Fold [src]'s records into [dst].  Both must have equal [sub_bits]. *)
+(** Fold [src]'s records into [dst].
+
+    @raise Invalid_argument if the histograms were created with
+    different [sub_bits]: their bucket grids are incompatible, and a
+    bucketwise add would silently misplace counts. *)
 
 val clear : t -> unit
 

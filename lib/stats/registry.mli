@@ -1,0 +1,57 @@
+(** Process-wide registry of named, labeled metrics.
+
+    Every instrument in the system — fault counters, engine latency
+    histograms, per-core utilization gauges, poller series — registers
+    here under a (name, labels) key so that one [snapshot] (or
+    [to_json]) enumerates the whole telemetry surface.  Constructors are
+    {e create-or-get}: the first call under a key makes the instrument,
+    later calls return the same one.  Asking for an existing key with a
+    different kind raises [Invalid_argument].
+
+    Determinism: snapshots are sorted by (name, labels), floats render
+    through one fixed formatter, and nothing here touches wall-clock
+    time or randomness — same-seed runs serialize byte-identically. *)
+
+type labels = (string * string) list
+(** Label sets are canonically sorted on registration, so label order at
+    the call site does not matter. *)
+
+type kind =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+  | Series of Series.t
+
+type metric = { m_name : string; m_labels : labels; m_kind : kind }
+
+val counter : ?labels:labels -> string -> Counter.t
+val gauge : ?labels:labels -> string -> Gauge.t
+
+val gauge_fn : ?labels:labels -> string -> (unit -> float) -> Gauge.t
+(** Create-or-get a gauge and (re-)install [f] as its sampler.  The last
+    registration wins: components re-created under the same identity
+    simply call this again and the gauge tracks the live instance. *)
+
+val histogram : ?labels:labels -> ?sub_bits:int -> string -> Histogram.t
+(** [sub_bits] only applies when the call creates the histogram. *)
+
+val series : ?labels:labels -> string -> Series.t
+val find : ?labels:labels -> string -> metric option
+
+val snapshot : unit -> metric list
+(** All registered metrics, sorted by (name, labels). *)
+
+val reset_all : unit -> unit
+(** Zero every registered instrument (counters and gauges to 0, samplers
+    dropped, histograms and series emptied).  Registrations remain.  Use
+    in test setup so metric state cannot leak between cases. *)
+
+val clear : unit -> unit
+(** Drop every registration entirely. *)
+
+val to_json : unit -> string
+(** The snapshot as one JSON document:
+    [{"metrics":[{"name":..,"labels":{..},"type":..,...},...]}].
+    Counters carry [value]; gauges a float [value]; histograms
+    [count]/[sum]/[min]/[max]/[mean]/[p50]/[p90]/[p99]/[p999]; series
+    the full [[time_ns, value], ...] point list. *)

@@ -81,10 +81,19 @@ let upgrade ~loop ~costs ~old_group ~new_group
     let name = Engine.name e in
     let started_at = Loop.now loop in
     let rollbacks = ref 0 in
+    let track = "upgrade/" ^ name in
     let transition ph =
       Sim.Trace.emit loop Sim.Trace.Info ~component "engine %s: %s" name
         (phase_to_string ph);
+      if Sim.Span.enabled () then
+        Sim.Span.emit loop ~cat:"upgrade" ~track (phase_to_string ph);
       on_transition ~engine:name ph
+    in
+    (* Retroactive window spans: measured only once the phase ends, so
+       they are emitted with an explicit start timestamp. *)
+    let window_span ~start ~dur what =
+      if Sim.Span.enabled () && dur > 0 then
+        Sim.Span.emit loop ~cat:"upgrade" ~track ~start ~dur what
     in
     let finish ~state_bytes ~brownout_scheduled ~brownout ~blackout ~attempts
         ~outcome =
@@ -147,6 +156,8 @@ let upgrade ~loop ~costs ~old_group ~new_group
           (Loop.after loop brownout_scheduled (fun () ->
                let black_start = Loop.now loop in
                let brownout = Time.sub black_start attempt_start in
+               window_span ~start:attempt_start ~dur:brownout
+                 "brownout_window";
                if not (Engine.is_attached e) then
                  (* Lost the engine during brownout (crash): nothing was
                     quiesced yet, so simply retry once it is back. *)
@@ -171,6 +182,8 @@ let upgrade ~loop ~costs ~old_group ~new_group
                    let slo = Option.get config.blackout_slo in
                    ignore
                      (Loop.after loop slo (fun () ->
+                          window_span ~start:black_start ~dur:slo
+                            "blackout_window";
                           abort ~brownout ~blackout:slo
                             "blackout-slo-exceeded"))
                  else
@@ -180,6 +193,8 @@ let upgrade ~loop ~costs ~old_group ~new_group
                           let measured =
                             Time.sub (Loop.now loop) black_start
                           in
+                          window_span ~start:black_start ~dur:measured
+                            "blackout_window";
                           if Engine.is_failed e then
                             (* A fault landed on the detached instance
                                mid-blackout: its serialized state is

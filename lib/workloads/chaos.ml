@@ -9,6 +9,7 @@ type config = {
   mode : Engine.mode;
   plan : Fault.Plan.t;
   run_cap : Time.t;
+  poll_period : Time.t option;
 }
 
 let default_plan ?(seed = 11) () =
@@ -53,6 +54,7 @@ let default_config =
     mode = Engine.Dedicating { cores = 1 };
     plan = default_plan ();
     run_cap = Time.ms 500;
+    poll_period = Some (Time.us 100);
   }
 
 type result = {
@@ -88,7 +90,8 @@ let run (cfg : config) : result =
   let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
   let dir = Pony.Express.Directory.create () in
   let mk addr =
-    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr ~mode:cfg.mode ()
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr ~mode:cfg.mode
+      ?poll_period:cfg.poll_period ()
   in
   let ha = mk 0 and hb = mk 1 in
   let inj =
@@ -96,6 +99,11 @@ let run (cfg : config) : result =
       ~hosts:[ fault_host ha 0; fault_host hb 1 ]
   in
   let hist = Stats.Histogram.create () in
+  let reg_hist =
+    Stats.Registry.histogram
+      ~labels:[ ("workload", "chaos") ]
+      "workload_op_latency_ns"
+  in
   let completed = ref 0 in
   let last_done = ref Time.zero in
   ignore
@@ -126,7 +134,9 @@ let run (cfg : config) : result =
              let t0 = Cpu.Thread.now ctx in
              ignore (Pony.Express.send_message ctx conn ~bytes:cfg.op_bytes ());
              let _m = Pony.Express.await_message ctx c in
-             Stats.Histogram.record hist (Cpu.Thread.now ctx - t0);
+             let lat = Cpu.Thread.now ctx - t0 in
+             Stats.Histogram.record hist lat;
+             Stats.Histogram.record reg_hist lat;
              incr completed;
              last_done := Loop.now loop
            done))

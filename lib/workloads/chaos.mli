@@ -18,6 +18,9 @@ type config = {
   plan : Fault.Plan.t;
   run_cap : Sim.Time.t;
       (** Virtual-time budget; generous so recovery can finish. *)
+  poll_period : Sim.Time.t option;
+      (** Telemetry sampling period for each host's {!Control.Poller}
+          (rx-ring depths, per-account CPU); [None] disables polling. *)
 }
 
 val default_plan : ?seed:int -> unit -> Fault.Plan.t

@@ -15,6 +15,7 @@ type config = {
   watchdog_period : Time.t;
   plan : Fault.Plan.t;
   run_cap : Time.t;
+  poll_period : Time.t option;
 }
 
 let default_plan ?(seed = 13) () =
@@ -48,6 +49,7 @@ let default_config =
     watchdog_period = Time.us 100;
     plan = default_plan ();
     run_cap = Time.ms 500;
+    poll_period = Some (Time.us 100);
   }
 
 type result = {
@@ -88,7 +90,8 @@ let run (cfg : config) : result =
   let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
   let dir = PE.Directory.create () in
   let mk addr =
-    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr ~mode:cfg.mode ()
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr ~mode:cfg.mode
+      ?poll_period:cfg.poll_period ()
   in
   let ha = mk 0 and hb = mk 1 in
   let host_of = function 0 -> ha | 1 -> hb | a ->
@@ -145,6 +148,11 @@ let run (cfg : config) : result =
     cfg.upgrade_at;
   (* Closed-loop RR traffic underneath it all. *)
   let hist = Stats.Histogram.create () in
+  let reg_hist =
+    Stats.Registry.histogram
+      ~labels:[ ("workload", "chaos_upgrade") ]
+      "workload_op_latency_ns"
+  in
   let completed = ref 0 in
   let last_done = ref Time.zero in
   ignore
@@ -171,7 +179,9 @@ let run (cfg : config) : result =
              let t0 = Cpu.Thread.now ctx in
              ignore (PE.send_message ctx conn ~bytes:cfg.op_bytes ());
              let _m = PE.await_message ctx c in
-             Stats.Histogram.record hist (Cpu.Thread.now ctx - t0);
+             let lat = Cpu.Thread.now ctx - t0 in
+             Stats.Histogram.record hist lat;
+             Stats.Histogram.record reg_hist lat;
              incr completed;
              last_done := Loop.now loop;
              (* Think time keeps the closed loop issuing across the

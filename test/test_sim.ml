@@ -159,6 +159,167 @@ let test_loop_past_event_runs_now () =
   Sim.Loop.run loop;
   check_int "clamped to now" (Sim.Time.us 10) !at
 
+(* -- Trace ------------------------------------------------------------- *)
+
+(* Every trace test restores the global filter/capture state so the rest
+   of the suite (and bench runs in the same process) see the default
+   everything-off configuration. *)
+let with_trace_reset f =
+  Fun.protect f ~finally:(fun () ->
+      Sim.Trace.set_level None;
+      Sim.Trace.clear_components ();
+      Sim.Trace.set_capture None)
+
+let test_trace_filtered_is_lazy () =
+  with_trace_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      let ran = ref 0 in
+      let probe fmt_ppf =
+        incr ran;
+        Format.pp_print_string fmt_ppf "probe"
+      in
+      (* Level filter off (default): the %t printer must not run. *)
+      Sim.Trace.set_level None;
+      Sim.Trace.emit loop Sim.Trace.Error ~component:"lazy" "x=%t" probe;
+      check_int "printer skipped when level off" 0 !ran;
+      (* Level passes but the component is filtered out. *)
+      Sim.Trace.set_level (Some Sim.Trace.Debug);
+      Sim.Trace.enable_component "other";
+      Sim.Trace.emit loop Sim.Trace.Error ~component:"lazy" "x=%t" probe;
+      check_int "printer skipped when component off" 0 !ran;
+      (* Control: once the filters pass, the printer does run. *)
+      Sim.Trace.enable_component "lazy";
+      Sim.Trace.set_capture (Some 8);
+      Sim.Trace.emit loop Sim.Trace.Error ~component:"lazy" "x=%t" probe;
+      check_int "printer ran when enabled" 1 !ran)
+
+let test_trace_capture_wraparound () =
+  with_trace_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      Sim.Trace.set_level (Some Sim.Trace.Info);
+      Sim.Trace.set_capture (Some 3);
+      for i = 1 to 5 do
+        Sim.Trace.emit loop Sim.Trace.Info ~component:"ring" "line %d" i
+      done;
+      let got = Sim.Trace.captured () in
+      check_int "ring keeps the newest 3" 3 (List.length got);
+      let has n =
+        List.exists
+          (fun l ->
+            String.length l >= String.length n
+            && String.sub l (String.length l - String.length n) (String.length n)
+               = n)
+          got
+      in
+      check_bool "line 1 evicted" false (has "line 1");
+      check_bool "line 2 evicted" false (has "line 2");
+      check_bool "line 3 kept" true (has "line 3");
+      check_bool "line 5 kept" true (has "line 5"))
+
+let test_trace_capture_component_filter () =
+  with_trace_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      Sim.Trace.set_level (Some Sim.Trace.Info);
+      Sim.Trace.enable_component "keep";
+      Sim.Trace.set_capture (Some 8);
+      Sim.Trace.emit loop Sim.Trace.Info ~component:"keep" "wanted";
+      Sim.Trace.emit loop Sim.Trace.Info ~component:"drop" "unwanted";
+      let got = Sim.Trace.captured () in
+      check_int "only the enabled component" 1 (List.length got);
+      check_bool "right line" true
+        (match got with [ l ] -> String.length l > 0 && l.[String.length l - 1] = 'd' | _ -> false))
+
+let test_trace_capture_on_off () =
+  with_trace_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      Sim.Trace.set_level (Some Sim.Trace.Info);
+      Alcotest.(check (list string)) "off: nothing captured" []
+        (Sim.Trace.captured ());
+      Sim.Trace.set_capture (Some 4);
+      Sim.Trace.emit loop Sim.Trace.Info ~component:"c" "one";
+      check_int "on: captured" 1 (List.length (Sim.Trace.captured ()));
+      Sim.Trace.clear_capture ();
+      Alcotest.(check (list string)) "clear keeps capture active" []
+        (Sim.Trace.captured ());
+      Sim.Trace.emit loop Sim.Trace.Info ~component:"c" "two";
+      check_int "still capturing after clear" 1
+        (List.length (Sim.Trace.captured ()));
+      Sim.Trace.set_capture None;
+      Alcotest.(check (list string)) "off again: ring dropped" []
+        (Sim.Trace.captured ()))
+
+(* -- Span -------------------------------------------------------------- *)
+
+let with_span_reset f =
+  Fun.protect f ~finally:(fun () -> Sim.Span.set_capture None)
+
+let test_span_disabled_noop () =
+  with_span_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      check_bool "off by default" false (Sim.Span.enabled ());
+      Sim.Span.emit loop "ignored";
+      check_int "nothing recorded" 0 (List.length (Sim.Span.events ()));
+      check_int "nothing dropped" 0 (Sim.Span.dropped ()))
+
+let test_span_ring_wraparound () =
+  with_span_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      Sim.Span.set_capture (Some 3);
+      check_bool "enabled" true (Sim.Span.enabled ());
+      for i = 1 to 5 do
+        ignore
+          (Sim.Loop.at loop (Sim.Time.us i) (fun () ->
+               Sim.Span.emit loop (Printf.sprintf "ev%d" i)))
+      done;
+      Sim.Loop.run loop;
+      let evs = Sim.Span.events () in
+      check_int "ring keeps newest 3" 3 (List.length evs);
+      check_int "two evicted" 2 (Sim.Span.dropped ());
+      Alcotest.(check (list string))
+        "oldest first" [ "ev3"; "ev4"; "ev5" ]
+        (List.map (fun e -> e.Sim.Span.ev_name) evs);
+      check_int "virtual timestamps" (Sim.Time.us 3)
+        (match evs with e :: _ -> e.Sim.Span.ev_ts | [] -> -1))
+
+let test_span_chrome_export () =
+  with_span_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      Sim.Span.set_capture (Some 16);
+      ignore
+        (Sim.Loop.at loop (Sim.Time.us 10) (fun () ->
+             Sim.Span.emit loop ~cat:"test" ~track:"lane" "instant";
+             Sim.Span.emit loop ~cat:"test" ~track:"lane"
+               ~start:(Sim.Time.us 4) ~dur:(Sim.Time.us 6)
+               ~args:[ ("k", "v") ] "span"));
+      Sim.Loop.run loop;
+      let json = Sim.Span.to_chrome_json () in
+      let contains sub =
+        let n = String.length sub and m = String.length json in
+        let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "track metadata" true (contains "thread_name");
+      check_bool "complete event" true (contains "\"ph\":\"X\"");
+      check_bool "instant event" true (contains "\"ph\":\"i\"");
+      check_bool "args survive" true (contains "\"k\":\"v\"");
+      check_bool "duration in us" true (contains "\"dur\":6.000"))
+
+let test_span_on_off_transitions () =
+  with_span_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      Sim.Span.set_capture (Some 4);
+      Sim.Span.emit loop "kept";
+      Sim.Span.set_capture None;
+      check_bool "disabled" false (Sim.Span.enabled ());
+      check_int "ring dropped with capture" 0 (List.length (Sim.Span.events ()));
+      Sim.Span.emit loop "lost";
+      Sim.Span.set_capture (Some 4);
+      check_int "fresh ring on re-enable" 0 (List.length (Sim.Span.events ()));
+      Sim.Span.emit loop "again";
+      Sim.Span.clear ();
+      check_bool "clear keeps capture active" true (Sim.Span.enabled ());
+      check_int "cleared" 0 (List.length (Sim.Span.events ())))
+
 (* -- Time -------------------------------------------------------------- *)
 
 let test_time_units () =
@@ -196,6 +357,24 @@ let () =
           Alcotest.test_case "every" `Quick test_loop_every;
           Alcotest.test_case "nested" `Quick test_loop_nested_schedule;
           Alcotest.test_case "past event" `Quick test_loop_past_event_runs_now;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "filtered emit is lazy" `Quick
+            test_trace_filtered_is_lazy;
+          Alcotest.test_case "capture wraparound" `Quick
+            test_trace_capture_wraparound;
+          Alcotest.test_case "capture component filter" `Quick
+            test_trace_capture_component_filter;
+          Alcotest.test_case "capture on/off" `Quick test_trace_capture_on_off;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_span_disabled_noop;
+          Alcotest.test_case "ring wraparound" `Quick test_span_ring_wraparound;
+          Alcotest.test_case "chrome export" `Quick test_span_chrome_export;
+          Alcotest.test_case "on/off transitions" `Quick
+            test_span_on_off_transitions;
         ] );
       ("time", [ Alcotest.test_case "units" `Quick test_time_units ]);
     ]

@@ -114,6 +114,17 @@ let test_summary_empty () =
   Alcotest.(check (float 1e-9)) "mean 0" 0.0 (Stats.Summary.mean s);
   Alcotest.(check (float 1e-9)) "std 0" 0.0 (Stats.Summary.std s)
 
+let test_hist_merge_sub_bits_mismatch () =
+  let a = Stats.Histogram.create ~sub_bits:5 () in
+  let b = Stats.Histogram.create ~sub_bits:6 () in
+  Stats.Histogram.record a 10;
+  Stats.Histogram.record b 10;
+  Alcotest.check_raises "mismatched precision rejected"
+    (Invalid_argument "Histogram.merge_into: sub_bits mismatch (src 6, dst 5)")
+    (fun () -> Stats.Histogram.merge_into ~src:b ~dst:a);
+  (* The failed merge must not have touched the destination. *)
+  check_int "dst unchanged" 1 (Stats.Histogram.count a)
+
 let test_series () =
   let s = Stats.Series.create ~name:"iops" () in
   for i = 1 to 100 do
@@ -123,6 +134,118 @@ let test_series () =
   Alcotest.(check (float 1e-9)) "max" 1000.0 (Stats.Series.max_value s);
   Alcotest.(check (float 1e-9)) "last" 1000.0 (Stats.Series.last_value s);
   Alcotest.(check string) "name" "iops" (Stats.Series.name s)
+
+(* -- Registry ---------------------------------------------------------- *)
+
+(* The registry is process-global: each test starts from an empty table
+   ([clear]) so registrations from other tests (or instrumented library
+   code exercised above) cannot leak in. *)
+let with_empty_registry f =
+  Stats.Registry.clear ();
+  Fun.protect f ~finally:Stats.Registry.clear
+
+let test_registry_create_or_get () =
+  with_empty_registry (fun () ->
+      let a = Stats.Registry.counter ~labels:[ ("x", "1") ] "ops" in
+      let b = Stats.Registry.counter ~labels:[ ("x", "1") ] "ops" in
+      Stats.Counter.incr a;
+      check_int "same underlying counter" 1 (Stats.Counter.value b);
+      let other = Stats.Registry.counter ~labels:[ ("x", "2") ] "ops" in
+      check_int "distinct labels, distinct counter" 0 (Stats.Counter.value other))
+
+let test_registry_label_order_canonical () =
+  with_empty_registry (fun () ->
+      let a =
+        Stats.Registry.counter ~labels:[ ("b", "2"); ("a", "1") ] "ops"
+      in
+      let b =
+        Stats.Registry.counter ~labels:[ ("a", "1"); ("b", "2") ] "ops"
+      in
+      Stats.Counter.incr a;
+      check_int "label order irrelevant" 1 (Stats.Counter.value b))
+
+let test_registry_kind_mismatch () =
+  with_empty_registry (fun () ->
+      ignore (Stats.Registry.counter "m");
+      Alcotest.check_raises "kind collision"
+        (Invalid_argument "Registry.histogram: m is already a counter")
+        (fun () -> ignore (Stats.Registry.histogram "m")))
+
+let test_registry_snapshot_sorted () =
+  with_empty_registry (fun () ->
+      ignore (Stats.Registry.counter "zeta");
+      ignore (Stats.Registry.gauge "alpha");
+      ignore (Stats.Registry.counter ~labels:[ ("k", "b") ] "mid");
+      ignore (Stats.Registry.counter ~labels:[ ("k", "a") ] "mid");
+      let names =
+        List.map (fun m -> m.Stats.Registry.m_name) (Stats.Registry.snapshot ())
+      in
+      Alcotest.(check (list string))
+        "sorted by name then labels"
+        [ "alpha"; "mid"; "mid"; "zeta" ] names;
+      match Stats.Registry.snapshot () with
+      | [ _; m1; m2; _ ] ->
+          Alcotest.(check (list (pair string string)))
+            "label order breaks ties" [ ("k", "a") ] m1.Stats.Registry.m_labels;
+          Alcotest.(check (list (pair string string)))
+            "second" [ ("k", "b") ] m2.Stats.Registry.m_labels
+      | _ -> Alcotest.fail "expected four metrics")
+
+let test_registry_reset_all () =
+  with_empty_registry (fun () ->
+      let c = Stats.Registry.counter "ops" in
+      let g = Stats.Registry.gauge "level" in
+      let h = Stats.Registry.histogram "lat" in
+      let s = Stats.Registry.series "depth" in
+      Stats.Counter.incr c ~by:5;
+      Stats.Gauge.set g 2.5;
+      Stats.Histogram.record h 100;
+      Stats.Series.add s 10 1.0;
+      Stats.Registry.reset_all ();
+      check_int "counter zeroed" 0 (Stats.Counter.value c);
+      Alcotest.(check (float 1e-9)) "gauge zeroed" 0.0 (Stats.Gauge.value g);
+      check_int "histogram emptied" 0 (Stats.Histogram.count h);
+      check_int "series emptied" 0 (Stats.Series.length s);
+      (* Registrations survive: same instance comes back. *)
+      Stats.Counter.incr c;
+      check_int "registration intact" 1
+        (Stats.Counter.value (Stats.Registry.counter "ops")))
+
+let test_registry_gauge_push_pull () =
+  with_empty_registry (fun () ->
+      let g = Stats.Registry.gauge "pushed" in
+      Stats.Gauge.set g 3.0;
+      Stats.Gauge.add g 1.5;
+      Alcotest.(check (float 1e-9)) "push mode" 4.5 (Stats.Gauge.value g);
+      let src = ref 7.0 in
+      let p = Stats.Registry.gauge_fn "pulled" (fun () -> !src) in
+      Alcotest.(check (float 1e-9)) "pull mode" 7.0 (Stats.Gauge.value p);
+      src := 9.0;
+      Alcotest.(check (float 1e-9)) "sampler re-read" 9.0 (Stats.Gauge.value p);
+      (* Re-registering re-installs the sampler: last wins. *)
+      let p2 = Stats.Registry.gauge_fn "pulled" (fun () -> 1.0) in
+      Alcotest.(check (float 1e-9)) "last sampler wins" 1.0 (Stats.Gauge.value p2))
+
+let test_registry_json () =
+  with_empty_registry (fun () ->
+      let c = Stats.Registry.counter ~labels:[ ("host", "0") ] "ops" in
+      Stats.Counter.incr c ~by:3;
+      let h = Stats.Registry.histogram "lat" in
+      Stats.Histogram.record h 1000;
+      let s = Stats.Registry.series "depth" in
+      Stats.Series.add s 5 2.0;
+      ignore (Stats.Registry.gauge "level");
+      let json = Stats.Registry.to_json () in
+      let contains sub =
+        let n = String.length sub and m = String.length json in
+        let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "envelope" true (contains "{\"metrics\":[");
+      check_bool "counter value" true
+        (contains "\"name\":\"ops\",\"labels\":{\"host\":\"0\"},\"type\":\"counter\",\"value\":3");
+      check_bool "histogram stats" true (contains "\"p99\":");
+      check_bool "series points" true (contains "\"points\":[[5,2]"))
 
 let () =
   Alcotest.run "stats"
@@ -134,6 +257,8 @@ let () =
           Alcotest.test_case "relative error" `Quick test_hist_relative_error;
           Alcotest.test_case "quantile order" `Quick test_hist_quantiles_order;
           Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "merge sub_bits mismatch" `Quick
+            test_hist_merge_sub_bits_mismatch;
           Alcotest.test_case "negative clamp" `Quick test_hist_negative_clamped;
           Alcotest.test_case "record_n" `Quick test_hist_record_n;
           Alcotest.test_case "cdf" `Quick test_hist_cdf;
@@ -146,4 +271,17 @@ let () =
           Alcotest.test_case "empty" `Quick test_summary_empty;
         ] );
       ("series", [ Alcotest.test_case "basic" `Quick test_series ]);
+      ( "registry",
+        [
+          Alcotest.test_case "create or get" `Quick test_registry_create_or_get;
+          Alcotest.test_case "label canonicalization" `Quick
+            test_registry_label_order_canonical;
+          Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "snapshot sorted" `Quick
+            test_registry_snapshot_sorted;
+          Alcotest.test_case "reset_all" `Quick test_registry_reset_all;
+          Alcotest.test_case "gauge push/pull" `Quick
+            test_registry_gauge_push_pull;
+          Alcotest.test_case "json" `Quick test_registry_json;
+        ] );
     ]
