@@ -3,7 +3,7 @@
    the hot data structures.
 
    Usage: main.exe [table1|fig6a|fig6b|fig6c|fig6d|fig7a|fig7b|fig8|fig9|
-                    ablate-mtu|ablate-indirect|ablate-slo|micro|all]
+                    ablate-mtu|ablate-indirect|ablate-slo|chaos|chaos_upgrade|overload|micro|all]
                    [--metrics-out FILE.json] [--trace-out FILE.json]
 
    --metrics-out dumps the full Stats.Registry (every counter, gauge,
@@ -426,6 +426,39 @@ let chaos_upgrade () =
     (String.equal (CU.fingerprint r) (CU.fingerprint r2));
   flush stdout
 
+(* -- Overload protection ------------------------------------------------- *)
+
+let overload () =
+  section "Overload protection (Workloads.Overload)";
+  let module O = Workloads.Overload in
+  let r = O.run O.default_config in
+  let u = O.run { O.default_config with O.aggressors = 0 } in
+  Printf.printf
+    "aggressors: %d offered -> %d ok, %d rejected, %d timed out, %d busy\n"
+    r.O.offered r.O.agg_ok r.O.agg_rejected r.O.agg_timed_out r.O.agg_busy;
+  Printf.printf
+    "protection: %d quota-rejected, %d shed at dequeue, %d expired, %d busy \
+     NACKs, %d rx pool drops\n"
+    r.O.quota_rejected r.O.ops_shed r.O.ops_expired r.O.busy_nacks
+    r.O.rx_pool_drops;
+  Printf.printf "back-pressure: %d zero-window probes, %d pressure transitions\n"
+    r.O.zero_window_probes r.O.pressure_transitions;
+  let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
+  Printf.printf
+    "victim: %d/%d ok, goodput %.2f Gbps (uncontended %.2f, %.0f%% kept), p99 \
+     %.1fus (uncontended %.1fus)\n"
+    r.O.victim_ok O.default_config.O.victim_ops r.O.victim_goodput_gbps
+    u.O.victim_goodput_gbps
+    (100.0 *. r.O.victim_goodput_gbps /. u.O.victim_goodput_gbps)
+    (pct r.O.victim_latencies 99.0)
+    (pct u.O.victim_latencies 99.0);
+  Printf.printf "hygiene: %d pool bytes leaked, %d Exhausted escapes\n"
+    r.O.pool_leak_bytes r.O.exhausted_escapes;
+  let r2 = O.run O.default_config in
+  Printf.printf "deterministic across runs: %b\n"
+    (String.equal (O.fingerprint r) (O.fingerprint r2));
+  flush stdout
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all_benches =
@@ -444,6 +477,7 @@ let all_benches =
     ("ablate-slo", ablate_slo);
     ("chaos", chaos);
     ("chaos_upgrade", chaos_upgrade);
+    ("overload", overload);
     ("micro", micro);
   ]
 

@@ -4,9 +4,20 @@ type t = {
   mutable used : int;
   mutable watermark : int;
   per_owner : (string, int) Hashtbl.t;
+  (* Bumped by [release_owner]: allocations minted under an older
+     generation were already reclaimed in bulk, so their individual
+     [free]s must not subtract again. *)
+  owner_gen : (string, int) Hashtbl.t;
+  mutable n_released : int;
 }
 
-type alloc = { pool : t; owner : string; bytes : int; mutable live : bool }
+type alloc = {
+  pool : t;
+  owner : string;
+  bytes : int;
+  mutable live : bool;
+  gen : int;
+}
 
 exception Exhausted of string
 
@@ -18,12 +29,17 @@ let create ~name ~capacity_bytes =
     used = 0;
     watermark = 0;
     per_owner = Hashtbl.create 16;
+    owner_gen = Hashtbl.create 16;
+    n_released = 0;
   }
 
 let name t = t.pool_name
 let capacity t = t.capacity_bytes
 let in_use t = t.used
 let available t = t.capacity_bytes - t.used
+
+let gen_of t owner =
+  Option.value ~default:0 (Hashtbl.find_opt t.owner_gen owner)
 
 let try_alloc t ~owner ~bytes =
   if bytes <= 0 then invalid_arg "Pool.alloc: bytes"
@@ -33,7 +49,7 @@ let try_alloc t ~owner ~bytes =
     if t.used > t.watermark then t.watermark <- t.used;
     let prev = Option.value ~default:0 (Hashtbl.find_opt t.per_owner owner) in
     Hashtbl.replace t.per_owner owner (prev + bytes);
-    Some { pool = t; owner; bytes; live = true }
+    Some { pool = t; owner; bytes; live = true; gen = gen_of t owner }
   end
 
 let alloc t ~owner ~bytes =
@@ -45,11 +61,31 @@ let free a =
   if not a.live then invalid_arg "Pool.free: double free";
   a.live <- false;
   let t = a.pool in
-  t.used <- t.used - a.bytes;
-  let prev = Option.value ~default:0 (Hashtbl.find_opt t.per_owner a.owner) in
-  let next = prev - a.bytes in
-  if next <= 0 then Hashtbl.remove t.per_owner a.owner
-  else Hashtbl.replace t.per_owner a.owner next
+  (* A stale-generation allocation was already reclaimed in bulk by
+     [release_owner]; subtracting again would corrupt the accounting. *)
+  if a.gen = gen_of t a.owner then begin
+    t.used <- t.used - a.bytes;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.per_owner a.owner) in
+    let next = prev - a.bytes in
+    if next <= 0 then Hashtbl.remove t.per_owner a.owner
+    else Hashtbl.replace t.per_owner a.owner next
+  end
+
+let release_owner t ~owner =
+  match Hashtbl.find_opt t.per_owner owner with
+  | None ->
+      (* Nothing charged; still bump the generation so allocations
+         handed out earlier (and already freed to zero) stay invalid. *)
+      Hashtbl.replace t.owner_gen owner (gen_of t owner + 1);
+      0
+  | Some bytes ->
+      Hashtbl.remove t.per_owner owner;
+      Hashtbl.replace t.owner_gen owner (gen_of t owner + 1);
+      t.used <- t.used - bytes;
+      t.n_released <- t.n_released + bytes;
+      bytes
+
+let released_bytes t = t.n_released
 
 let owner_usage t owner =
   Option.value ~default:0 (Hashtbl.find_opt t.per_owner owner)
@@ -59,3 +95,13 @@ let owners t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let high_watermark t = t.watermark
+
+let assert_quiesced t =
+  if t.used <> 0 then
+    failwith
+      (Printf.sprintf "Pool %s not quiesced: %d bytes live (%s)" t.pool_name
+         t.used
+         (String.concat ", "
+            (List.map
+               (fun (o, b) -> Printf.sprintf "%s=%d" o b)
+               (owners t))))

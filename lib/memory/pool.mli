@@ -13,6 +13,9 @@ type alloc = private {
   owner : string;
   bytes : int;
   mutable live : bool;
+  gen : int;
+      (** Owner generation at mint time; {!release_owner} invalidates
+          older generations so their late [free]s are no-ops. *)
 }
 (** A live allocation; return it with {!free}. *)
 
@@ -33,7 +36,19 @@ val alloc : t -> owner:string -> bytes:int -> alloc
 val try_alloc : t -> owner:string -> bytes:int -> alloc option
 
 val free : alloc -> unit
-(** Return an allocation.  Double-free raises [Invalid_argument]. *)
+(** Return an allocation.  Double-free raises [Invalid_argument].
+    Freeing an allocation whose owner was since bulk-reclaimed with
+    {!release_owner} is a safe no-op: the bytes were already returned. *)
+
+val release_owner : t -> owner:string -> int
+(** Reclaim every byte currently charged to [owner] in one step and
+    invalidate that owner's outstanding allocations (their later
+    {!free}s become no-ops).  Used by crash recovery: an engine that
+    dies with in-flight allocations must not strand pool bytes forever.
+    Returns the number of bytes reclaimed. *)
+
+val released_bytes : t -> int
+(** Total bytes ever bulk-reclaimed via {!release_owner}. *)
 
 val owner_usage : t -> string -> int
 (** Bytes currently charged to the given owner. *)
@@ -43,3 +58,9 @@ val owners : t -> (string * int) list
 
 val high_watermark : t -> int
 (** Maximum [in_use] ever observed. *)
+
+val assert_quiesced : t -> unit
+(** Raise [Failure] (naming the owners still charged) unless the pool
+    is completely drained.  Chaos and overload workloads call this at
+    quiesce: any live byte after every operation has completed is a
+    leak. *)

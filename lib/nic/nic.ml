@@ -147,6 +147,12 @@ let rearm_rx_interrupt t ~queue =
   else q.pending_while_disarmed <- false
 
 let rx_ring t ~queue = t.rx_queues.(queue).ring
+
+let rx_occupancy t ~queue =
+  let ring = t.rx_queues.(queue).ring in
+  float_of_int (Squeue.Spsc.length ring)
+  /. float_of_int (Squeue.Spsc.capacity ring)
+
 let install_steering t steer = t.steer <- steer
 
 let stall_rx t ~queue ~until =

@@ -1,0 +1,27 @@
+type policy = {
+  max_attempts : int;
+  base_delay : Sim.Time.t;
+  multiplier : float;
+  max_delay : Sim.Time.t;
+  op_timeout : Sim.Time.t option;
+}
+
+let default_policy =
+  {
+    max_attempts = 4;
+    base_delay = Sim.Time.us 50;
+    multiplier = 2.0;
+    max_delay = Sim.Time.ms 1;
+    op_timeout = Some (Sim.Time.ms 5);
+  }
+
+let delay_before p ~attempt =
+  if attempt <= 1 then 0
+  else begin
+    let scaled =
+      float_of_int p.base_delay *. (p.multiplier ** float_of_int (attempt - 2))
+    in
+    Sim.Time.min p.max_delay (int_of_float scaled)
+  end
+
+let attempts_exhausted p ~attempt = attempt > p.max_attempts

@@ -1,0 +1,27 @@
+(** Bounded-retry backoff policy for rejected / timed-out / NACKed ops.
+
+    Pure arithmetic over attempt numbers so applications (and tests)
+    share one backoff schedule: exponential with a multiplier, capped,
+    and bounded in attempts.  The Pony client library's
+    [send_with_retry] drives it; applications can also consult it
+    directly for custom loops. *)
+
+type policy = {
+  max_attempts : int;  (** Total tries, including the first. *)
+  base_delay : Sim.Time.t;  (** Backoff before attempt 2. *)
+  multiplier : float;
+  max_delay : Sim.Time.t;  (** Per-retry backoff cap. *)
+  op_timeout : Sim.Time.t option;
+      (** Deadline attached to each attempt ([submit ~deadline]);
+          [None] submits without one. *)
+}
+
+val default_policy : policy
+(** 4 attempts, 50 us base, x2, capped at 1 ms, 5 ms op timeout. *)
+
+val delay_before : policy -> attempt:int -> Sim.Time.t
+(** Backoff to sleep before [attempt] (2-based; attempt 1 has no
+    delay).  [base * multiplier^(attempt-2)], capped at [max_delay]. *)
+
+val attempts_exhausted : policy -> attempt:int -> bool
+(** True once [attempt] exceeds [max_attempts]. *)

@@ -20,8 +20,21 @@ type completion = {
 }
 
 type command =
-  | C_send of { cmd_conn : conn; op_id : int; stream : int; bytes : int; issued : Time.t }
-  | C_one_sided of { cmd_conn : conn; op_id : int; op : Wire.one_sided; issued : Time.t }
+  | C_send of {
+      cmd_conn : conn;
+      op_id : int;
+      stream : int;
+      bytes : int;
+      issued : Time.t;
+      deadline : Time.t option;
+    }
+  | C_one_sided of {
+      cmd_conn : conn;
+      op_id : int;
+      op : Wire.one_sided;
+      issued : Time.t;
+      deadline : Time.t option;
+    }
 
 and incoming = {
   msg_conn : conn;
@@ -40,6 +53,13 @@ and client = {
   msg_q : incoming Squeue.Spsc.t;
   regions : (int, Memory.Region.t) Hashtbl.t;
   outstanding : (int, Time.t) Hashtbl.t;  (* one-sided op id -> issue time *)
+  adm : Overload.Admission.t;
+  charges : (int, Memory.Pool.alloc option) Hashtbl.t;
+      (* op id -> admission charge, held until the completion fires *)
+  c_shed : Stats.Counter.t;
+  shed_base : int;
+  c_expired : Stats.Counter.t;
+  expired_base : int;
   mutable app_task : Sched.task option;
   mutable next_op : int;
   mutable n_comps : int;
@@ -63,6 +83,10 @@ and asm = {
   total : int;
   mutable first_value : int64 option;
   mutable asm_status : Wire.status;
+  mutable asm_charge : Memory.Pool.alloc option;
+      (* Op memory reserved for the reassembly, charged to the owning
+         engine.  Best-effort: [None] when the pool could not cover it
+         (accounting degrades before correctness does). *)
 }
 
 and eng = {
@@ -81,6 +105,7 @@ and eng = {
   mutable served_one_sided : int;
   mutable tx_rr : int;
   mutable last_epoch : int;  (* engine restart detection (§4.3) *)
+  pressure : Overload.Pressure.t;
 }
 
 and t = {
@@ -106,6 +131,15 @@ and t = {
   corrupt_base : int;
   c_resync : Stats.Counter.t;
   resync_base : int;
+  (* Overload protection (§3.3): one op-memory pool per host; admission
+     charges, receive-side reassembly and packet ingest all draw from
+     it, so saturation surfaces as [Rejected]/drops instead of
+     unbounded growth. *)
+  op_pool : Memory.Pool.t;
+  c_busy : Stats.Counter.t;
+  busy_base : int;
+  c_pool_drop : Stats.Counter.t;
+  pool_drop_base : int;
 }
 
 and dir = { hosts : (Packet.addr, t) Hashtbl.t }
@@ -137,6 +171,32 @@ let flow_versions t =
 
 let corrupt_dropped t = Stats.Counter.value t.c_corrupt - t.corrupt_base
 let flow_resyncs t = Stats.Counter.value t.c_resync - t.resync_base
+let busy_nacks t = Stats.Counter.value t.c_busy - t.busy_base
+let rx_pool_drops t = Stats.Counter.value t.c_pool_drop - t.pool_drop_base
+let op_pool t = t.op_pool
+
+let fold_clients t f init = Hashtbl.fold (fun _ c acc -> f acc c) t.clients_tbl init
+let client_ops_shed c = Stats.Counter.value c.c_shed - c.shed_base
+let client_ops_expired c = Stats.Counter.value c.c_expired - c.expired_base
+let client_admission c = c.adm
+let ops_shed t = fold_clients t (fun acc c -> acc + client_ops_shed c) 0
+let ops_expired t = fold_clients t (fun acc c -> acc + client_ops_expired c) 0
+
+let quota_rejected t =
+  fold_clients t (fun acc c -> acc + Overload.Admission.rejected c.adm) 0
+
+let pressure_level t i = Overload.Pressure.level (List.nth t.engs i).pressure
+
+let pressure_transitions t =
+  List.fold_left
+    (fun acc e -> acc + Overload.Pressure.transitions e.pressure)
+    0 t.engs
+
+let zero_window_probes t =
+  List.fold_left
+    (fun acc e ->
+      List.fold_left (fun a f -> a + Flow.zero_window_probes f) acc e.flow_list)
+    0 t.engs
 
 let flow_stats t =
   List.concat_map
@@ -178,6 +238,20 @@ let max_chunk t = Nic.mtu t.nic - Wire.header_bytes - 24
    half and probes up. *)
 let flow_max_rate t = Nic.link_gbps t.nic
 
+(* Receiver back-pressure (§3.3): the window this engine advertises on
+   every outgoing packet.  Nominal pressure leaves the full flight cap
+   (no behavioural change from the pre-overload transport); Pressured
+   shrinks it toward what the rx ring can absorb; Saturated quenches
+   senders entirely — the zero-window probe reopens them. *)
+let advertised_window eng =
+  match Overload.Pressure.level eng.pressure with
+  | Overload.Pressure.Nominal -> Flow.max_flight
+  | Overload.Pressure.Pressured ->
+      let ring = Nic.rx_ring eng.e_host.nic ~queue:eng.rxq in
+      let free = Squeue.Spsc.capacity ring - Squeue.Spsc.length ring in
+      max 1 (min (Flow.max_flight / 8) (free / 4))
+  | Overload.Pressure.Saturated -> 0
+
 let get_flow eng key =
   match Hashtbl.find_opt eng.flows key with
   | Some f -> f
@@ -201,6 +275,7 @@ let get_flow eng key =
       in
       Hashtbl.add eng.flows key f;
       eng.flow_list <- eng.flow_list @ [ f ];
+      Flow.set_window_provider f (fun () -> advertised_window eng);
       f
 
 (* -- Completion / message delivery to the application ------------------- *)
@@ -211,8 +286,19 @@ let notify_app engine_cost client =
   | None -> ());
   engine_cost := !engine_cost + client.c_host.cost.Sim.Costs.thread_notify
 
+(* An op's admission charge is held until its (first) completion is
+   delivered; any completion path — Ok, Rejected, Timed_out — funnels
+   through here, so the release is unconditional on status. *)
+let release_charge client op_id =
+  match Hashtbl.find_opt client.charges op_id with
+  | Some charge ->
+      Hashtbl.remove client.charges op_id;
+      Overload.Admission.release client.adm charge
+  | None -> ()
+
 let push_completion eng cost client comp =
   ignore eng;
+  release_charge client comp.comp_op;
   if Squeue.Spsc.push client.comp_q ~now:(Loop.now client.c_host.lp) comp then begin
     client.n_comps <- client.n_comps + 1;
     notify_app cost client
@@ -223,8 +309,10 @@ let push_incoming eng cost client inc =
   if Squeue.Spsc.push client.msg_q ~now:(Loop.now client.c_host.lp) inc then begin
     client.n_msgs <- client.n_msgs + 1;
     client.rx_bytes <- client.rx_bytes + inc.msg_bytes;
-    notify_app cost client
+    notify_app cost client;
+    true
   end
+  else false
 
 (* -- Transmit-side segmentation ----------------------------------------- *)
 
@@ -386,7 +474,22 @@ let drain_waiting eng cost conn =
   let t = eng.e_host in
   let continue = ref true in
   while !continue do
+    let now = Loop.now t.lp in
     match Queue.peek_opt conn.waiting with
+    | Some (C_send { op_id; bytes; issued; deadline = Some d; _ }) when now > d ->
+        (* Expired while credit-starved: shed before any segmentation
+           work, without consuming credit. *)
+        ignore (Queue.pop conn.waiting);
+        Stats.Counter.incr conn.local.c_expired;
+        push_completion eng cost conn.local
+          {
+            comp_op = op_id;
+            status = Wire.Timed_out;
+            bytes;
+            value = None;
+            issued_at = issued;
+            completed_at = now;
+          }
     | Some (C_send { op_id; stream; bytes; issued; _ })
       when bytes <= conn.credit ->
         ignore (Queue.pop conn.waiting);
@@ -405,12 +508,67 @@ let drain_waiting eng cost conn =
     | Some _ | None -> continue := false
   done
 
+(* Drop deadline-expired ops parked at the head of the credit-waiting
+   queue.  [drain_waiting] does the same when credit arrives; this
+   sweep covers the case where no credit ever does. *)
+let expire_waiting eng cost ~now =
+  let expired = ref 0 in
+  Hashtbl.iter
+    (fun _ conn ->
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt conn.waiting with
+        | Some (C_send { op_id; bytes; issued; deadline = Some d; _ }) when now > d ->
+            ignore (Queue.pop conn.waiting);
+            incr expired;
+            Stats.Counter.incr conn.local.c_expired;
+            push_completion eng cost conn.local
+              {
+                comp_op = op_id;
+                status = Wire.Timed_out;
+                bytes;
+                value = None;
+                issued_at = issued;
+                completed_at = now;
+              }
+        | Some _ | None -> continue := false
+      done)
+    eng.conns;
+  !expired
+
 let deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow =
-  push_incoming eng cost conn.local
-    { msg_conn = conn; msg_op = op_id; stream; msg_bytes = total };
-  (* Receiver-driven replenishment once the message is handed to the
-     application (§3.3). *)
-  grant_credit eng reverse_flow conn.ckey total
+  if
+    push_incoming eng cost conn.local
+      { msg_conn = conn; msg_op = op_id; stream; msg_bytes = total }
+  then
+    (* Receiver-driven replenishment once the message is handed to the
+       application (§3.3). *)
+    grant_credit eng reverse_flow conn.ckey total
+  else begin
+    (* The destination client's incoming queue is full: shed at
+       delivery and NACK so the sender's credit comes back and the op
+       completes [Busy] instead of silently losing both. *)
+    Stats.Counter.incr eng.e_host.c_busy;
+    Flow.enqueue reverse_flow
+      (Wire.Busy_nack { conn = conn.ckey; op_id; bytes = total })
+      ~payload_bytes:0
+  end
+
+(* Reassembly state is charged to the owning engine in the op pool so
+   receive-side memory is attributed (§2.5); best-effort — [None] when
+   the pool cannot cover it. *)
+let charge_assembly eng ~total =
+  if total = 0 then None
+  else
+    Memory.Pool.try_alloc eng.e_host.op_pool ~owner:(Engine.name eng.core)
+      ~bytes:total
+
+let free_assembly a =
+  match a.asm_charge with
+  | Some c ->
+      a.asm_charge <- None;
+      if c.Memory.Pool.live then Memory.Pool.free c
+  | None -> ()
 
 let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
   let t = eng.e_host in
@@ -426,13 +584,22 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
         match Hashtbl.find_opt eng.assembly akey with
         | Some a -> a
         | None ->
-            let a = { got = 0; total; first_value = None; asm_status = Wire.Ok } in
+            let a =
+              {
+                got = 0;
+                total;
+                first_value = None;
+                asm_status = Wire.Ok;
+                asm_charge = charge_assembly eng ~total;
+              }
+            in
             Hashtbl.add eng.assembly akey a;
             a
       in
       a.got <- a.got + len;
       if a.got >= a.total then begin
         Hashtbl.remove eng.assembly akey;
+        free_assembly a;
         match find_conn eng ckey ~we_init with
         | Some conn ->
             let deliver () =
@@ -473,7 +640,15 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
         match Hashtbl.find_opt eng.assembly akey with
         | Some a -> a
         | None ->
-            let a = { got = 0; total; first_value = None; asm_status = status } in
+            let a =
+              {
+                got = 0;
+                total;
+                first_value = None;
+                asm_status = status;
+                asm_charge = charge_assembly eng ~total;
+              }
+            in
             Hashtbl.add eng.assembly akey a;
             a
       in
@@ -484,6 +659,7 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
       end;
       if a.got >= a.total then begin
         Hashtbl.remove eng.assembly akey;
+        free_assembly a;
         match find_conn eng ckey ~we_init with
         | Some conn ->
             let issued =
@@ -512,34 +688,106 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
           conn.credit <- conn.credit + bytes;
           drain_waiting eng cost conn
       | None -> ())
+  | Wire.Busy_nack { conn = ckey; op_id; bytes } -> (
+      let from_initiator = ckey.Wire.initiator_host = from_host in
+      let we_init = not from_initiator in
+      match find_conn eng ckey ~we_init with
+      | Some conn ->
+          (* The receiver shed this op at delivery: reclaim the
+             connection credit the send consumed and surface a [Busy]
+             completion (a second completion for the op — the first,
+             [Ok], only covered transport take-over). *)
+          conn.credit <- conn.credit + bytes;
+          push_completion eng cost conn.local
+            {
+              comp_op = op_id;
+              status = Wire.Busy;
+              bytes;
+              value = None;
+              issued_at = now;
+              completed_at = now;
+            };
+          drain_waiting eng cost conn
+      | None -> ())
 
 (* -- Command handling ---------------------------------------------------- *)
+
+let cmd_expired cmd ~now =
+  match cmd with
+  | C_send { deadline = Some d; _ } | C_one_sided { deadline = Some d; _ } ->
+      now > d
+  | C_send _ | C_one_sided _ -> false
+
+let complete_unstarted eng cost cmd ~status ~now =
+  let conn, op_id, bytes, issued =
+    match cmd with
+    | C_send { cmd_conn; op_id; bytes; issued; _ } -> (cmd_conn, op_id, bytes, issued)
+    | C_one_sided { cmd_conn; op_id; issued; _ } -> (cmd_conn, op_id, 0, issued)
+  in
+  push_completion eng cost conn.local
+    {
+      comp_op = op_id;
+      status;
+      bytes;
+      value = None;
+      issued_at = issued;
+      completed_at = now;
+    }
+
+(* Load shedding (§3.3): under Saturated pressure, drop ops from
+   clients holding a disproportionate share of their quota — at
+   dequeue, before any segmentation or transmission work is invested
+   in them (cheapest-first). *)
+let shed_at_dequeue eng cmd =
+  match Overload.Pressure.level eng.pressure with
+  | Overload.Pressure.Nominal | Overload.Pressure.Pressured -> false
+  | Overload.Pressure.Saturated ->
+      let client =
+        match cmd with
+        | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } -> cmd_conn.local
+      in
+      Overload.Admission.outstanding_ops client.adm * 4
+      > Overload.Admission.op_quota client.adm
 
 let handle_command eng cost cmd =
   let t = eng.e_host in
   let costs = t.cost in
   cost := !cost + costs.Sim.Costs.pony_per_op;
-  match cmd with
-  | C_send { cmd_conn = conn; op_id; stream; bytes; issued } ->
-      if bytes <= conn.credit then begin
-        conn.credit <- conn.credit - bytes;
-        segment_message t conn ~op_id ~stream ~bytes;
-        push_completion eng cost conn.local
-          {
-            comp_op = op_id;
-            status = Wire.Ok;
-            bytes;
-            value = None;
-            issued_at = issued;
-            completed_at = Loop.now t.lp;
-          }
-      end
-      else Queue.add cmd conn.waiting
-  | C_one_sided { cmd_conn = conn; op_id; op; issued } ->
-      Hashtbl.replace conn.local.outstanding op_id issued;
-      Flow.enqueue conn.c_flow
-        (Wire.One_sided_req { conn = conn.ckey; op_id; op })
-        ~payload_bytes:0
+  let now = Loop.now t.lp in
+  if cmd_expired cmd ~now then begin
+    (match cmd with
+    | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } ->
+        Stats.Counter.incr cmd_conn.local.c_expired);
+    complete_unstarted eng cost cmd ~status:Wire.Timed_out ~now
+  end
+  else if shed_at_dequeue eng cmd then begin
+    (match cmd with
+    | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } ->
+        Stats.Counter.incr cmd_conn.local.c_shed);
+    complete_unstarted eng cost cmd ~status:Wire.Rejected ~now
+  end
+  else
+    match cmd with
+    | C_send { cmd_conn = conn; op_id; stream; bytes; issued; _ } ->
+        if bytes <= conn.credit then begin
+          conn.credit <- conn.credit - bytes;
+          segment_message t conn ~op_id ~stream ~bytes;
+          push_completion eng cost conn.local
+            {
+              comp_op = op_id;
+              status = Wire.Ok;
+              bytes;
+              value = None;
+              issued_at = issued;
+              completed_at = Loop.now t.lp;
+            }
+        end
+        else Queue.add cmd conn.waiting
+    | C_one_sided { cmd_conn = conn; op_id; op; issued; _ } ->
+        Hashtbl.replace conn.local.outstanding op_id issued;
+        Flow.enqueue conn.c_flow
+          (Wire.One_sided_req { conn = conn.ckey; op_id; op })
+          ~payload_bytes:0
 
 (* -- The engine loop ----------------------------------------------------- *)
 
@@ -557,6 +805,17 @@ let arm_timer eng =
         | None -> acc
         | Some d -> ( match acc with None -> Some d | Some a -> Some (Time.min a d)))
       None eng.flow_list
+  in
+  (* Credit-starved ops with deadlines must still time out even if no
+     credit (and hence no engine work) ever arrives. *)
+  let deadline =
+    Hashtbl.fold
+      (fun _ conn acc ->
+        match Queue.peek_opt conn.waiting with
+        | Some (C_send { deadline = Some d; _ }) -> (
+            match acc with None -> Some d | Some a -> Some (Time.min a d))
+        | _ -> acc)
+      eng.conns deadline
   in
   match deadline with
   | Some d when d > Loop.now t.lp ->
@@ -577,6 +836,23 @@ let engine_run eng () =
   let ep = Engine.epoch eng.core in
   if ep <> eng.last_epoch then begin
     eng.last_epoch <- ep;
+    (* The crashed instance's op-pool charges must not strand: bulk-
+       reclaim everything under this engine's name (late frees from
+       pre-crash allocations become generation-checked no-ops), then
+       re-charge the reassemblies that survived in the engine's queues
+       under the new epoch. *)
+    let ename = Engine.name eng.core in
+    let reclaimed = Memory.Pool.release_owner t.op_pool ~owner:ename in
+    Hashtbl.iter
+      (fun _ a ->
+        a.asm_charge <-
+          (if a.total = 0 then None
+           else Memory.Pool.try_alloc t.op_pool ~owner:ename ~bytes:a.total))
+      eng.assembly;
+    if reclaimed > 0 then
+      Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
+        "engine %s epoch %d: reclaimed %d op-pool bytes from dead instance"
+        ename ep reclaimed;
     let requeued =
       List.fold_left (fun acc f -> acc + Flow.resync f ~now) 0 eng.flow_list
     in
@@ -588,6 +864,26 @@ let engine_run eng () =
         (Engine.name eng.core) ep requeued
     end
   end;
+  (* Fold queue and pool occupancy into the engine's pressure level;
+     everything downstream (admission windows, shedding) gates on it. *)
+  let occupancy =
+    let frac q =
+      float_of_int (Squeue.Spsc.length q)
+      /. float_of_int (Squeue.Spsc.capacity q)
+    in
+    let ring_frac = Nic.rx_occupancy t.nic ~queue:eng.rxq in
+    let cmd_frac =
+      List.fold_left
+        (fun acc c -> Float.max acc (frac c.cmd_q))
+        0.0 eng.eclients
+    in
+    let pool_frac =
+      float_of_int (Memory.Pool.in_use t.op_pool)
+      /. float_of_int (Memory.Pool.capacity t.op_pool)
+    in
+    Float.max ring_frac (Float.max cmd_frac pool_frac)
+  in
+  ignore (Overload.Pressure.update eng.pressure ~occupancy);
   (* 1. Receive a bounded batch from this engine's NIC ring. *)
   let ring = Nic.rx_ring t.nic ~queue:eng.rxq in
   let n = ref 0 in
@@ -616,11 +912,35 @@ let engine_run eng () =
         else
         match pkt.Packet.payload with
         | Wire.Pony { flow = k; _ } -> (
-            let f = get_flow eng (Wire.reverse k) in
-            match Flow.on_receive f ~now pkt with
-            | Some item ->
-                handle_item eng cost ~from_host:pkt.Packet.src item ~reverse_flow:f
-            | None -> ())
+            (* Packet ingest holds a transient op-pool charge for the
+               payload while it is processed; when the pool cannot
+               cover even that, shed the packet before any transport
+               work ([try_alloc], never the raising [alloc]).  No ack
+               advances, so the sender retransmits once pressure
+               clears. *)
+            let pb = pkt.Packet.payload_bytes in
+            let ingest =
+              if pb = 0 then Some None
+              else
+                match
+                  Memory.Pool.try_alloc t.op_pool
+                    ~owner:(Engine.name eng.core) ~bytes:pb
+                with
+                | Some a -> Some (Some a)
+                | None -> None
+            in
+            match ingest with
+            | None -> Stats.Counter.incr t.c_pool_drop
+            | Some charge -> (
+                (let f = get_flow eng (Wire.reverse k) in
+                 match Flow.on_receive f ~now pkt with
+                 | Some item ->
+                     handle_item eng cost ~from_host:pkt.Packet.src item
+                       ~reverse_flow:f
+                 | None -> ());
+                match charge with
+                | Some a -> if a.Memory.Pool.live then Memory.Pool.free a
+                | None -> ()))
         | _ -> ())
     | None -> continue := false
   done;
@@ -639,6 +959,7 @@ let engine_run eng () =
         | None -> go := false
       done)
     eng.eclients;
+  if expire_waiting eng cost ~now > 0 then worked := true;
   (* 3. Retransmission timeouts. *)
   List.iter
     (fun f -> if Flow.check_timeout f ~now > 0 then worked := true)
@@ -715,9 +1036,9 @@ let new_engine t =
   (* Tie the knot between the engine record and its run closure. *)
   let eng_ref = ref None in
   let with_eng f default = match !eng_ref with Some e -> f e | None -> default in
+  let ename = Printf.sprintf "pony%d@%d" eid (Nic.addr t.nic) in
   let core =
-    Engine.create
-      ~name:(Printf.sprintf "pony%d@%d" eid (Nic.addr t.nic))
+    Engine.create ~name:ename
       ~run:(fun () -> with_eng (fun e -> engine_run e ()) Engine.No_work)
       ~queue_delay:(fun now -> with_eng (fun e -> engine_queue_delay e now) 0)
       ~state_bytes:(fun () ->
@@ -742,6 +1063,7 @@ let new_engine t =
       served_one_sided = 0;
       tx_rr = 0;
       last_epoch = 0;
+      pressure = Overload.Pressure.create ~loop:t.lp ~name:ename ();
     }
   in
   eng_ref := Some eng;
@@ -760,12 +1082,25 @@ let new_engine t =
   eng
 
 let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
-    ?(use_copy_engine = false) ?(wire_versions = Wire.supported_versions) () =
+    ?(use_copy_engine = false) ?(wire_versions = Wire.supported_versions)
+    ?(op_pool_bytes = 1 lsl 30) () =
   if engines <= 0 then invalid_arg "Pony.create: engines";
+  if op_pool_bytes <= 0 then invalid_arg "Pony.create: op_pool_bytes";
   let lp = Sched.loop machine in
   let labels = [ ("host", string_of_int (Nic.addr nic)) ] in
   let c_corrupt = Stats.Registry.counter ~labels "pony_corrupt_dropped" in
   let c_resync = Stats.Registry.counter ~labels "pony_flow_resyncs" in
+  let c_busy = Stats.Registry.counter ~labels "overload_busy_nacks" in
+  let c_pool_drop = Stats.Registry.counter ~labels "overload_rx_pool_drops" in
+  let op_pool =
+    Memory.Pool.create
+      ~name:(Printf.sprintf "pony_op_pool@%d" (Nic.addr nic))
+      ~capacity_bytes:op_pool_bytes
+  in
+  ignore
+    (Stats.Registry.gauge_fn ~labels "overload_op_pool_frac" (fun () ->
+         float_of_int (Memory.Pool.in_use op_pool)
+         /. float_of_int (Memory.Pool.capacity op_pool)));
   let t =
     {
       dir = directory;
@@ -787,6 +1122,11 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
       corrupt_base = Stats.Counter.value c_corrupt;
       c_resync;
       resync_base = Stats.Counter.value c_resync;
+      op_pool;
+      c_busy;
+      busy_base = Stats.Counter.value c_busy;
+      c_pool_drop;
+      pool_drop_base = Stats.Counter.value c_pool_drop;
     }
   in
   Hashtbl.replace directory.hosts (Nic.addr nic) t;
@@ -804,7 +1144,8 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
 
 (* -- Client library ------------------------------------------------------ *)
 
-let create_client ctx t ~name ?(exclusive_engine = false) () =
+let create_client ctx t ~name ?(exclusive_engine = false) ?(max_ops = 65536)
+    ?max_bytes ?rate_ops_per_sec ?burst_ops () =
   Control.authenticate ctx t.ctl ~client:name;
   (match Control.call ctx t.ctl ~service:"pony" (Pony_setup name) with
   | Pony_ready -> ()
@@ -820,6 +1161,22 @@ let create_client ctx t ~name ?(exclusive_engine = false) () =
   in
   let cid = t.next_cid in
   t.next_cid <- cid + 1;
+  (* The admission owner doubles as the pool accounting name; qualify
+     it with the host so cross-host clients sharing a name stay
+     distinguishable in metrics and [Pool.owners]. *)
+  let owner = Printf.sprintf "%s@%d" name (addr t) in
+  let max_bytes =
+    match max_bytes with
+    | Some b -> b
+    | None -> Memory.Pool.capacity t.op_pool
+  in
+  let adm =
+    Overload.Admission.create ~pool:t.op_pool ~owner ~max_ops ~max_bytes
+      ?rate_ops_per_sec ?burst_ops ()
+  in
+  let clabels = [ ("client", owner) ] in
+  let c_shed = Stats.Registry.counter ~labels:clabels "overload_ops_shed" in
+  let c_expired = Stats.Registry.counter ~labels:clabels "overload_ops_expired" in
   let client =
     {
       cid;
@@ -831,6 +1188,12 @@ let create_client ctx t ~name ?(exclusive_engine = false) () =
       msg_q = Squeue.Spsc.create ~name:(name ^ ".msg") ~capacity:comp_queue_slots ();
       regions = Hashtbl.create 8;
       outstanding = Hashtbl.create 64;
+      adm;
+      charges = Hashtbl.create 64;
+      c_shed;
+      shed_base = Stats.Counter.value c_shed;
+      c_expired;
+      expired_base = Stats.Counter.value c_expired;
       app_task = None;
       next_op = 0;
       n_comps = 0;
@@ -935,17 +1298,60 @@ let fresh_op client =
   client.next_op <- id + 1;
   id
 
-let send_message ctx conn ?(stream = 0) ~bytes () =
+(* Admission rejections complete locally on the submitting thread —
+   the op never reaches an engine, the app sees a [Rejected]
+   completion, never an exception. *)
+let reject_locally ctx client ~op_id ~bytes =
+  let now = Cpu.Thread.now ctx in
+  if
+    Squeue.Spsc.push client.comp_q ~now
+      {
+        comp_op = op_id;
+        status = Wire.Rejected;
+        bytes;
+        value = None;
+        issued_at = now;
+        completed_at = now;
+      }
+  then client.n_comps <- client.n_comps + 1
+
+let send_message ctx conn ?(stream = 0) ?deadline ~bytes () =
   if bytes < 0 then invalid_arg "Pony.send_message";
-  let op_id = fresh_op conn.local in
-  post_command ctx conn
-    (C_send { cmd_conn = conn; op_id; stream; bytes; issued = Cpu.Thread.now ctx });
+  let client = conn.local in
+  let op_id = fresh_op client in
+  (match Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes with
+  | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
+  | Overload.Admission.Admitted charge ->
+      Hashtbl.replace client.charges op_id charge;
+      post_command ctx conn
+        (C_send
+           {
+             cmd_conn = conn;
+             op_id;
+             stream;
+             bytes;
+             issued = Cpu.Thread.now ctx;
+             deadline;
+           }));
   op_id
 
-let one_sided ctx conn op =
-  let op_id = fresh_op conn.local in
-  post_command ctx conn
-    (C_one_sided { cmd_conn = conn; op_id; op; issued = Cpu.Thread.now ctx });
+(* Payload bytes an op will move — what admission charges for it. *)
+let one_sided_bytes = function
+  | Wire.Read { len; _ } | Wire.Write { len; _ } | Wire.Scan_read { len; _ } ->
+      len
+  | Wire.Indirect_read { indices; len; _ } -> len * List.length indices
+
+let one_sided ?deadline ctx conn op =
+  let client = conn.local in
+  let op_id = fresh_op client in
+  let bytes = one_sided_bytes op in
+  (match Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes with
+  | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
+  | Overload.Admission.Admitted charge ->
+      Hashtbl.replace client.charges op_id charge;
+      post_command ctx conn
+        (C_one_sided
+           { cmd_conn = conn; op_id; op; issued = Cpu.Thread.now ctx; deadline }));
   op_id
 
 let one_sided_read ctx conn ~region ~off ~len =
@@ -985,3 +1391,37 @@ let rec await_message ctx client =
   | None ->
       Cpu.Thread.wait ctx;
       await_message ctx client
+
+(* Bounded-retry send: backoff on Rejected / Timed_out / Busy, a
+   deadline per attempt from the policy.  The helper owns the
+   completion queue while it runs (completions of other outstanding
+   ops are discarded), so it suits closed-loop callers. *)
+let send_with_retry ctx conn ?(stream = 0)
+    ?(policy = Overload.Retry.default_policy) ~bytes () =
+  if policy.Overload.Retry.max_attempts <= 0 then
+    invalid_arg "Pony.send_with_retry: max_attempts";
+  let client = conn.local in
+  let rec attempt n last =
+    if Overload.Retry.attempts_exhausted policy ~attempt:n then
+      Error (Option.get last)
+    else begin
+      let backoff = Overload.Retry.delay_before policy ~attempt:n in
+      if backoff > 0 then Cpu.Thread.sleep ctx backoff;
+      let deadline =
+        Option.map
+          (fun budget -> Time.add (Cpu.Thread.now ctx) budget)
+          policy.Overload.Retry.op_timeout
+      in
+      let op = send_message ctx conn ~stream ?deadline ~bytes () in
+      let rec wait_for_op () =
+        let c = await_completion ctx client in
+        if c.comp_op = op then c else wait_for_op ()
+      in
+      let c = wait_for_op () in
+      match c.status with
+      | Wire.Ok -> Ok c
+      | Wire.Rejected | Wire.Timed_out | Wire.Busy -> attempt (n + 1) (Some c)
+      | _ -> Error c
+    end
+  in
+  attempt 1 None

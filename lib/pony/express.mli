@@ -37,6 +37,7 @@ val create :
   ?engines:int ->
   ?use_copy_engine:bool ->
   ?wire_versions:int list ->
+  ?op_pool_bytes:int ->
   unit ->
   t
 (** Instantiate the Pony module on a host with [engines] (default 1)
@@ -46,7 +47,11 @@ val create :
     copies to the I/OAT model (§3.4).  [wire_versions] is the set of
     wire-protocol versions this release speaks; flows to peers negotiate
     the least common denominator, modeling mixed-release fleets during
-    the weekly rollout (§3.1).  Requires
+    the weekly rollout (§3.1).  [op_pool_bytes] (default 1 GiB) sizes
+    the host's op-memory pool: admission charges, receive-side
+    reassembly state and packet ingest all draw from it, so overload
+    surfaces as [Rejected] completions and counted drops instead of
+    unbounded memory growth (§2.5, §3.3).  Requires
     [engines <= num NIC rx queues]. *)
 
 val machine : t -> Cpu.Sched.machine
@@ -63,6 +68,10 @@ val create_client :
   t ->
   name:string ->
   ?exclusive_engine:bool ->
+  ?max_ops:int ->
+  ?max_bytes:int ->
+  ?rate_ops_per_sec:float ->
+  ?burst_ops:int ->
   unit ->
   client
 (** Attach an application: authenticates with the control plane and
@@ -70,7 +79,15 @@ val create_client :
     [exclusive_engine] (default false) a fresh engine is instantiated
     for this client and added to the group — stronger isolation at
     higher cost (§3.1); otherwise a pre-loaded shared engine is
-    assigned round-robin. *)
+    assigned round-robin.
+
+    The remaining parameters configure this client's admission quotas
+    (see {!Overload.Admission}): at most [max_ops] outstanding ops
+    (default 65536), at most [max_bytes] outstanding payload bytes
+    charged against the host op pool (default: the whole pool), and an
+    optional token-bucket submission rate.  The permissive defaults
+    keep well-behaved applications unthrottled; servers hosting
+    untrusted clients set real quotas. *)
 
 val client_id : client -> int
 val client_name : client -> string
@@ -93,10 +110,18 @@ val conn_peer : conn -> Memory.Packet.addr * int
 (** {1 Asynchronous operations} *)
 
 val send_message :
-  Cpu.Thread.ctx -> conn -> ?stream:int -> bytes:int -> unit -> int
+  Cpu.Thread.ctx -> conn -> ?stream:int -> ?deadline:Sim.Time.t -> bytes:int -> unit -> int
 (** Two-sided message (§3.3).  Returns the operation id; a completion
     arrives once the transport has taken responsibility.  Messages on
-    different streams do not head-of-line block each other. *)
+    different streams do not head-of-line block each other.
+
+    Overload semantics: if admission control refuses the op, a
+    [Rejected] completion is delivered immediately (the op never
+    reaches an engine).  With [~deadline] (absolute virtual time), an
+    op the engine has not started by then completes [Timed_out] and is
+    shed at dequeue.  If the destination client's incoming queue is
+    full, the receiver NACKs: the op's credit returns and a second,
+    [Busy], completion follows the [Ok] one. *)
 
 val one_sided_read :
   Cpu.Thread.ctx -> conn -> region:int -> off:int -> len:int -> int
@@ -152,6 +177,23 @@ val await_completion : Cpu.Thread.ctx -> client -> completion
 val poll_message : Cpu.Thread.ctx -> client -> incoming option
 val await_message : Cpu.Thread.ctx -> client -> incoming
 
+val send_with_retry :
+  Cpu.Thread.ctx ->
+  conn ->
+  ?stream:int ->
+  ?policy:Overload.Retry.policy ->
+  bytes:int ->
+  unit ->
+  (completion, completion) result
+(** Closed-loop send with bounded retries: attempts up to
+    [policy.max_attempts] sends, each carrying a deadline of
+    [policy.op_timeout], backing off exponentially between attempts and
+    retrying on [Rejected], [Timed_out] and [Busy].  [Ok c] on success;
+    [Error last] with the final completion when attempts run out (or on
+    a non-retryable status).  The helper consumes this client's
+    completion queue while it runs, so it is intended for callers with
+    no other outstanding ops. *)
+
 (** {1 Telemetry} *)
 
 val completions_delivered : client -> int
@@ -174,6 +216,44 @@ val flow_versions : t -> (Wire.flow_key * int) list
 
 val one_sided_served : t -> int
 (** One-sided requests this host's engines executed. *)
+
+(** {1 Overload telemetry} *)
+
+val op_pool : t -> Memory.Pool.t
+(** The host's op-memory pool; workloads call
+    [Memory.Pool.assert_quiesced] on it after quiescing to prove no op
+    bytes leaked. *)
+
+val quota_rejected : t -> int
+(** Ops refused by admission control across this host's clients. *)
+
+val ops_shed : t -> int
+(** Ops dropped at dequeue under Saturated pressure. *)
+
+val ops_expired : t -> int
+(** Ops whose deadline passed before the engine started them. *)
+
+val busy_nacks : t -> int
+(** Messages shed at delivery because the destination client's
+    incoming queue was full (each one NACKed back to the sender). *)
+
+val rx_pool_drops : t -> int
+(** Received packets shed at ingest because the op pool could not
+    cover their payload. *)
+
+val zero_window_probes : t -> int
+(** Window-reopen probes sent by this host's flows (see
+    {!Flow.zero_window_probes}). *)
+
+val pressure_level : t -> int -> Overload.Pressure.level
+(** Current pressure level of the i-th engine. *)
+
+val pressure_transitions : t -> int
+(** Pressure level changes across this host's engines since creation. *)
+
+val client_admission : client -> Overload.Admission.t
+val client_ops_shed : client -> int
+val client_ops_expired : client -> int
 
 val debug_snapshot : t -> string
 (** One-line internal state dump (rings, assembly tables, flows, copy

@@ -7,6 +7,12 @@ let min_rto = Time.us 100
 let gbn_window = 8
 let dupack_threshold = 3
 
+(* How long a quenched sender (advertised window zero, nothing in
+   flight) waits before probing with one packet so the window can
+   reopen.  Without the probe a zero window would livelock: no data
+   means no acks, no acks means no window update. *)
+let zero_window_probe_interval = Time.us 200
+
 type flight_entry = {
   f_seq : int;
   f_item : Wire.item;
@@ -27,6 +33,13 @@ type t = {
   mutable next_release : Time.t;
   mutable dup_acks : int;
   mutable last_ack_seen : int;
+  (* Receiver back-pressure: the peer's latest advertised window (in
+     packets) caps new flight; [wnd_provider] supplies the window we
+     advertise on every outgoing packet. *)
+  mutable peer_wnd : int;
+  mutable wnd_update_at : Time.t;
+  mutable wnd_provider : unit -> int;
+  mutable n_zw_probes : int;
   (* Receive. *)
   mutable rcv_cum : int;
   mutable rcv_ooo : int list;  (* sorted ascending, all >= rcv_cum *)
@@ -62,6 +75,10 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
     next_release = Time.zero;
     dup_acks = 0;
     last_ack_seen = 0;
+    peer_wnd = max_flight;
+    wnd_update_at = Time.zero;
+    wnd_provider = (fun () -> max_flight);
+    n_zw_probes = 0;
     rcv_cum = 0;
     rcv_ooo = [];
     owe_ack = false;
@@ -88,11 +105,22 @@ let cc t = t.timely
 let pending t = Queue.length t.queue + Queue.length t.retx
 let in_flight t = List.length t.flight
 
+let effective_window t = min max_flight (max 0 t.peer_wnd)
+
+(* A quenched idle flow (zero window, empty flight, data waiting) may
+   send one probe packet after an idle interval; the probe's ack
+   carries the peer's current window and reopens the flow. *)
+let zw_probe_due t ~now =
+  effective_window t = 0
+  && t.flight = []
+  && (not (Queue.is_empty t.queue))
+  && Time.sub now t.wnd_update_at >= zero_window_probe_interval
+
 let ready_to_emit t ~now =
   (not (Queue.is_empty t.retx))
   || ((not (Queue.is_empty t.queue))
-     && List.length t.flight < max_flight
-     && now >= t.next_release)
+     && now >= t.next_release
+     && (List.length t.flight < effective_window t || zw_probe_due t ~now))
 
 let enqueue t item ~payload_bytes =
   Queue.add (item, payload_bytes, Loop.now t.lp) t.queue
@@ -124,6 +152,7 @@ let build_packet t ~now ~gen ~seq ~item ~payload =
          flow = t.fkey;
          seq;
          ack = t.rcv_cum;
+         wnd = max 0 (t.wnd_provider ());
          ts = now;
          ts_echo = t.latest_rx_ts;
          version = t.ver;
@@ -155,12 +184,20 @@ let rec emit t ~now ~gen =
         span t ~now ~args:[ ("seq", string_of_int fe.f_seq) ] "retx";
       Some pkt
   | None ->
+      let probe = zw_probe_due t ~now in
       if
         Queue.is_empty t.queue
-        || List.length t.flight >= max_flight
         || now < t.next_release
+        || (List.length t.flight >= effective_window t && not probe)
       then None
       else begin
+        if probe then begin
+          t.n_zw_probes <- t.n_zw_probes + 1;
+          (* Restart the idle clock so at most one probe is in flight
+             per interval even if the probe itself is lost. *)
+          t.wnd_update_at <- now;
+          if Sim.Span.enabled () then span t ~now "zw_probe"
+        end;
         let item, payload, _enq = Queue.take t.queue in
         let seq = t.snd_nxt in
         t.snd_nxt <- seq + 1;
@@ -278,7 +315,9 @@ let absorb_ooo t =
 
 let on_receive t ~now pkt =
   match pkt.Packet.payload with
-  | Wire.Pony { flow = _; seq; ack; ts; ts_echo; version = _; item } -> (
+  | Wire.Pony { flow = _; seq; ack; wnd; ts; ts_echo; version = _; item } -> (
+      t.peer_wnd <- wnd;
+      t.wnd_update_at <- now;
       process_ack t ~now ~ack ~ts_echo ~pure:(item = Wire.Bare_ack);
       match item with
       | Wire.Bare_ack -> None
@@ -304,6 +343,14 @@ let on_receive t ~now pkt =
 let next_deadline t =
   let pace =
     if Queue.is_empty t.queue && Queue.is_empty t.retx then None
+    else if effective_window t = 0 && t.flight = [] && Queue.is_empty t.retx
+    then
+      (* Quenched: the next useful service time is the window probe,
+         not the pacer release.  Without this the engine timer never
+         fires and a zero window livelocks an otherwise idle flow. *)
+      Some
+        (Time.max t.next_release
+           (Time.add t.wnd_update_at zero_window_probe_interval))
     else Some t.next_release
   in
   let rto =
@@ -341,3 +388,7 @@ let retransmits t = t.n_retx
 let delivered t = t.n_delivered
 let acked_packets t = t.n_acked
 let srtt t = int_of_float t.srtt_ns
+
+let set_window_provider t f = t.wnd_provider <- f
+let peer_window t = t.peer_wnd
+let zero_window_probes t = t.n_zw_probes

@@ -14,6 +14,10 @@
 
 type t
 
+val max_flight : int
+(** Per-flow flight cap in packets; also the largest window a receiver
+    ever advertises. *)
+
 val create :
   loop:Sim.Loop.t ->
   key:Wire.flow_key ->
@@ -41,8 +45,10 @@ val queue_age : t -> now:Sim.Time.t -> Sim.Time.t
 val in_flight : t -> int
 
 val ready_to_emit : t -> now:Sim.Time.t -> bool
-(** True when an item is queued, the window has room, and the pacer
-    allows a transmission now. *)
+(** True when an item is queued, the window (both the local flight cap
+    and the peer's advertised window) has room, and the pacer allows a
+    transmission now.  A flow quenched by a zero advertised window
+    becomes ready again once the window-reopen probe interval elapses. *)
 
 val emit : t -> now:Sim.Time.t -> gen:Memory.Packet.Id_gen.t -> Memory.Packet.t option
 (** Build the next packet (consuming one queued item), advancing the
@@ -87,3 +93,21 @@ val retransmits : t -> int
 val delivered : t -> int
 val acked_packets : t -> int
 val srtt : t -> Sim.Time.t
+
+(** {1 Receiver back-pressure (advertised window)} *)
+
+val set_window_provider : t -> (unit -> int) -> unit
+(** Install the function supplying the advertised receive window (in
+    packets) stamped on every outgoing packet of this flow — derived by
+    the owning engine from its rx-ring occupancy and op-pool pressure.
+    Defaults to the full flight cap (no back-pressure). *)
+
+val peer_window : t -> int
+(** The peer's most recent advertised window.  New transmissions stop
+    while [in_flight >= min max-flight (peer_window)]; retransmissions
+    are exempt (their flight slots are already accounted). *)
+
+val zero_window_probes : t -> int
+(** Probe packets sent to reopen a zero advertised window after idle:
+    without them, "no data -> no acks -> no window update" would
+    livelock the flow. *)

@@ -44,7 +44,25 @@ type one_sided =
       len : int;
     }
 
-type status = Ok | Bad_region | Bad_range | No_match | Not_permitted
+type status =
+  | Ok
+  | Bad_region
+  | Bad_range
+  | No_match
+  | Not_permitted
+  | Rejected
+  | Timed_out
+  | Busy
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Bad_region -> "bad_region"
+  | Bad_range -> "bad_range"
+  | No_match -> "no_match"
+  | Not_permitted -> "not_permitted"
+  | Rejected -> "rejected"
+  | Timed_out -> "timed_out"
+  | Busy -> "busy"
 
 type item =
   | Msg_chunk of {
@@ -66,6 +84,7 @@ type item =
       value : int64 option;
     }
   | Credit_grant of { conn : conn_key; bytes : int }
+  | Busy_nack of { conn : conn_key; op_id : int; bytes : int }
   | Bare_ack
 
 type Memory.Packet.payload +=
@@ -73,6 +92,7 @@ type Memory.Packet.payload +=
       flow : flow_key;
       seq : int;
       ack : int;
+      wnd : int;
       ts : Sim.Time.t;
       ts_echo : Sim.Time.t;
       version : int;
@@ -101,4 +121,5 @@ let item_wire_bytes = function
       | Scan_read _ -> 24)
   | One_sided_resp _ -> 24
   | Credit_grant _ -> 12
+  | Busy_nack _ -> 12
   | Bare_ack -> 0

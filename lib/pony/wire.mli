@@ -52,7 +52,26 @@ type one_sided =
           application-shared region, then fetch [len] bytes at the
           offset stored next to the match. *)
 
-type status = Ok | Bad_region | Bad_range | No_match | Not_permitted
+type status =
+  | Ok
+  | Bad_region
+  | Bad_range
+  | No_match
+  | Not_permitted
+  | Rejected
+      (** Refused by admission control before reaching an engine: the
+          client is over its op/byte quota, rate limit, or the op pool
+          is exhausted.  Overload answers with a status, never an
+          exception into the hot path. *)
+  | Timed_out
+      (** The op's deadline expired before the engine started it; shed
+          at dequeue. *)
+  | Busy
+      (** NACKed by the destination: the target client's incoming
+          queue was full.  The transport returned the op's flow-control
+          credit; retry after backoff. *)
+
+val status_to_string : status -> string
 
 (** Payload items carried by flow packets. *)
 type item =
@@ -78,6 +97,11 @@ type item =
     }
   | Credit_grant of { conn : conn_key; bytes : int }
       (** Receiver-driven flow control replenishment (§3.3). *)
+  | Busy_nack of { conn : conn_key; op_id : int; bytes : int }
+      (** Fast-path NACK: the destination client's incoming queue was
+          full, so the message was shed at delivery.  Returns the op's
+          [bytes] of connection credit and completes the op with
+          {!Busy} at the initiator. *)
   | Bare_ack  (** No upper-layer payload; acks/timestamps only. *)
 
 type Memory.Packet.payload +=
@@ -85,6 +109,13 @@ type Memory.Packet.payload +=
       flow : flow_key;
       seq : int;  (** Packet sequence number within the flow. *)
       ack : int;  (** Cumulative ack of the reverse direction. *)
+      wnd : int;
+          (** Advertised receive window, in packets: how much new
+              flight the receiving engine invites, derived from its
+              rx-ring and op-pool occupancy.  Rides in a reserved field
+              of the existing 24-byte flow header, so [header_bytes] is
+              unchanged.  Senders cap their flight at the latest value;
+              zero quenches the flow until reopened (or probed). *)
       ts : Sim.Time.t;  (** Sender timestamp (for Timely RTT). *)
       ts_echo : Sim.Time.t;  (** Echoed timestamp of the acked packet. *)
       version : int;  (** Wire protocol version (§3.1). *)

@@ -10,7 +10,7 @@ type t = {
 let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
     ?(mode = Engine.Dedicating { cores = 2 }) ?(engines = 1)
     ?(use_copy_engine = false) ?(costs = Sim.Costs.default) ?wire_versions
-    ?poll_period () =
+    ?op_pool_bytes ?poll_period () =
   let machine =
     Cpu.Sched.create_machine ~loop ~costs
       ~name:(Printf.sprintf "host%d" addr)
@@ -24,7 +24,7 @@ let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
   let group = Engine.create_group ~machine ~name:"snap" ~mode in
   let pony =
     Pony.Express.create ~directory ~control ~machine ~nic ~group ~engines
-      ~use_copy_engine ?wire_versions ()
+      ~use_copy_engine ?wire_versions ?op_pool_bytes ()
   in
   (* Telemetry polling is opt-in: the periodic timer re-arms forever, so
      hosts sampled by default would keep an un-bounded [Sim.Loop.run]

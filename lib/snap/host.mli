@@ -27,14 +27,17 @@ val create :
   ?use_copy_engine:bool ->
   ?costs:Sim.Costs.t ->
   ?wire_versions:int list ->
+  ?op_pool_bytes:int ->
   ?poll_period:Sim.Time.t ->
   unit ->
   t
 (** Defaults: 16 cores, default NIC, dedicating 2 cores, 1 Pony
-    engine.  [poll_period] arms a {!Control.Poller} sampling every NIC
-    rx-ring depth and the machine's per-account CPU into the metric
-    registry; it is off by default because the periodic timer keeps an
-    un-bounded [Sim.Loop.run] from going idle. *)
+    engine.  [op_pool_bytes] sizes Pony's op-memory pool (see
+    {!Pony.Express.create}); overload workloads shrink it to force
+    admission pressure.  [poll_period] arms a {!Control.Poller}
+    sampling every NIC rx-ring depth and the machine's per-account CPU
+    into the metric registry; it is off by default because the periodic
+    timer keeps an un-bounded [Sim.Loop.run] from going idle. *)
 
 val poller : t -> Control.Poller.t option
 

@@ -142,6 +142,12 @@ let run (cfg : config) : result =
            done))
   done;
   Loop.run ~until:cfg.run_cap loop;
+  (* Every op completed (or was recovered after the engine crash): any
+     op-pool byte still charged — including by the crashed engine's old
+     incarnation — is a leak. *)
+  List.iter
+    (fun h -> Memory.Pool.assert_quiesced (Pony.Express.op_pool h.Snap.Host.pony))
+    [ ha; hb ];
   let expected = cfg.clients * cfg.ops_per_client in
   let sum_hosts f = f ha.Snap.Host.pony + f hb.Snap.Host.pony in
   let retransmits =

@@ -190,6 +190,11 @@ let run (cfg : config) : result =
            done))
   done;
   Loop.run ~until:cfg.run_cap loop;
+  (* Upgrades restart engines mid-flight; restarted incarnations must
+     reconcile the old ones' op-pool charges or this raises. *)
+  List.iter
+    (fun h -> Memory.Pool.assert_quiesced (Pony.Express.op_pool h.Snap.Host.pony))
+    [ ha; hb ];
   let expected = cfg.clients * cfg.ops_per_client in
   let all_reports = List.concat_map snd !reports in
   let committed =
