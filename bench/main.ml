@@ -3,13 +3,17 @@
    the hot data structures.
 
    Usage: main.exe [table1|fig6a|fig6b|fig6c|fig6d|fig7a|fig7b|fig8|fig9|
-                    ablate-mtu|ablate-indirect|ablate-slo|chaos|chaos_upgrade|overload|micro|all]
-                   [--metrics-out FILE.json] [--trace-out FILE.json]
+                    ablate-mtu|ablate-indirect|ablate-slo|chaos|chaos_upgrade|overload|sweep|micro|all]
+                   [--metrics-out FILE.json] [--trace-out FILE.json] [--check]
 
    --metrics-out dumps the full Stats.Registry (every counter, gauge,
    histogram and series the selected sections touched) as JSON.
    --trace-out turns on Sim.Span capture for the run and writes the
    result as Chrome trace-event JSON (chrome://tracing, perfetto).
+   --check enables the Check.Invariant registry for every workload run;
+   the sweep section (invariants + schedule perturbation across seeds,
+   tie-break salts and randomized hashing) enables it regardless and is
+   excluded from `all`.
 
    Absolute numbers come from a calibrated cost model (lib/sim/costs.ml);
    the claim checked here is the paper's shape: who wins, by what factor,
@@ -459,6 +463,74 @@ let overload () =
     (String.equal (O.fingerprint r) (O.fingerprint r2));
   flush stdout
 
+(* -- Determinism sweep ---------------------------------------------------- *)
+
+(* Invariant-checked schedule-perturbation sweep: runs the chaos,
+   chaos_upgrade and overload workloads (reduced op counts) across
+   seeds x event-loop tie-break salts x repeats with randomized Hashtbl
+   hashing, asserting every registered invariant holds and every
+   fingerprint is a function of the seed alone.  Finishes with a
+   sabotage run proving the checker is not vacuous. *)
+let sweep () =
+  section "Determinism sweep: invariants under schedule perturbation";
+  Check.Invariant.set_enabled true;
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let report name outcome =
+    Printf.printf "%-14s %s%!" name (Check.Explore.summary outcome);
+    if not (Check.Explore.ok outcome) then exit 1
+  in
+  let module C = Workloads.Chaos in
+  report "chaos"
+    (Check.Explore.sweep ~seeds ~randomize_hash:true
+       ~run:(fun ~seed ~salt ->
+         C.fingerprint
+           (C.run
+              { C.default_config with C.seed; tie_salt = salt;
+                ops_per_client = 150 }))
+       ());
+  let module CU = Workloads.Chaos_upgrade in
+  report "chaos_upgrade"
+    (Check.Explore.sweep ~seeds ~randomize_hash:true
+       ~run:(fun ~seed ~salt ->
+         CU.fingerprint
+           (CU.run
+              { CU.default_config with CU.seed; tie_salt = salt;
+                ops_per_client = 250 }))
+       ());
+  let module O = Workloads.Overload in
+  report "overload"
+    (Check.Explore.sweep ~seeds ~randomize_hash:true
+       ~run:(fun ~seed ~salt ->
+         O.fingerprint
+           (O.run
+              { O.default_config with O.seed; tie_salt = salt;
+                victim_ops = 60; stop_at = T.ms 10; run_cap = T.ms 40 }))
+       ());
+  Printf.printf "invariants registered (last run): %d, evaluations: %d\n"
+    (Check.Invariant.registered ())
+    (Check.Invariant.evaluations ());
+  (* Non-vacuity: arm a deliberate bookkeeping bug (admission charges
+     never released) and require the quiesce-time pool invariant to
+     catch it. *)
+  Check.Invariant.set_sabotage "skip_credit_release" true;
+  let caught =
+    match
+      Workloads.Chaos.run
+        { C.default_config with C.ops_per_client = 50 }
+    with
+    | _ -> None
+    | exception Check.Invariant.Violation msg -> Some msg
+  in
+  Check.Invariant.set_sabotage "skip_credit_release" false;
+  (match caught with
+  | Some msg ->
+      Printf.printf "sabotage caught by checker: %s\n%!"
+        (String.concat " " (String.split_on_char '\n' msg))
+  | None ->
+      Printf.printf "SABOTAGE NOT CAUGHT: checker is vacuous\n%!";
+      exit 1);
+  Printf.printf "sweep OK\n%!"
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all_benches =
@@ -478,6 +550,7 @@ let all_benches =
     ("chaos", chaos);
     ("chaos_upgrade", chaos_upgrade);
     ("overload", overload);
+    ("sweep", sweep);
     ("micro", micro);
   ]
 
@@ -505,12 +578,19 @@ let () =
   let args = List.filter (fun a -> a <> "--only") args in
   let metrics_out, args = extract_flag "--metrics-out" args in
   let trace_out, args = extract_flag "--trace-out" args in
+  (* --check turns on the invariant registry for every workload run in
+     the selected sections (the sweep section enables it regardless). *)
+  let check_on = List.mem "--check" args in
+  let args = List.filter (fun a -> a <> "--check") args in
+  if check_on then Check.Invariant.set_enabled true;
   if trace_out <> None then Sim.Span.set_capture (Some 200_000);
   (match args with
   | [] | [ "all" ] ->
-      (* fig6b and fig6c share one run; don't execute twice. *)
+      (* fig6b and fig6c share one run; don't execute twice.  The sweep
+         re-runs the fault workloads many times over; it only runs when
+         named explicitly. *)
       List.iter
-        (fun (name, f) -> if name <> "fig6c" then f ())
+        (fun (name, f) -> if name <> "fig6c" && name <> "sweep" then f ())
         all_benches
   | names ->
       List.iter
@@ -521,6 +601,12 @@ let () =
               Printf.eprintf "unknown bench %s; known: %s\n" name
                 (String.concat ", " (List.map fst all_benches)))
         names);
+  if check_on then
+    Printf.printf
+      "invariant checker: %d registered (last run), %d evaluations, no \
+       violations\n%!"
+      (Check.Invariant.registered ())
+      (Check.Invariant.evaluations ());
   Option.iter
     (fun path ->
       write_file path (Stats.Registry.to_json ());

@@ -140,6 +140,16 @@ let thread_step ct () =
           batch_span e ~outcome:"wedged" ~dur:wedge_spin_cost
       end
       else begin
+        if Check.Invariant.enabled () && e.migrating && e.owner = None then
+          (* An upgrade transaction owns a migrating engine (blackout)
+             and detached it; a scheduler thread still stepping it means
+             a stale owned-list reference survived the detach.  (A
+             migrating engine that crash recovery re-attached is legal —
+             the upgrade aborts that race at commit.) *)
+          raise
+            (Check.Invariant.Violation
+               (Printf.sprintf "engine %s stepped while migrating detached"
+                  e.e_name));
         if Squeue.Mailbox.service e.mb then
           cost := !cost + mailbox_service_cost;
         match e.run_fn () with

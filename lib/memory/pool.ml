@@ -96,12 +96,36 @@ let owners t =
 
 let high_watermark t = t.watermark
 
-let assert_quiesced t =
-  if t.used <> 0 then
-    failwith
-      (Printf.sprintf "Pool %s not quiesced: %d bytes live (%s)" t.pool_name
+let check_consistency t =
+  let owner_sum = Hashtbl.fold (fun _ b acc -> acc + b) t.per_owner 0 in
+  if t.used < 0 then Some (Printf.sprintf "pool %s used %d < 0" t.pool_name t.used)
+  else if t.used > t.capacity_bytes then
+    Some
+      (Printf.sprintf "pool %s used %d exceeds capacity %d" t.pool_name t.used
+         t.capacity_bytes)
+  else if owner_sum <> t.used then
+    Some
+      (Printf.sprintf
+         "pool %s per-owner charges sum to %d but used is %d (%s)" t.pool_name
+         owner_sum t.used
+         (String.concat ", "
+            (List.map (fun (o, b) -> Printf.sprintf "%s=%d" o b) (owners t))))
+  else if t.watermark < t.used then
+    Some
+      (Printf.sprintf "pool %s watermark %d below used %d" t.pool_name
+         t.watermark t.used)
+  else if Hashtbl.fold (fun _ b acc -> acc || b <= 0) t.per_owner false then
+    Some (Printf.sprintf "pool %s holds a non-positive owner charge" t.pool_name)
+  else None
+
+let check_quiesced t =
+  if t.used = 0 then None
+  else
+    Some
+      (Printf.sprintf "pool %s not quiesced: %d bytes live (%s)" t.pool_name
          t.used
          (String.concat ", "
-            (List.map
-               (fun (o, b) -> Printf.sprintf "%s=%d" o b)
-               (owners t))))
+            (List.map (fun (o, b) -> Printf.sprintf "%s=%d" o b) (owners t))))
+
+let assert_quiesced t =
+  match check_quiesced t with None -> () | Some msg -> failwith msg

@@ -59,6 +59,16 @@ val owners : t -> (string * int) list
 val high_watermark : t -> int
 (** Maximum [in_use] ever observed. *)
 
+val check_consistency : t -> string option
+(** Internal-accounting invariant: [in_use] within [0, capacity],
+    per-owner charges positive and summing exactly to [in_use],
+    watermark no lower than the live total.  [None] = healthy; used by
+    the invariant checker at cadence. *)
+
+val check_quiesced : t -> string option
+(** Non-raising form of {!assert_quiesced}: [None] when drained, else
+    the leak description naming the owners still charged. *)
+
 val assert_quiesced : t -> unit
 (** Raise [Failure] (naming the owners still charged) unless the pool
     is completely drained.  Chaos and overload workloads call this at

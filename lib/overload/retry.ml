@@ -18,10 +18,16 @@ let default_policy =
 let delay_before p ~attempt =
   if attempt <= 1 then 0
   else begin
-    let scaled =
-      float_of_int p.base_delay *. (p.multiplier ** float_of_int (attempt - 2))
-    in
-    Sim.Time.min p.max_delay (int_of_float scaled)
+    (* Clamp in float space: for large attempt counts the exponential
+       exceeds [max_int] and [int_of_float] on such a float is
+       unspecified (observed going negative).  The exponent itself is
+       capped so pathological attempt values cannot even overflow the
+       float range into [infinity *. 0.0 = nan] territory. *)
+    let exponent = float_of_int (min (attempt - 2) 1024) in
+    let scaled = float_of_int p.base_delay *. (p.multiplier ** exponent) in
+    if Float.is_nan scaled then p.max_delay
+    else if scaled >= float_of_int p.max_delay then p.max_delay
+    else Sim.Time.max 0 (int_of_float scaled)
   end
 
 let attempts_exhausted p ~attempt = attempt > p.max_attempts

@@ -175,7 +175,19 @@ let busy_nacks t = Stats.Counter.value t.c_busy - t.busy_base
 let rx_pool_drops t = Stats.Counter.value t.c_pool_drop - t.pool_drop_base
 let op_pool t = t.op_pool
 
-let fold_clients t f init = Hashtbl.fold (fun _ c acc -> f acc c) t.clients_tbl init
+(* Hashtbl iteration order depends on the process hash seed
+   (OCAMLRUNPARAM=R); every datapath or accounting scan over a table
+   goes through a sorted key list so runs are bit-identical under
+   randomized hashing.  [Hashtbl.fold] alone is only safe for fully
+   commutative reductions — and even those are sorted here so the
+   perturbation sweep can hold one rule: no raw table iteration in the
+   datapath. *)
+let sorted_tbl tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fold_clients t f init =
+  List.fold_left (fun acc (_, c) -> f acc c) init (sorted_tbl t.clients_tbl)
 let client_ops_shed c = Stats.Counter.value c.c_shed - c.shed_base
 let client_ops_expired c = Stats.Counter.value c.c_expired - c.expired_base
 let client_admission c = c.adm
@@ -293,7 +305,12 @@ let release_charge client op_id =
   match Hashtbl.find_opt client.charges op_id with
   | Some charge ->
       Hashtbl.remove client.charges op_id;
-      Overload.Admission.release client.adm charge
+      (* Sabotage point: with "skip_credit_release" armed the admission
+         charge is deliberately leaked so the sweep can prove the
+         pool-drained invariant actually fires (never armed outside the
+         checker's own non-vacuity test). *)
+      if not (Check.Invariant.sabotage "skip_credit_release") then
+        Overload.Admission.release client.adm charge
   | None -> ()
 
 let push_completion eng cost client comp =
@@ -513,8 +530,10 @@ let drain_waiting eng cost conn =
    sweep covers the case where no credit ever does. *)
 let expire_waiting eng cost ~now =
   let expired = ref 0 in
-  Hashtbl.iter
-    (fun _ conn ->
+  (* Sorted: expiry completions land in client queues in key order, not
+     hash-iteration order. *)
+  List.iter
+    (fun (_, conn) ->
       let continue = ref true in
       while !continue do
         match Queue.peek_opt conn.waiting with
@@ -533,7 +552,7 @@ let expire_waiting eng cost ~now =
               }
         | Some _ | None -> continue := false
       done)
-    eng.conns;
+    (sorted_tbl eng.conns);
   !expired
 
 let deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow =
@@ -809,13 +828,13 @@ let arm_timer eng =
   (* Credit-starved ops with deadlines must still time out even if no
      credit (and hence no engine work) ever arrives. *)
   let deadline =
-    Hashtbl.fold
-      (fun _ conn acc ->
+    List.fold_left
+      (fun acc (_, conn) ->
         match Queue.peek_opt conn.waiting with
         | Some (C_send { deadline = Some d; _ }) -> (
             match acc with None -> Some d | Some a -> Some (Time.min a d))
         | _ -> acc)
-      eng.conns deadline
+      deadline (sorted_tbl eng.conns)
   in
   match deadline with
   | Some d when d > Loop.now t.lp ->
@@ -843,12 +862,15 @@ let engine_run eng () =
        under the new epoch. *)
     let ename = Engine.name eng.core in
     let reclaimed = Memory.Pool.release_owner t.op_pool ~owner:ename in
-    Hashtbl.iter
-      (fun _ a ->
+    (* Sorted: under pool pressure only a prefix of the reassemblies
+       re-charges successfully, so which ones get charges must not
+       depend on hash-iteration order. *)
+    List.iter
+      (fun (_, a) ->
         a.asm_charge <-
           (if a.total = 0 then None
            else Memory.Pool.try_alloc t.op_pool ~owner:ename ~bytes:a.total))
-      eng.assembly;
+      (sorted_tbl eng.assembly);
     if reclaimed > 0 then
       Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
         "engine %s epoch %d: reclaimed %d op-pool bytes from dead instance"
@@ -1070,6 +1092,43 @@ let new_engine t =
   t.engs <- t.engs @ [ eng ];
   Engine.add t.group eng.core;
   eng.last_epoch <- Engine.epoch eng.core;
+  (* Engine state-machine legality: epochs only move forward, a
+     wedged/migrating instance must not make batch progress, and the
+     depth-1 control mailbox never runs a deficit. *)
+  let seen_epoch = ref (Engine.epoch core) in
+  let frozen_steps = ref None in
+  Check.Invariant.register ~name:(ename ^ ".legal") (fun () ->
+      let ep = Engine.epoch core in
+      if ep < !seen_epoch then
+        Some (Printf.sprintf "epoch moved backwards: %d -> %d" !seen_epoch ep)
+      else begin
+        seen_epoch := ep;
+        let mb = Engine.mailbox core in
+        let posted = Squeue.Mailbox.posted mb
+        and serviced = Squeue.Mailbox.serviced mb in
+        if serviced > posted then
+          Some
+            (Printf.sprintf "mailbox serviced %d exceeds posted %d" serviced
+               posted)
+        else if Engine.is_wedged core || Engine.is_migrating core then begin
+          let steps = Engine.steps core in
+          match !frozen_steps with
+          | Some (fep, fsteps) when fep = ep && steps > fsteps ->
+              Some
+                (Printf.sprintf
+                   "%s engine made progress: %d batches since freeze"
+                   (if Engine.is_wedged core then "wedged" else "migrating")
+                   (steps - fsteps))
+          | Some (fep, _) when fep = ep -> None
+          | _ ->
+              frozen_steps := Some (ep, steps);
+              None
+        end
+        else begin
+          frozen_steps := None;
+          None
+        end
+      end);
   (* Receive notification policy depends on the group's scheduling mode
      (§2.4): interrupts for spreading, polling kicks otherwise. *)
   (match Engine.group_mode t.group with
@@ -1130,6 +1189,16 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
     }
   in
   Hashtbl.replace directory.hosts (Nic.addr nic) t;
+  (* Op-pool byte conservation: per-owner charges must sum to the live
+     total at all times (Cadence), and every byte must be back by
+     quiesce — an admission charge or reassembly alloc that never
+     returns is a leak. *)
+  Check.Invariant.register
+    ~name:(Printf.sprintf "pony.pool.%d.consistent" (Nic.addr nic))
+    (fun () -> Memory.Pool.check_consistency op_pool);
+  Check.Invariant.register ~kind:Check.Invariant.Quiesce_only
+    ~name:(Printf.sprintf "pony.pool.%d.drained" (Nic.addr nic))
+    (fun () -> Memory.Pool.check_quiesced op_pool);
   (* Steer Pony packets to the destination engine's ring. *)
   Nic.install_steering nic (fun pkt ->
       match pkt.Packet.payload with
@@ -1203,6 +1272,42 @@ let create_client ctx t ~name ?(exclusive_engine = false) ?(max_ops = 65536)
   in
   eng.eclients <- eng.eclients @ [ client ];
   Hashtbl.replace t.clients_tbl cid client;
+  (* Admission accounting bounds and SPSC occupancy: outstanding counts
+     stay within quota, every held charge is accounted, and the
+     shared-memory queues never report more than their capacity. *)
+  Check.Invariant.register ~name:(Printf.sprintf "pony.client.%s" owner)
+    (fun () ->
+      let ops = Overload.Admission.outstanding_ops adm in
+      let bytes = Overload.Admission.outstanding_bytes adm in
+      let q_bad (name, len, cap) =
+        if len < 0 || len > cap then
+          Some (Printf.sprintf "%s occupancy %d outside [0,%d]" name len cap)
+        else None
+      in
+      if ops < 0 || ops > Overload.Admission.op_quota adm then
+        Some
+          (Printf.sprintf "outstanding ops %d outside [0,%d]" ops
+             (Overload.Admission.op_quota adm))
+      else if bytes < 0 || bytes > Overload.Admission.byte_quota adm then
+        Some
+          (Printf.sprintf "outstanding bytes %d outside [0,%d]" bytes
+             (Overload.Admission.byte_quota adm))
+      else if Hashtbl.length client.charges > ops then
+        Some
+          (Printf.sprintf "%d held charges exceed %d outstanding ops"
+             (Hashtbl.length client.charges) ops)
+      else
+        List.fold_left
+          (fun acc q -> match acc with Some _ -> acc | None -> q_bad q)
+          None
+          [
+            ("cmd_q", Squeue.Spsc.length client.cmd_q,
+             Squeue.Spsc.capacity client.cmd_q);
+            ("comp_q", Squeue.Spsc.length client.comp_q,
+             Squeue.Spsc.capacity client.comp_q);
+            ("msg_q", Squeue.Spsc.length client.msg_q,
+             Squeue.Spsc.capacity client.msg_q);
+          ]);
   client
 
 let register_region ctx client region =
@@ -1276,7 +1381,58 @@ let connect ctx client ~dst_host ~dst_client =
   in
   Hashtbl.replace local_eng.conns (ckey, true) local_conn;
   Hashtbl.replace remote_eng.conns (ckey, false) remote_conn;
+  (* Credit conservation: sends consume, grants and Busy-NACKs return.
+     Credit going negative means an over-consume; exceeding the initial
+     grant means a double-return (e.g. a Busy-NACK for an op whose
+     credit a grant already refunded). *)
+  if Check.Invariant.enabled () then begin
+    let conn_label c =
+      Printf.sprintf "pony.conn.%d.%d->%d.%d%s" ckey.Wire.initiator_host
+        ckey.Wire.initiator_client ckey.Wire.target_host
+        ckey.Wire.target_client
+        (if c.we_are_initiator then ".init" else ".tgt")
+    in
+    List.iter
+      (fun c ->
+        Check.Invariant.register ~name:(conn_label c ^ ".credit") (fun () ->
+            if c.credit < 0 then
+              Some (Printf.sprintf "credit %d went negative" c.credit)
+            else if c.credit > initial_credit_bytes then
+              Some
+                (Printf.sprintf "credit %d exceeds initial grant %d" c.credit
+                   initial_credit_bytes)
+            else None))
+      [ local_conn; remote_conn ]
+  end;
   local_conn
+
+(* Client ids are assigned in creation order, and apps spawned at the
+   same instant race for them — the perturbation sweep caught an
+   overload-workload victim dialing client 0 and reaching the wrong
+   server under a perturbed tie-break.  Resolving by name instead makes
+   the destination independent of registration order. *)
+let connect_by_name ctx client ~dst_host ~dst_name =
+  let t = client.c_host in
+  let remote_t =
+    match Hashtbl.find_opt t.dir.hosts dst_host with
+    | Some r -> r
+    | None -> failwith "Pony.connect: unknown host"
+  in
+  let matches =
+    Hashtbl.fold
+      (fun cid c acc -> if c.cname = dst_name then cid :: acc else acc)
+      remote_t.clients_tbl []
+  in
+  match matches with
+  | [ cid ] -> connect ctx client ~dst_host ~dst_client:cid
+  | [] ->
+      failwith
+        (Printf.sprintf "Pony.connect: no client named %S on host %d" dst_name
+           dst_host)
+  | _ ->
+      failwith
+        (Printf.sprintf "Pony.connect: client name %S ambiguous on host %d"
+           dst_name dst_host)
 
 (* Post a command into the shared-memory command queue (§3.1). *)
 let post_command ctx conn cmd =

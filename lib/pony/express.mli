@@ -105,6 +105,14 @@ val connect :
     negotiating the wire version) if it is the first connection between
     the two engines. *)
 
+val connect_by_name :
+  Cpu.Thread.ctx -> client -> dst_host:Memory.Packet.addr -> dst_name:string -> conn
+(** [connect], resolving the destination by client name.  Client ids are
+    handed out in creation order, so two apps spawned at the same instant
+    race for them and an id-addressed connect can reach the wrong client
+    under a perturbed schedule (the determinism sweep caught exactly
+    this).  Raises if the name is absent or ambiguous on [dst_host]. *)
+
 val conn_peer : conn -> Memory.Packet.addr * int
 
 (** {1 Asynchronous operations} *)

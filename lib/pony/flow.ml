@@ -30,6 +30,11 @@ type t = {
   retx : flight_entry Queue.t;
   mutable snd_nxt : int;
   mutable flight : flight_entry list;  (* ascending seq *)
+  (* Cached [List.length flight].  The flight list is walked per packet
+     in the window check, pacer gating and ack processing; recomputing
+     the length each time is O(flight^2) per burst.  The invariant
+     checker asserts the cache equal to the real length. *)
+  mutable flight_len : int;
   mutable next_release : Time.t;
   mutable dup_acks : int;
   mutable last_ack_seen : int;
@@ -63,6 +68,7 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
       key.Wire.dst_host key.Wire.dst_engine
   in
   let labels = [ ("flow", fl_label) ] in
+  let t =
   {
     lp = loop;
     fkey = key;
@@ -72,6 +78,7 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
     retx = Queue.create ();
     snd_nxt = 0;
     flight = [];
+    flight_len = 0;
     next_release = Time.zero;
     dup_acks = 0;
     last_ack_seen = 0;
@@ -92,6 +99,20 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
     h_rtt = Stats.Registry.histogram ~labels "pony_flow_rtt_ns";
     h_flight = Stats.Registry.histogram ~labels "pony_flow_flight";
   }
+  in
+  Check.Invariant.register ~name:(Printf.sprintf "pony.flow.%s" fl_label)
+    (fun () ->
+      let real = List.length t.flight in
+      if t.flight_len <> real then
+        Some
+          (Printf.sprintf "cached flight_len %d but flight holds %d entries"
+             t.flight_len real)
+      else if t.flight_len > max_flight then
+        Some
+          (Printf.sprintf "flight %d exceeds max_flight %d" t.flight_len
+             max_flight)
+      else None);
+  t
 
 (* Flow events share one track per flow so chrome://tracing shows each
    flow as its own lane. *)
@@ -103,7 +124,7 @@ let key t = t.fkey
 let version t = t.ver
 let cc t = t.timely
 let pending t = Queue.length t.queue + Queue.length t.retx
-let in_flight t = List.length t.flight
+let in_flight t = t.flight_len
 
 let effective_window t = min max_flight (max 0 t.peer_wnd)
 
@@ -120,7 +141,7 @@ let ready_to_emit t ~now =
   (not (Queue.is_empty t.retx))
   || ((not (Queue.is_empty t.queue))
      && now >= t.next_release
-     && (List.length t.flight < effective_window t || zw_probe_due t ~now))
+     && (t.flight_len < effective_window t || zw_probe_due t ~now))
 
 let enqueue t item ~payload_bytes =
   Queue.add (item, payload_bytes, Loop.now t.lp) t.queue
@@ -134,7 +155,7 @@ let enqueue t item ~payload_bytes =
 let queue_age t ~now =
   match Queue.peek_opt t.queue with
   | Some (_, _, enq) ->
-      if List.length t.flight >= max_flight then 0
+      if t.flight_len >= max_flight then 0
       else Time.max 0 (Time.sub now (Time.max enq t.next_release))
   | None -> 0
 
@@ -179,7 +200,7 @@ let rec emit t ~now ~gen =
       t.owe_ack <- false;
       let pkt = build_packet t ~now ~gen ~seq:fe.f_seq ~item:fe.f_item ~payload:fe.f_payload in
       advance_pacer t ~now pkt.Packet.wire_bytes;
-      Stats.Histogram.record t.h_flight (List.length t.flight);
+      Stats.Histogram.record t.h_flight t.flight_len;
       if Sim.Span.enabled () then
         span t ~now ~args:[ ("seq", string_of_int fe.f_seq) ] "retx";
       Some pkt
@@ -188,7 +209,7 @@ let rec emit t ~now ~gen =
       if
         Queue.is_empty t.queue
         || now < t.next_release
-        || (List.length t.flight >= effective_window t && not probe)
+        || (t.flight_len >= effective_window t && not probe)
       then None
       else begin
         if probe then begin
@@ -203,10 +224,22 @@ let rec emit t ~now ~gen =
         t.snd_nxt <- seq + 1;
         let fe = { f_seq = seq; f_item = item; f_payload = payload; sent_at = now } in
         t.flight <- t.flight @ [ fe ];
+        t.flight_len <- t.flight_len + 1;
         t.owe_ack <- false;
+        if Check.Invariant.enabled () && not probe then
+          (* Window legality at send time: a fresh (non-retransmitted,
+             non-probe) packet must fit under the peer's advertised
+             window.  Retransmissions are exempt — their slots were
+             charged when first sent. *)
+          (if t.flight_len > effective_window t then
+             raise
+               (Check.Invariant.Violation
+                  (Printf.sprintf
+                     "flow %s: flight %d exceeds advertised window %d on fresh send"
+                     t.fl_label t.flight_len (effective_window t))));
         let pkt = build_packet t ~now ~gen ~seq ~item ~payload in
         advance_pacer t ~now pkt.Packet.wire_bytes;
-        Stats.Histogram.record t.h_flight (List.length t.flight);
+        Stats.Histogram.record t.h_flight t.flight_len;
         if Sim.Span.enabled () then
           span t ~now ~args:[ ("seq", string_of_int seq) ] "tx";
         Some pkt
@@ -250,9 +283,9 @@ let resync t ~now =
   t.next_release <- now;
   if Sim.Span.enabled () then
     span t ~now
-      ~args:[ ("flight", string_of_int (List.length t.flight)) ]
+      ~args:[ ("flight", string_of_int t.flight_len) ]
       "resync";
-  if Queue.is_empty t.retx then schedule_retransmit t (List.length t.flight)
+  if Queue.is_empty t.retx then schedule_retransmit t t.flight_len
   else 0
 
 let sample_rtt t ~now ~ts_echo =
@@ -270,13 +303,20 @@ let sample_rtt t ~now ~ts_echo =
 
 let process_ack t ~now ~ack ~ts_echo ~pure =
   sample_rtt t ~now ~ts_echo;
-  let before = List.length t.flight in
-  if before > 0 then begin
+  if t.flight_len > 0 then begin
     if ack > t.last_ack_seen then begin
       t.last_ack_seen <- ack;
       t.dup_acks <- 0;
-      t.flight <- List.filter (fun fe -> fe.f_seq >= ack) t.flight;
-      t.n_acked <- t.n_acked + (before - List.length t.flight)
+      let kept = ref 0 in
+      t.flight <-
+        List.filter
+          (fun fe ->
+            let keep = fe.f_seq >= ack in
+            if keep then incr kept;
+            keep)
+          t.flight;
+      t.n_acked <- t.n_acked + (t.flight_len - !kept);
+      t.flight_len <- !kept
     end
     else if ack = t.last_ack_seen && pure then begin
       (* Only bare acks count as duplicates: every data packet

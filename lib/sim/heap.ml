@@ -1,5 +1,11 @@
 (* Array-based binary min-heap ordered by (key, seq).  The sequence number
-   makes pops deterministic under equal keys: FIFO among ties. *)
+   makes pops deterministic under equal keys: FIFO among ties.
+
+   A non-zero [salt] perturbs only the tie-break: equal-key entries pop
+   in an order that is a deterministic function of (salt, seq) instead
+   of FIFO.  Every salt still yields a total order, so a salted run is
+   exactly as reproducible as an unsalted one — the perturbation sweep
+   uses this to flush out code that silently depends on FIFO ties. *)
 
 type 'a entry = { key : int; seq : int; value : 'a }
 
@@ -7,13 +13,31 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  mutable salt : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create ?(salt = 0) () = { data = [||]; size = 0; next_seq = 0; salt }
 let length h = h.size
 let is_empty h = h.size = 0
+let salt h = h.salt
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+(* SplitMix64-style avalanche over (salt, seq): deterministic, well
+   mixed, and injective for a fixed salt, so (mix, seq) is a total
+   order on ties. *)
+let mix salt seq =
+  let z = (seq lxor (salt * 0x27d4eb2f165667c5)) land max_int in
+  let z = (z lxor (z lsr 29)) * 0x2545f4914f6cdd1d land max_int in
+  let z = (z lxor (z lsr 32)) * 0x27d4eb2f165667c5 land max_int in
+  z lxor (z lsr 29)
+
+let less h a b =
+  a.key < b.key
+  || a.key = b.key
+     &&
+     if h.salt = 0 then a.seq < b.seq
+     else
+       let ma = mix h.salt a.seq and mb = mix h.salt b.seq in
+       ma < mb || (ma = mb && a.seq < b.seq)
 
 let grow h =
   let fresh = Array.make (Array.length h.data * 2) h.data.(0) in
@@ -33,7 +57,7 @@ let add h ~key value =
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    less h.data.(!i) h.data.(parent)
+    less h h.data.(!i) h.data.(parent)
   do
     let parent = (!i - 1) / 2 in
     let tmp = h.data.(parent) in
@@ -50,8 +74,8 @@ let sift_down h =
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
-    if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+    if l < h.size && less h h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && less h h.data.(r) h.data.(!smallest) then smallest := r;
     if !smallest <> !i then begin
       let tmp = h.data.(!smallest) in
       h.data.(!smallest) <- h.data.(!i);
@@ -77,3 +101,26 @@ let pop_exn h =
   match pop h with Some v -> v | None -> invalid_arg "Heap.pop_exn: empty"
 
 let clear h = h.size <- 0
+
+(* Structural sanity: every parent orders before (or ties with) its
+   children under the heap's own comparison, and the bookkeeping fields
+   are coherent.  Used by the invariant checker. *)
+let validate h =
+  if h.size < 0 || h.size > Array.length h.data then
+    Some
+      (Printf.sprintf "heap size %d outside backing array [0,%d]" h.size
+         (Array.length h.data))
+  else begin
+    let bad = ref None in
+    for i = 1 to h.size - 1 do
+      let parent = (i - 1) / 2 in
+      if !bad = None && less h h.data.(i) h.data.(parent) then
+        bad :=
+          Some
+            (Printf.sprintf
+               "heap order violated at index %d: child key %d before parent \
+                key %d"
+               i h.data.(i).key h.data.(parent).key)
+    done;
+    !bad
+  end

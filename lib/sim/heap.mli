@@ -2,11 +2,21 @@
 
     Used by the event queue and by schedulers.  Elements are ordered by an
     integer key supplied at insertion; ties are broken by insertion order so
-    that iteration is deterministic. *)
+    that iteration is deterministic.
+
+    A non-zero [salt] deterministically perturbs the tie-break among
+    equal keys (a hash of the salt and insertion sequence instead of
+    FIFO).  The perturbation sweep runs workloads under several salts to
+    flush out code that silently depends on FIFO ordering of
+    same-timestamp events; every salt still gives fully reproducible
+    pops. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?salt:int -> unit -> 'a t
+
+val salt : 'a t -> int
+(** The tie-break salt this heap was created with (0 = FIFO ties). *)
 
 val length : 'a t -> int
 
@@ -24,3 +34,8 @@ val pop : 'a t -> 'a option
 val pop_exn : 'a t -> 'a
 
 val clear : 'a t -> unit
+
+val validate : 'a t -> string option
+(** [None] when the internal array satisfies the heap property and the
+    bookkeeping is coherent; otherwise a description of the violation.
+    O(n); meant for the invariant checker, not hot paths. *)

@@ -9,11 +9,18 @@ type t = {
   mutable n_pending : int;
 }
 
-let create ?(seed = 42) () =
-  { clock = Time.zero; events = Heap.create (); root_rng = Rng.create ~seed; n_pending = 0 }
+let create ?(seed = 42) ?(tie_salt = 0) () =
+  {
+    clock = Time.zero;
+    events = Heap.create ~salt:tie_salt ();
+    root_rng = Rng.create ~seed;
+    n_pending = 0;
+  }
 
 let now t = t.clock
 let rng t = t.root_rng
+let tie_salt t = Heap.salt t.events
+let validate_heap t = Heap.validate t.events
 
 let nothing () = ()
 

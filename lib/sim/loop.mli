@@ -10,12 +10,23 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?tie_salt:int -> unit -> t
 (** [create ~seed ()] makes a fresh simulation at time zero.  [seed]
-    (default 42) seeds the root RNG stream. *)
+    (default 42) seeds the root RNG stream.  [tie_salt] (default 0)
+    deterministically perturbs the ordering of same-timestamp events:
+    0 keeps scheduling-order (FIFO) ties, any other value replays them
+    in a salted but still fully reproducible order — the perturbation
+    sweep's lever against hidden tie-order dependence. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)
+
+val tie_salt : t -> int
+(** The tie-break salt this loop was created with. *)
+
+val validate_heap : t -> string option
+(** Heap-property sanity check over the pending-event queue ([None] =
+    healthy).  O(pending); used by the invariant checker. *)
 
 val rng : t -> Rng.t
 (** The root RNG stream of this simulation.  Components should [Rng.split]

@@ -12,6 +12,14 @@ val create : ?sub_bits:int -> unit -> t
 (** [create ~sub_bits ()] makes an empty histogram.  [sub_bits] (default
     5) controls relative precision: error is about [2^-(sub_bits+1)]. *)
 
+val index_of : t -> int -> int
+(** Bucket index a value lands in; exposed so the bucketing's round-trip
+    and error-bound properties are testable. *)
+
+val value_of : t -> int -> int
+(** Midpoint value of a bucket: a right inverse of [index_of] up to the
+    bucket's relative error, i.e. [index_of t (value_of t i) = i]. *)
+
 val record : t -> int -> unit
 (** Record a non-negative value (negative values are clamped to 0). *)
 

@@ -6,6 +6,7 @@ type config = {
   ops_per_client : int;
   op_bytes : int;
   seed : int;
+  tie_salt : int;
   mode : Engine.mode;
   plan : Fault.Plan.t;
   run_cap : Time.t;
@@ -51,6 +52,7 @@ let default_config =
     ops_per_client = 1500;
     op_bytes = 1024;
     seed = 7;
+    tie_salt = 0;
     mode = Engine.Dedicating { cores = 1 };
     plan = default_plan ();
     run_cap = Time.ms 500;
@@ -86,7 +88,11 @@ let fault_host (h : Snap.Host.t) addr =
   }
 
 let run (cfg : config) : result =
-  let loop = Loop.create ~seed:cfg.seed () in
+  (* Fresh invariant scope before any layer registers predicates; both
+     calls are no-ops unless checking was enabled (bench --check). *)
+  Check.Invariant.begin_run ();
+  let loop = Loop.create ~seed:cfg.seed ~tie_salt:cfg.tie_salt () in
+  Check.Invariant.install ~loop ();
   let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
   let dir = Pony.Express.Directory.create () in
   let mk addr =
@@ -129,7 +135,9 @@ let run (cfg : config) : result =
                ()
            in
            Cpu.Thread.sleep ctx (Time.us 500);
-           let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+           let conn =
+             Pony.Express.connect_by_name ctx c ~dst_host:1 ~dst_name:"server"
+           in
            for _ = 1 to cfg.ops_per_client do
              let t0 = Cpu.Thread.now ctx in
              ignore (Pony.Express.send_message ctx conn ~bytes:cfg.op_bytes ());
@@ -142,6 +150,7 @@ let run (cfg : config) : result =
            done))
   done;
   Loop.run ~until:cfg.run_cap loop;
+  Check.Invariant.quiesce ();
   (* Every op completed (or was recovered after the engine crash): any
      op-pool byte still charged — including by the crashed engine's old
      incarnation — is a leak. *)
@@ -179,6 +188,38 @@ let run (cfg : config) : result =
           (addr, Fabric.port_drops fab ~addr, Fabric.port_max_queue_bytes fab ~addr))
         [ 0; 1 ];
   }
+
+(* Byte-identical across same-seed runs: correctness counters plus the
+   injected-fault log, folded into one string for the determinism
+   sweep.  Packet-id labels are stripped from log details — which of
+   two same-timestamp packets draws the lower id is schedule-dependent
+   labeling the perturbation sweep deliberately reorders, while drop
+   times and counts are not. *)
+let strip_pkt_ids detail =
+  String.split_on_char ' ' detail
+  |> List.filter (fun tok -> not (String.length tok > 4 && String.sub tok 0 4 = "pkt#"))
+  |> String.concat " "
+
+let fingerprint (r : result) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "ops %d/%d lost %d retx %d corrupt %d rx_stalled %d\n"
+       r.ops_completed r.ops_expected r.lost_ops r.retransmits
+       r.corrupt_dropped r.rx_stalled);
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%s=%d\n" name v))
+    r.fault_counters;
+  List.iter
+    (fun (e : Fault.Log.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %s %s\n" e.Fault.Log.at e.Fault.Log.kind
+           (strip_pkt_ids e.Fault.Log.detail)))
+    (Fault.Log.entries r.fault_log);
+  List.iter
+    (fun (addr, drops, maxq) ->
+      Buffer.add_string buf (Printf.sprintf "port %d %d %d\n" addr drops maxq))
+    r.port_report;
+  Buffer.contents buf
 
 let goodput_degradation_pct ~baseline ~faulted =
   if baseline.goodput_gbps <= 0.0 then 0.0

@@ -14,6 +14,9 @@ type config = {
   ops_per_client : int;
   op_bytes : int;  (** Request and reply size. *)
   seed : int;  (** Sim-loop seed (the plan carries its own). *)
+  tie_salt : int;
+      (** Event-loop tie-break perturbation (see {!Sim.Loop.create});
+          0 keeps FIFO order.  Used by the determinism sweep. *)
   mode : Engine.mode;  (** Engine scheduling mode for both hosts. *)
   plan : Fault.Plan.t;
   run_cap : Sim.Time.t;
@@ -50,6 +53,11 @@ type result = {
 }
 
 val run : config -> result
+
+val fingerprint : result -> string
+(** Deterministic digest of the run's correctness counters, fault log
+    and port report; the perturbation sweep asserts it is a function of
+    the seed alone. *)
 
 val goodput_degradation_pct : baseline:result -> faulted:result -> float
 (** How much goodput the faults cost, as a percentage of the baseline

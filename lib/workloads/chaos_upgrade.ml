@@ -8,6 +8,7 @@ type config = {
   op_bytes : int;
   think : Time.t;
   seed : int;
+  tie_salt : int;
   mode : Engine.mode;
   state_bytes : int;
   upgrade_at : (int * Time.t) list;
@@ -42,6 +43,7 @@ let default_config =
     op_bytes = 1024;
     think = Time.us 50;
     seed = 7;
+    tie_salt = 0;
     mode = Engine.Dedicating { cores = 1 };
     state_bytes = 4_000_000;
     upgrade_at = [ (1, Time.ms 10); (0, Time.ms 40) ];
@@ -86,7 +88,9 @@ let fault_host (h : Snap.Host.t) addr =
   }
 
 let run (cfg : config) : result =
-  let loop = Loop.create ~seed:cfg.seed () in
+  Check.Invariant.begin_run ();
+  let loop = Loop.create ~seed:cfg.seed ~tie_salt:cfg.tie_salt () in
+  Check.Invariant.install ~loop ();
   let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
   let dir = PE.Directory.create () in
   let mk addr =
@@ -174,7 +178,7 @@ let run (cfg : config) : result =
                ()
            in
            Cpu.Thread.sleep ctx (Time.us 500);
-           let conn = PE.connect ctx c ~dst_host:1 ~dst_client:0 in
+           let conn = PE.connect_by_name ctx c ~dst_host:1 ~dst_name:"server" in
            for _ = 1 to cfg.ops_per_client do
              let t0 = Cpu.Thread.now ctx in
              ignore (PE.send_message ctx conn ~bytes:cfg.op_bytes ());
@@ -190,6 +194,7 @@ let run (cfg : config) : result =
            done))
   done;
   Loop.run ~until:cfg.run_cap loop;
+  Check.Invariant.quiesce ();
   (* Upgrades restart engines mid-flight; restarted incarnations must
      reconcile the old ones' op-pool charges or this raises. *)
   List.iter
@@ -268,7 +273,15 @@ let run (cfg : config) : result =
 
 (* Byte-identical across same-seed runs: the determinism check folds the
    fault log, the upgrade transition log, and every report into one
-   string. *)
+   string.  Packet-id labels are stripped from log details: which of two
+   same-timestamp packets gets the lower id is schedule-dependent
+   labeling (the perturbation sweep deliberately reorders such ties),
+   while the drop times and counts are not. *)
+let strip_pkt_ids detail =
+  String.split_on_char ' ' detail
+  |> List.filter (fun tok -> not (String.length tok > 4 && String.sub tok 0 4 = "pkt#"))
+  |> String.concat " "
+
 let fingerprint (r : result) : string =
   let buf = Buffer.create 4096 in
   let add_log name l =
@@ -278,7 +291,7 @@ let fingerprint (r : result) : string =
       (fun (e : Fault.Log.entry) ->
         Buffer.add_string buf
           (Printf.sprintf "%d %s %s\n" e.Fault.Log.at e.Fault.Log.kind
-             e.Fault.Log.detail))
+             (strip_pkt_ids e.Fault.Log.detail)))
       (Fault.Log.entries l)
   in
   add_log "faults" r.fault_log;

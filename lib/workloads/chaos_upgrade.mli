@@ -23,6 +23,7 @@ type config = {
   think : Sim.Time.t;
       (** Per-op think time, so traffic spans the upgrade window. *)
   seed : int;  (** Sim-loop seed (the plan carries its own). *)
+  tie_salt : int;  (** Event-loop tie-break perturbation; 0 keeps FIFO. *)
   mode : Engine.mode;  (** Scheduling mode for old and new groups. *)
   state_bytes : int;
       (** Synthetic serialized state per engine (sets the blackout). *)

@@ -34,6 +34,7 @@ type config = {
   server_service_time : Sim.Time.t;
       (** Slow server's per-message think time (the choke point). *)
   seed : int;
+  tie_salt : int;  (** Event-loop tie-break perturbation; 0 keeps FIFO. *)
   mode : Engine.mode;
   stop_at : Sim.Time.t;  (** Load stops here. *)
   run_cap : Sim.Time.t;  (** Hard stop; the tail is the drain window. *)

@@ -122,6 +122,39 @@ let test_retry_backoff () =
   check_bool "4 attempts allowed" false (R.attempts_exhausted p ~attempt:4);
   check_bool "5th exhausted" true (R.attempts_exhausted p ~attempt:5)
 
+(* The exponential is computed in float space: at large attempt counts
+   [base * multiplier^(attempt-2)] overflows any integer representation,
+   and the old int-space clamp wrapped negative before comparing against
+   the cap.  Every attempt number must yield a delay in [0, max_delay]. *)
+let test_retry_backoff_overflow () =
+  let module R = Overload.Retry in
+  let p =
+    { R.max_attempts = max_int; base_delay = T.us 50; multiplier = 2.0;
+      max_delay = T.ms 5; op_timeout = None }
+  in
+  List.iter
+    (fun attempt ->
+      let d = R.delay_before p ~attempt in
+      check_bool (Printf.sprintf "attempt %d non-negative" attempt) true (d >= 0);
+      check_int (Printf.sprintf "attempt %d capped" attempt) (T.ms 5) d)
+    [ 60; 200; 10_000; max_int ];
+  (* Monotone up to the cap: each retry waits at least as long as the
+     previous one. *)
+  let prev = ref 0 in
+  for attempt = 1 to 100 do
+    let d = R.delay_before p ~attempt in
+    check_bool (Printf.sprintf "attempt %d monotone" attempt) true (d >= !prev);
+    prev := d
+  done;
+  (* A sub-unity multiplier decays toward zero without going negative. *)
+  let decay = { p with R.multiplier = 0.5 } in
+  List.iter
+    (fun attempt ->
+      let d = R.delay_before decay ~attempt in
+      check_bool (Printf.sprintf "decay attempt %d in range" attempt) true
+        (d >= 0 && d <= T.us 50))
+    [ 2; 10; 1000; max_int ]
+
 (* -- Crash-safe pool reclamation ------------------------------------------ *)
 
 let test_pool_release_owner () =
@@ -386,7 +419,11 @@ let () =
       ( "pressure",
         [ Alcotest.test_case "hysteresis" `Quick test_pressure_hysteresis ] );
       ( "retry",
-        [ Alcotest.test_case "backoff arithmetic" `Quick test_retry_backoff ] );
+        [
+          Alcotest.test_case "backoff arithmetic" `Quick test_retry_backoff;
+          Alcotest.test_case "backoff overflow clamp" `Quick
+            test_retry_backoff_overflow;
+        ] );
       ( "pool",
         [
           Alcotest.test_case "release_owner reclaim + stale frees" `Quick

@@ -29,6 +29,43 @@ let test_hist_relative_error () =
   check_bool "within 2% relative error" true
     (float_of_int err /. float_of_int v < 0.02)
 
+(* Bucketing round trip: the bucket midpoint must land back in the same
+   bucket, and sit within the bucket's relative-error bound of the
+   original value.  Power-of-two boundaries are where the log-linear
+   grid changes resolution, so probe 2^k - 1, 2^k, 2^k + 1. *)
+let test_hist_index_value_round_trip () =
+  List.iter
+    (fun sub_bits ->
+      let h = Stats.Histogram.create ~sub_bits () in
+      let bound = 2.0 ** float_of_int (-sub_bits) in
+      for k = 0 to 61 do
+        List.iter
+          (fun v ->
+            if v >= 0 then begin
+              let idx = Stats.Histogram.index_of h v in
+              let mid = Stats.Histogram.value_of h idx in
+              Alcotest.(check int)
+                (Printf.sprintf "sub_bits=%d v=%d same bucket" sub_bits v)
+                idx
+                (Stats.Histogram.index_of h mid);
+              let err = abs (mid - v) in
+              check_bool
+                (Printf.sprintf "sub_bits=%d v=%d midpoint error" sub_bits v)
+                true
+                (v = 0 || float_of_int err /. float_of_int v <= bound)
+            end)
+          [ (1 lsl k) - 1; 1 lsl k; (1 lsl k) + 1 ]
+      done)
+    [ 1; 5; 10 ]
+
+let hist_prop_round_trip =
+  QCheck.Test.make ~name:"value_of is a right inverse of index_of" ~count:500
+    QCheck.(int_bound max_int)
+    (fun v ->
+      let h = Stats.Histogram.create () in
+      let idx = Stats.Histogram.index_of h v in
+      Stats.Histogram.index_of h (Stats.Histogram.value_of h idx) = idx)
+
 let test_hist_quantiles_order () =
   let h = Stats.Histogram.create () in
   for i = 1 to 10_000 do
@@ -255,6 +292,9 @@ let () =
           Alcotest.test_case "empty" `Quick test_hist_empty;
           Alcotest.test_case "exact small values" `Quick test_hist_exact_small;
           Alcotest.test_case "relative error" `Quick test_hist_relative_error;
+          Alcotest.test_case "index/value round trip" `Quick
+            test_hist_index_value_round_trip;
+          QCheck_alcotest.to_alcotest hist_prop_round_trip;
           Alcotest.test_case "quantile order" `Quick test_hist_quantiles_order;
           Alcotest.test_case "merge" `Quick test_hist_merge;
           Alcotest.test_case "merge sub_bits mismatch" `Quick
