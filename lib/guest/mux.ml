@@ -1,0 +1,359 @@
+module Time = Sim.Time
+module Loop = Sim.Loop
+module PE = Pony.Express
+
+let batch = 16
+let per_desc_cost = Time.ns 180
+let per_comp_cost = Time.ns 120
+
+type binding = {
+  tenant : Tenant.t;
+  client : PE.client;
+  conn : PE.conn;
+  (* Pony op id -> (descriptor id, bytes, admission charge).  Held
+     until the op's first completion; survives engine epochs. *)
+  inflight : (int, int * int * Memory.Pool.alloc option) Hashtbl.t;
+  b_meng : meng;
+}
+
+and meng = {
+  m_idx : int;
+  core : Engine.t;
+  mutable owned : binding list;  (* attach order *)
+  mutable last_epoch : int;
+}
+
+type t = {
+  lp : Loop.t;
+  pony : PE.t;
+  pool : Memory.Pool.t;
+  addr : int;
+  copy_ns_per_byte : float;
+  group : Engine.group;
+  mutable engs : meng list;
+  mutable rr : int;
+  mutable bindings : binding list;
+  by_name : (string, binding) Hashtbl.t;
+  mutable next_tid : int;
+  mutable n_resyncs : int;
+}
+
+let status_of : Pony.Wire.status -> Ring.status = function
+  | Pony.Wire.Ok -> Ring.Complete
+  | Pony.Wire.Rejected -> Ring.Rejected
+  | Pony.Wire.Timed_out -> Ring.Timed_out
+  | Pony.Wire.Busy -> Ring.Busy
+  | Pony.Wire.Bad_region | Pony.Wire.Bad_range | Pony.Wire.No_match
+  | Pony.Wire.Not_permitted ->
+      Ring.Failed
+
+let rec drain_completions b cost work n =
+  if n < batch then
+    match PE.engine_poll_completion b.client with
+    | Some c ->
+        incr work;
+        cost := Time.add !cost per_comp_cost;
+        (match Hashtbl.find_opt b.inflight c.PE.comp_op with
+        | Some (did, bytes, charge) ->
+            (* Sabotage point: with "guest_skip_release" armed the
+               backend forgets the op's bookkeeping — the in-flight
+               entry and the tenant's admission charge both leak — so
+               the sweep can prove the detach-quiesce reclaim
+               invariant fires (never armed outside the checker's own
+               non-vacuity test). *)
+            if not (Check.Invariant.sabotage "guest_skip_release") then begin
+              Hashtbl.remove b.inflight c.PE.comp_op;
+              Overload.Admission.release b.tenant.Tenant.adm charge
+            end;
+            let st = status_of c.PE.status in
+            Tenant.note_tx b.tenant st;
+            Ring.complete b.tenant.Tenant.tx ~id:did ~len:bytes ~status:st
+        | None ->
+            (* Second completion of the same op (a Busy NACK following
+               the Ok): the used entry was already published. *)
+            ());
+        drain_completions b cost work (n + 1)
+    | None -> ()
+
+let rec drain_messages t b cost work n =
+  if n < batch then
+    match PE.engine_poll_message b.client with
+    | Some m ->
+        incr work;
+        (match Ring.take b.tenant.Tenant.rx with
+        | Some d ->
+            let len = min m.PE.msg_bytes d.Ring.d_len in
+            cost :=
+              Time.add !cost
+                (Time.ns
+                   (int_of_float (t.copy_ns_per_byte *. float_of_int len)));
+            (* Stamp the buffer head: backed regions carry evidence of
+               the delivery for functional checks. *)
+            if
+              Memory.Region.is_backed b.tenant.Tenant.region
+              && d.Ring.d_len >= 8
+            then
+              Memory.Region.write_int64 b.tenant.Tenant.region d.Ring.d_off
+                (Int64.of_int m.PE.msg_op);
+            Tenant.note_rx b.tenant len;
+            Ring.complete b.tenant.Tenant.rx ~id:d.Ring.d_id ~len
+              ~status:Ring.Complete
+        | None ->
+            (* No posted rx buffer: the message is shed, like a virtio
+               rx-ring overflow. *)
+            Tenant.note_rx_drop b.tenant);
+        drain_messages t b cost work (n + 1)
+    | None -> ()
+
+let rec drain_tx t b cost work n =
+  let tn = b.tenant in
+  if n < batch && PE.conn_cmd_free b.conn > 0 then
+    match Ring.take tn.Tenant.tx with
+    | Some d ->
+        incr work;
+        cost := Time.add !cost per_desc_cost;
+        (match
+           Overload.Admission.admit tn.Tenant.adm ~now:(Loop.now t.lp)
+             ~bytes:d.Ring.d_len
+         with
+        | Overload.Admission.Rejected _ ->
+            Tenant.note_tx tn Ring.Rejected;
+            Ring.complete tn.Tenant.tx ~id:d.Ring.d_id ~len:0
+              ~status:Ring.Rejected
+        | Overload.Admission.Admitted charge ->
+            let op =
+              PE.engine_post_send b.conn ~now:(Loop.now t.lp)
+                ~bytes:d.Ring.d_len ()
+            in
+            Hashtbl.replace b.inflight op (d.Ring.d_id, d.Ring.d_len, charge));
+        drain_tx t b cost work (n + 1)
+    | None -> ()
+
+let cancel_ring tn ring ~count_ops =
+  let rec go n =
+    match Ring.take ring with
+    | Some d ->
+        if count_ops then Tenant.note_tx tn Ring.Cancelled;
+        Ring.complete ring ~id:d.Ring.d_id ~len:0 ~status:Ring.Cancelled;
+        go (n + 1)
+    | None -> n
+  in
+  go 0
+
+let finalize t b =
+  let tn = b.tenant in
+  ignore (cancel_ring tn tn.Tenant.tx ~count_ops:true);
+  (* Posted rx buffers are returned, not counted as ops. *)
+  ignore (cancel_ring tn tn.Tenant.rx ~count_ops:false);
+  let freed = Memory.Pool.release_owner t.pool ~owner:tn.Tenant.owner in
+  if freed > 0 then Tenant.note_reclaimed tn freed;
+  tn.Tenant.state <- Tenant.Detached
+
+let service t b cost work =
+  let tn = b.tenant in
+  match tn.Tenant.state with
+  | Tenant.Detached -> ()
+  | Tenant.Attached ->
+      drain_completions b cost work 0;
+      drain_messages t b cost work 0;
+      drain_tx t b cost work 0
+  | Tenant.Detaching ->
+      drain_completions b cost work 0;
+      drain_messages t b cost work 0;
+      let cancelled = cancel_ring tn tn.Tenant.tx ~count_ops:true in
+      if cancelled > 0 then work := !work + cancelled;
+      if Hashtbl.length b.inflight = 0 then begin
+        incr work;
+        finalize t b
+      end
+
+let run_meng t m =
+  let ep = Engine.epoch m.core in
+  if ep <> m.last_epoch then begin
+    (* Ring contents and in-flight state live in the bindings, outside
+       the engine incarnation: the new instance resumes where the old
+       one stopped, so a tenant observes only the blackout window. *)
+    m.last_epoch <- ep;
+    t.n_resyncs <- t.n_resyncs + 1
+  end;
+  let cost = ref Time.zero in
+  let work = ref 0 in
+  List.iter (fun b -> service t b cost work) m.owned;
+  if !work = 0 then Engine.No_work else Engine.Worked !cost
+
+let meng_queue_delay m now =
+  List.fold_left
+    (fun acc b ->
+      if b.tenant.Tenant.state = Tenant.Detached then acc
+      else Time.max acc (Ring.oldest_pending_age b.tenant.Tenant.tx ~now))
+    0 m.owned
+
+let meng_state_bytes m =
+  List.fold_left
+    (fun acc b ->
+      acc + 512
+      + 64
+        * (Ring.occupancy b.tenant.Tenant.tx + Ring.occupancy b.tenant.Tenant.rx)
+      + 48 * Hashtbl.length b.inflight)
+    0 m.owned
+
+let create ~loop ~pony ?(engines = 1) ~mode () =
+  if engines <= 0 then invalid_arg "Guest.Mux.create: engines";
+  let machine = PE.machine pony in
+  let addr = PE.addr pony in
+  let group =
+    Engine.create_group ~machine ~name:(Printf.sprintf "guest%d" addr) ~mode
+  in
+  let t =
+    {
+      lp = loop;
+      pony;
+      pool = PE.op_pool pony;
+      addr;
+      copy_ns_per_byte =
+        (Cpu.Sched.costs machine).Sim.Costs.snap_copy_per_byte_ns;
+      group;
+      engs = [];
+      rr = 0;
+      bindings = [];
+      by_name = Hashtbl.create 64;
+      next_tid = 0;
+      n_resyncs = 0;
+    }
+  in
+  for i = 0 to engines - 1 do
+    let m_ref = ref None in
+    let core =
+      Engine.create
+        ~name:(Printf.sprintf "mux%d" i)
+        ~run:(fun () ->
+          match !m_ref with Some m -> run_meng t m | None -> Engine.No_work)
+        ~queue_delay:(fun now ->
+          match !m_ref with Some m -> meng_queue_delay m now | None -> 0)
+        ~state_bytes:(fun () ->
+          match !m_ref with Some m -> meng_state_bytes m | None -> 0)
+        ()
+    in
+    let m = { m_idx = i; core; owned = []; last_epoch = 0 } in
+    m_ref := Some m;
+    Engine.add group core;
+    m.last_epoch <- Engine.epoch core;
+    t.engs <- t.engs @ [ m ]
+  done;
+  t
+
+let register_invariants b =
+  let tn = b.tenant in
+  let owner = tn.Tenant.owner in
+  let mon_tx = Ring.monitor tn.Tenant.tx in
+  let mon_rx = Ring.monitor tn.Tenant.rx in
+  Check.Invariant.register
+    ~name:(Printf.sprintf "guest.%s.rings" owner)
+    (fun () ->
+      match mon_tx () with Some _ as e -> e | None -> mon_rx ());
+  (* The cross-tenant leak detector: all pool charges under this owner
+     come from this tenant's admission handle, so the two totals must
+     agree at every instant.  A byte charged to the wrong tenant breaks
+     the equality on both tenants at once. *)
+  Check.Invariant.register
+    ~name:(Printf.sprintf "guest.%s.accounting" owner)
+    (fun () ->
+      let usage = Tenant.pool_usage tn in
+      if tn.Tenant.state = Tenant.Detached then
+        if usage <> 0 then
+          Some (Printf.sprintf "detached tenant holds %d pool bytes" usage)
+        else None
+      else
+        let out_bytes = Tenant.outstanding_bytes tn in
+        let out_ops = Tenant.outstanding_ops tn in
+        if usage <> out_bytes then
+          Some
+            (Printf.sprintf
+               "pool charge %d B disagrees with admission outstanding %d B \
+                (cross-tenant leak)"
+               usage out_bytes)
+        else if Hashtbl.length b.inflight > out_ops then
+          Some
+            (Printf.sprintf "%d in-flight ops exceed %d outstanding admissions"
+               (Hashtbl.length b.inflight) out_ops)
+        else None);
+  Check.Invariant.register ~kind:Check.Invariant.Quiesce_only
+    ~name:(Printf.sprintf "guest.%s.drained" owner)
+    (fun () ->
+      if Hashtbl.length b.inflight <> 0 then
+        Some
+          (Printf.sprintf "%d ops still in flight" (Hashtbl.length b.inflight))
+      else
+        let usage = Tenant.pool_usage tn in
+        if usage <> 0 then
+          Some (Printf.sprintf "%d op-pool bytes never released" usage)
+        else None)
+
+let attach ctx t ~name ~dst_host ~dst_name ?ring_slots ?buf_bytes ?max_ops
+    ?max_bytes ?rate_ops_per_sec ?burst_ops () =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Guest.Mux.attach: tenant %s exists" name);
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let tenant =
+    Tenant.create ~pool:t.pool ~host_addr:t.addr ~name ~id:tid ?ring_slots
+      ?buf_bytes ?max_ops ?max_bytes ?rate_ops_per_sec ?burst_ops ()
+  in
+  (* The backend's Pony handle for this tenant.  Its client-side
+     admission stays permissive on purpose: the tenant's handle is the
+     accounting authority, and the engine-side submit path bypasses
+     client admission entirely. *)
+  let client = PE.create_client ctx t.pony ~name:("mux:" ^ name) () in
+  let conn = PE.connect_by_name ctx client ~dst_host ~dst_name in
+  let n = List.length t.engs in
+  let m = List.nth t.engs (t.rr mod n) in
+  t.rr <- t.rr + 1;
+  let b = { tenant; client; conn; inflight = Hashtbl.create 32; b_meng = m } in
+  m.owned <- m.owned @ [ b ];
+  t.bindings <- t.bindings @ [ b ];
+  Hashtbl.replace t.by_name name b;
+  (* Wakeups: completions/messages landing at the pony client, and
+     guest kicks on either ring, all nudge the owning mux engine. *)
+  PE.set_delivery_hook client (fun () -> Engine.notify m.core);
+  let rec rearm ring =
+    Ring.arm_kick ring (fun () ->
+        Engine.notify m.core;
+        rearm ring)
+  in
+  rearm tenant.Tenant.tx;
+  rearm tenant.Tenant.rx;
+  if Check.Invariant.enabled () then register_invariants b;
+  tenant
+
+let detach ?(force = false) t tenant =
+  match Hashtbl.find_opt t.by_name tenant.Tenant.tname with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Guest.Mux.detach: unknown tenant %s"
+           tenant.Tenant.tname)
+  | Some b ->
+      if tenant.Tenant.state <> Tenant.Detached then begin
+        tenant.Tenant.state <- Tenant.Detaching;
+        if force then begin
+          (* Abandon in-flight ops.  Their straggler completions find
+             no in-flight entry and are dropped; their pool charges are
+             reclaimed in bulk right here, and the generation bump in
+             [release_owner] turns any late per-alloc free into a
+             no-op. *)
+          Hashtbl.reset b.inflight;
+          finalize t b
+        end
+        else Engine.notify b.b_meng.core
+      end
+
+let group t = t.group
+let engines t = List.map (fun m -> m.core) t.engs
+let resyncs t = t.n_resyncs
+let tenants t = List.map (fun b -> b.tenant) t.bindings
+
+let attached t =
+  List.length
+    (List.filter (fun b -> b.tenant.Tenant.state = Tenant.Attached) t.bindings)
+
+let inflight_ops t =
+  List.fold_left (fun acc b -> acc + Hashtbl.length b.inflight) 0 t.bindings

@@ -1,0 +1,80 @@
+(** The vhost-style guest backend: engines that drain many tenants'
+    tx rings into Pony Express and deliver completions and received
+    messages back through the rx rings.
+
+    The mux owns its own engine group (so upgrades can target guest
+    engines independently of the Pony engines) and assigns tenants to
+    its engines round-robin.  Per engine pass, each owned tenant gets a
+    bounded batch of: Pony completions (release the tenant's admission
+    charge, publish the tx used entry), incoming messages (fill a
+    posted rx buffer, or count an rx-ring drop), and tx descriptors
+    (admit against the {e tenant's} quota — [Rejected] completes
+    immediately on the ring; admitted descriptors become engine-side
+    Pony sends).  Ring backpressure is structural: descriptors stay in
+    the ring while the Pony command queue is full.
+
+    Ring contents and in-flight state live in the bindings, outside any
+    engine incarnation, so a transparent upgrade of the mux group
+    preserves them and tenants observe only the blackout window.
+
+    Detach: a graceful detach cancels queued descriptors and lets
+    in-flight ops drain, then reclaims; a forced detach abandons
+    in-flight ops and reclaims immediately.  Both funnel through
+    {!Memory.Pool.release_owner}, whose generation bump turns any
+    straggler release into a no-op. *)
+
+type t
+
+val create :
+  loop:Sim.Loop.t ->
+  pony:Pony.Express.t ->
+  ?engines:int ->
+  mode:Engine.mode ->
+  unit ->
+  t
+(** Build the backend over [pony]'s host, with [engines] (default 1)
+    mux engines in a fresh group named ["guest<addr>"] scheduled per
+    [mode]. *)
+
+val attach :
+  Cpu.Thread.ctx ->
+  t ->
+  name:string ->
+  dst_host:int ->
+  dst_name:string ->
+  ?ring_slots:int ->
+  ?buf_bytes:int ->
+  ?max_ops:int ->
+  ?max_bytes:int ->
+  ?rate_ops_per_sec:float ->
+  ?burst_ops:int ->
+  unit ->
+  Tenant.t
+(** Attach a tenant: builds its rings and admission handle
+    ({!Tenant.create}), opens the backend's Pony client and connection
+    to [dst_name] on [dst_host], binds the tenant to a mux engine, and
+    registers the tenant-isolation invariants (ring-index legality and
+    monotonicity; pool-charge/admission agreement, which a cross-tenant
+    byte leak breaks on both tenants; full reclaim at detach-quiesce)
+    when checking is enabled. *)
+
+val detach : ?force:bool -> t -> Tenant.t -> unit
+(** Begin detach.  Graceful (default): queued descriptors complete
+    [Cancelled], in-flight ops drain normally, and the binding
+    finalizes on its engine once empty.  [force]: in-flight ops are
+    abandoned and the tenant's pool charges are bulk-reclaimed
+    immediately. *)
+
+val group : t -> Engine.group
+val engines : t -> Engine.t list
+
+val resyncs : t -> int
+(** Engine-epoch changes the mux observed (upgrades, restarts). *)
+
+val tenants : t -> Tenant.t list
+(** In attach order. *)
+
+val attached : t -> int
+
+val inflight_ops : t -> int
+(** Ops handed to Pony and not yet completed, across all tenants. *)

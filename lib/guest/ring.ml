@@ -1,0 +1,150 @@
+module Time = Sim.Time
+
+type status = Complete | Rejected | Timed_out | Busy | Cancelled | Failed
+
+let status_to_string = function
+  | Complete -> "complete"
+  | Rejected -> "rejected"
+  | Timed_out -> "timed-out"
+  | Busy -> "busy"
+  | Cancelled -> "cancelled"
+  | Failed -> "failed"
+
+type desc = { d_id : int; d_off : int; d_len : int; posted_at : Time.t }
+type used = { u_id : int; u_len : int; u_status : status }
+
+type t = {
+  rname : string;
+  reg : Memory.Region.t;
+  cap : int;
+  descs : desc option array;
+  useds : used option array;
+  (* Free-running indices: slot = index mod cap.  [avail - reaped <=
+     cap] is the single fullness condition; it bounds reuse of both
+     arrays because taken and used are sandwiched between them. *)
+  mutable avail : int;
+  mutable taken : int;
+  mutable used : int;
+  mutable reaped : int;
+  mutable post_fail : int;
+  kick : Squeue.Notifier.t;
+  irq : Squeue.Notifier.t;
+}
+
+let create ?(name = "ring") ~region ~slots () =
+  if slots <= 0 then invalid_arg "Guest.Ring.create: slots";
+  {
+    rname = name;
+    reg = region;
+    cap = slots;
+    descs = Array.make slots None;
+    useds = Array.make slots None;
+    avail = 0;
+    taken = 0;
+    used = 0;
+    reaped = 0;
+    post_fail = 0;
+    kick = Squeue.Notifier.create ();
+    irq = Squeue.Notifier.create ();
+  }
+
+let name t = t.rname
+let capacity t = t.cap
+let region t = t.reg
+let occupancy t = t.avail - t.reaped
+let backlog t = t.avail - t.taken
+let in_flight t = t.taken - t.used
+let completions_ready t = t.used - t.reaped
+let is_full t = occupancy t >= t.cap
+let avail_idx t = t.avail
+let taken_idx t = t.taken
+let used_idx t = t.used
+let reaped_idx t = t.reaped
+let post_failures t = t.post_fail
+
+let post t ~now ~id ~off ~len =
+  if off < 0 || len < 0 || off + len > Memory.Region.size t.reg then
+    invalid_arg
+      (Printf.sprintf "Guest.Ring.post(%s): [%d,%d) outside region of %d B"
+         t.rname off (off + len)
+         (Memory.Region.size t.reg));
+  if is_full t then begin
+    t.post_fail <- t.post_fail + 1;
+    false
+  end
+  else begin
+    t.descs.(t.avail mod t.cap) <-
+      Some { d_id = id; d_off = off; d_len = len; posted_at = now };
+    t.avail <- t.avail + 1;
+    Squeue.Notifier.signal t.kick;
+    true
+  end
+
+let take t =
+  if t.taken >= t.avail then None
+  else begin
+    let d = t.descs.(t.taken mod t.cap) in
+    t.taken <- t.taken + 1;
+    d
+  end
+
+let complete t ~id ~len ~status =
+  if t.used >= t.taken then
+    invalid_arg
+      (Printf.sprintf "Guest.Ring.complete(%s): more completions than takes"
+         t.rname);
+  t.useds.(t.used mod t.cap) <- Some { u_id = id; u_len = len; u_status = status };
+  t.used <- t.used + 1;
+  Squeue.Notifier.signal t.irq
+
+let pop_used t =
+  if t.reaped >= t.used then None
+  else begin
+    let u = t.useds.(t.reaped mod t.cap) in
+    t.reaped <- t.reaped + 1;
+    u
+  end
+
+let oldest_pending_age t ~now =
+  if t.taken >= t.avail then 0
+  else
+    match t.descs.(t.taken mod t.cap) with
+    | Some d -> Time.sub now d.posted_at
+    | None -> 0
+
+let arm_kick t cb = Squeue.Notifier.arm t.kick cb
+let arm_irq t cb = Squeue.Notifier.arm t.irq cb
+let kicks t = Squeue.Notifier.signals t.kick
+let irqs t = Squeue.Notifier.signals t.irq
+
+let check t =
+  let fail fmt = Printf.ksprintf (fun s -> Some (t.rname ^ ": " ^ s)) fmt in
+  if t.reaped < 0 then fail "reaped index %d negative" t.reaped
+  else if t.used < t.reaped then
+    fail "used %d behind reaped %d" t.used t.reaped
+  else if t.taken < t.used then
+    fail "taken %d behind used %d" t.taken t.used
+  else if t.avail < t.taken then
+    fail "avail %d behind taken %d" t.avail t.taken
+  else if t.avail - t.reaped > t.cap then
+    fail "occupancy %d exceeds capacity %d" (t.avail - t.reaped) t.cap
+  else None
+
+let monitor t =
+  let last = ref (0, 0, 0, 0) in
+  fun () ->
+    match check t with
+    | Some _ as e -> e
+    | None ->
+        let la, lt, lu, lr = !last in
+        let r =
+          if t.avail < la || t.taken < lt || t.used < lu || t.reaped < lr then
+            Some
+              (Printf.sprintf
+                 "%s: index regressed (avail %d<%d or taken %d<%d or used \
+                  %d<%d or reaped %d<%d)"
+                 t.rname t.avail la t.taken lt t.used lu t.reaped lr)
+          else None
+        in
+        last := (t.avail, t.taken, t.used, t.reaped);
+        r

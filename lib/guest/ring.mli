@@ -1,0 +1,115 @@
+(** Virtio-net-style descriptor ring over a shared {!Memory.Region}.
+
+    A guest and the vhost backend ({!Mux}) communicate through a pair
+    of these rings (tx and rx).  Following virtio, the ring keeps three
+    free-running monotonic indices — [avail] (descriptors the guest has
+    posted), [taken] (descriptors the backend has consumed) and [used]
+    (completions the backend has published) — plus a fourth, [reaped],
+    for the used entries the guest has collected.  Indices only grow;
+    slot positions are the index modulo the ring size, and the single
+    fullness condition [avail - reaped <= capacity] bounds both
+    descriptor-slot and used-slot reuse.
+
+    Completions may be published out of order (they carry the
+    descriptor id, like virtio's used ring), but never outnumber the
+    descriptors taken.  Notifications follow virtio's eventfd shape:
+    posting signals the {e kick} notifier (guest -> backend), publishing
+    a used entry signals the {e irq} notifier (backend -> guest); both
+    coalesce while unarmed. *)
+
+type status =
+  | Complete
+  | Rejected  (** Refused by the tenant's admission quota. *)
+  | Timed_out
+  | Busy
+  | Cancelled  (** Unprocessed at detach. *)
+  | Failed
+
+val status_to_string : status -> string
+
+type desc = {
+  d_id : int;  (** Guest-chosen label, echoed in the used entry. *)
+  d_off : int;  (** Buffer offset inside the shared region. *)
+  d_len : int;
+  posted_at : Sim.Time.t;
+}
+
+type used = { u_id : int; u_len : int; u_status : status }
+
+type t
+
+val create :
+  ?name:string -> region:Memory.Region.t -> slots:int -> unit -> t
+(** A ring of [slots] descriptors whose buffers must lie inside
+    [region].  Raises [Invalid_argument] if [slots <= 0]. *)
+
+val name : t -> string
+val capacity : t -> int
+val region : t -> Memory.Region.t
+
+(** {1 Guest side} *)
+
+val post :
+  t -> now:Sim.Time.t -> id:int -> off:int -> len:int -> bool
+(** Publish a descriptor and signal the kick notifier; [false] (and a
+    counted failure) when the ring is full.  Raises [Invalid_argument]
+    if the buffer falls outside the region — a guest-driver bug, not a
+    runtime condition. *)
+
+val pop_used : t -> used option
+(** Reap the oldest unreaped used entry. *)
+
+(** {1 Backend side} *)
+
+val take : t -> desc option
+(** Consume the oldest posted-but-untaken descriptor. *)
+
+val complete : t -> id:int -> len:int -> status:status -> unit
+(** Publish a used entry (any order w.r.t. [take]s) and signal the irq
+    notifier.  Raises [Invalid_argument] if it would outnumber the
+    taken descriptors. *)
+
+(** {1 Occupancy and indices} *)
+
+val occupancy : t -> int
+(** Live descriptors: posted and not yet reaped ([avail - reaped]). *)
+
+val backlog : t -> int
+(** Posted and not yet taken ([avail - taken]) — the backend's queue
+    depth, which engine scheduling reads as load. *)
+
+val in_flight : t -> int
+(** Taken and not yet completed ([taken - used]). *)
+
+val completions_ready : t -> int
+(** Published and not yet reaped ([used - reaped]). *)
+
+val is_full : t -> bool
+val avail_idx : t -> int
+val taken_idx : t -> int
+val used_idx : t -> int
+val reaped_idx : t -> int
+val post_failures : t -> int
+
+val oldest_pending_age : t -> now:Sim.Time.t -> Sim.Time.t
+(** Age of the oldest descriptor the backend has not taken (0 when the
+    backlog is empty); the mux engine's queueing-delay signal. *)
+
+(** {1 Notifications} *)
+
+val arm_kick : t -> (unit -> unit) -> unit
+val arm_irq : t -> (unit -> unit) -> unit
+val kicks : t -> int
+val irqs : t -> int
+
+(** {1 Checking} *)
+
+val check : t -> string option
+(** Index legality: ordering ([reaped <= used <= taken <= avail]),
+    occupancy within capacity, per-slot id sanity.  [None] when
+    healthy. *)
+
+val monitor : t -> unit -> string option
+(** A stateful predicate for {!Check.Invariant}: runs {!check} and
+    additionally requires every index to have grown monotonically since
+    the previous evaluation. *)

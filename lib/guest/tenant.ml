@@ -1,0 +1,124 @@
+type state = Attached | Detaching | Detached
+
+let state_to_string = function
+  | Attached -> "attached"
+  | Detaching -> "detaching"
+  | Detached -> "detached"
+
+type t = {
+  tname : string;
+  tid : int;
+  owner : string;
+  region : Memory.Region.t;
+  tx : Ring.t;
+  rx : Ring.t;
+  adm : Overload.Admission.t;
+  pool : Memory.Pool.t;
+  buf_bytes : int;
+  mutable state : state;
+  c_tx_done : Stats.Counter.t;
+  tx_done_base : int;
+  c_tx_rejected : Stats.Counter.t;
+  tx_rejected_base : int;
+  c_tx_failed : Stats.Counter.t;
+  tx_failed_base : int;
+  c_tx_cancelled : Stats.Counter.t;
+  tx_cancelled_base : int;
+  c_rx_delivered : Stats.Counter.t;
+  rx_delivered_base : int;
+  c_rx_drops : Stats.Counter.t;
+  rx_drops_base : int;
+  c_reclaimed : Stats.Counter.t;
+  reclaimed_base : int;
+}
+
+(* Guest regions live in their own id space, above the range functional
+   tests use for one-sided-op regions. *)
+let region_id_base = 1_000_000
+
+let create ~pool ~host_addr ~name ~id ?(ring_slots = 64) ?(buf_bytes = 4096)
+    ?max_ops ?max_bytes ?rate_ops_per_sec ?burst_ops () =
+  if ring_slots <= 0 then invalid_arg "Guest.Tenant.create: ring_slots";
+  if buf_bytes <= 0 then invalid_arg "Guest.Tenant.create: buf_bytes";
+  let owner = Printf.sprintf "tenant:%s@%d" name host_addr in
+  let region =
+    Memory.Region.create
+      ~id:(region_id_base + id)
+      ~size:(2 * ring_slots * buf_bytes)
+      ~owner ()
+  in
+  let tx = Ring.create ~name:(owner ^ ".tx") ~region ~slots:ring_slots () in
+  let rx = Ring.create ~name:(owner ^ ".rx") ~region ~slots:ring_slots () in
+  let adm =
+    Overload.Admission.create ~pool ~owner ?max_ops ?max_bytes
+      ?rate_ops_per_sec ?burst_ops ()
+  in
+  let labels = [ ("tenant", owner) ] in
+  let c name = Stats.Registry.counter ~labels name in
+  let c_tx_done = c "tenant_tx_completed" in
+  let c_tx_rejected = c "tenant_tx_rejected" in
+  let c_tx_failed = c "tenant_tx_failed" in
+  let c_tx_cancelled = c "tenant_tx_cancelled" in
+  let c_rx_delivered = c "tenant_rx_delivered" in
+  let c_rx_drops = c "tenant_rx_drops" in
+  let c_reclaimed = c "tenant_reclaimed_bytes" in
+  let t =
+    {
+      tname = name;
+      tid = id;
+      owner;
+      region;
+      tx;
+      rx;
+      adm;
+      pool;
+      buf_bytes;
+      state = Attached;
+      c_tx_done;
+      tx_done_base = Stats.Counter.value c_tx_done;
+      c_tx_rejected;
+      tx_rejected_base = Stats.Counter.value c_tx_rejected;
+      c_tx_failed;
+      tx_failed_base = Stats.Counter.value c_tx_failed;
+      c_tx_cancelled;
+      tx_cancelled_base = Stats.Counter.value c_tx_cancelled;
+      c_rx_delivered;
+      rx_delivered_base = Stats.Counter.value c_rx_delivered;
+      c_rx_drops;
+      rx_drops_base = Stats.Counter.value c_rx_drops;
+      c_reclaimed;
+      reclaimed_base = Stats.Counter.value c_reclaimed;
+    }
+  in
+  ignore
+    (Stats.Registry.gauge_fn ~labels "tenant_ring_backlog" (fun () ->
+         float_of_int (Ring.backlog t.tx)));
+  t
+
+let tx_buf_off t i = i mod Ring.capacity t.tx * t.buf_bytes
+let rx_buf_off t i = (Ring.capacity t.rx + (i mod Ring.capacity t.rx)) * t.buf_bytes
+let state t = t.state
+let outstanding_ops t = Overload.Admission.outstanding_ops t.adm
+let outstanding_bytes t = Overload.Admission.outstanding_bytes t.adm
+let pool_usage t = Memory.Pool.owner_usage t.pool t.owner
+let tx_completed t = Stats.Counter.value t.c_tx_done - t.tx_done_base
+let tx_rejected t = Stats.Counter.value t.c_tx_rejected - t.tx_rejected_base
+let tx_failed t = Stats.Counter.value t.c_tx_failed - t.tx_failed_base
+let tx_cancelled t = Stats.Counter.value t.c_tx_cancelled - t.tx_cancelled_base
+let rx_delivered t = Stats.Counter.value t.c_rx_delivered - t.rx_delivered_base
+let rx_drops t = Stats.Counter.value t.c_rx_drops - t.rx_drops_base
+let reclaimed_bytes t = Stats.Counter.value t.c_reclaimed - t.reclaimed_base
+
+let note_tx t (status : Ring.status) =
+  match status with
+  | Ring.Complete -> Stats.Counter.incr t.c_tx_done
+  | Ring.Rejected -> Stats.Counter.incr t.c_tx_rejected
+  | Ring.Cancelled -> Stats.Counter.incr t.c_tx_cancelled
+  | Ring.Timed_out | Ring.Busy | Ring.Failed -> Stats.Counter.incr t.c_tx_failed
+
+let note_rx t bytes =
+  ignore bytes;
+  Stats.Counter.incr t.c_rx_delivered
+
+let note_rx_drop t = Stats.Counter.incr t.c_rx_drops
+let note_reclaimed t bytes = Stats.Counter.incr ~by:bytes t.c_reclaimed

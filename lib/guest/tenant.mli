@@ -1,0 +1,92 @@
+(** A guest tenant: identity, shared-memory rings, and its own
+    accounting handle.
+
+    Tenants are the isolation unit of multi-tenant guest networking:
+    each carries a {!Memory.Region} holding its buffers, a tx/rx
+    {!Ring} pair over that region, and an {!Overload.Admission} handle
+    whose owner string doubles as the tenant's pool-accounting name —
+    every op byte the backend admits on the tenant's behalf is charged
+    to the host op pool under that owner, so cross-tenant leakage is
+    checkable and detach can reclaim in bulk with
+    {!Memory.Pool.release_owner} (generation-tagged: frees of stale
+    charges become no-ops). *)
+
+type state = Attached | Detaching | Detached
+
+val state_to_string : state -> string
+
+type t = {
+  tname : string;
+  tid : int;
+  owner : string;  (** Pool/admission accounting name, ["tenant:<name>@<host>"]. *)
+  region : Memory.Region.t;
+  tx : Ring.t;
+  rx : Ring.t;
+  adm : Overload.Admission.t;
+  pool : Memory.Pool.t;
+  buf_bytes : int;
+  mutable state : state;
+  (* Registry counters are cumulative across runs sharing a tenant
+     name; the [_base] snapshots keep per-instance accessors exact. *)
+  c_tx_done : Stats.Counter.t;
+  tx_done_base : int;
+  c_tx_rejected : Stats.Counter.t;
+  tx_rejected_base : int;
+  c_tx_failed : Stats.Counter.t;
+  tx_failed_base : int;
+  c_tx_cancelled : Stats.Counter.t;
+  tx_cancelled_base : int;
+  c_rx_delivered : Stats.Counter.t;
+  rx_delivered_base : int;
+  c_rx_drops : Stats.Counter.t;
+  rx_drops_base : int;
+  c_reclaimed : Stats.Counter.t;
+  reclaimed_base : int;
+}
+
+val create :
+  pool:Memory.Pool.t ->
+  host_addr:int ->
+  name:string ->
+  id:int ->
+  ?ring_slots:int ->
+  ?buf_bytes:int ->
+  ?max_ops:int ->
+  ?max_bytes:int ->
+  ?rate_ops_per_sec:float ->
+  ?burst_ops:int ->
+  unit ->
+  t
+(** Build a tenant with [ring_slots] (default 64) descriptors per ring
+    over a fresh region of [2 * ring_slots * buf_bytes] (default 4096)
+    bytes: the first half holds tx buffers, the second rx buffers.
+    Quota parameters configure the tenant's admission handle (see
+    {!Overload.Admission.create}). *)
+
+val tx_buf_off : t -> int -> int
+(** Region offset of the i-th tx buffer (i taken modulo the ring size). *)
+
+val rx_buf_off : t -> int -> int
+
+val state : t -> state
+val outstanding_ops : t -> int
+val outstanding_bytes : t -> int
+val pool_usage : t -> int
+(** Bytes currently charged to this tenant's owner in the host pool. *)
+
+(** {1 Per-instance counters} (maintained by the mux) *)
+
+val tx_completed : t -> int
+val tx_rejected : t -> int
+val tx_failed : t -> int
+(** Timed out, Busy-failed, or errored. *)
+
+val tx_cancelled : t -> int
+val rx_delivered : t -> int
+val rx_drops : t -> int
+val reclaimed_bytes : t -> int
+
+val note_tx : t -> Ring.status -> unit
+val note_rx : t -> int -> unit
+val note_rx_drop : t -> unit
+val note_reclaimed : t -> int -> unit

@@ -61,6 +61,9 @@ and client = {
   c_expired : Stats.Counter.t;
   expired_base : int;
   mutable app_task : Sched.task option;
+  mutable on_delivery : (unit -> unit) option;
+      (* Engine-side consumers (the guest mux) register a hook instead
+         of an app task; called on every completion/message push. *)
   mutable next_op : int;
   mutable n_comps : int;
   mutable n_msgs : int;
@@ -296,6 +299,7 @@ let notify_app engine_cost client =
   (match client.app_task with
   | Some task -> Sched.kick task
   | None -> ());
+  (match client.on_delivery with Some f -> f () | None -> ());
   engine_cost := !engine_cost + client.c_host.cost.Sim.Costs.thread_notify
 
 (* An op's admission charge is held until its (first) completion is
@@ -1264,6 +1268,7 @@ let create_client ctx t ~name ?(exclusive_engine = false) ?(max_ops = 65536)
       c_expired;
       expired_base = Stats.Counter.value c_expired;
       app_task = None;
+      on_delivery = None;
       next_op = 0;
       n_comps = 0;
       n_msgs = 0;
@@ -1453,6 +1458,36 @@ let fresh_op client =
   let id = client.next_op in
   client.next_op <- id + 1;
   id
+
+(* -- Engine-side (vhost backend) interface ------------------------------ *)
+(* These run on engine cores (no thread ctx, no blocking): the guest mux
+   drains tenant rings from an engine pass and feeds Pony directly. *)
+
+let set_delivery_hook client f = client.on_delivery <- Some f
+
+let conn_cmd_free conn =
+  Squeue.Spsc.capacity conn.local.cmd_q - Squeue.Spsc.length conn.local.cmd_q
+
+let engine_post_send conn ~now ?(stream = 0) ?deadline ~bytes () =
+  let client = conn.local in
+  let op_id = fresh_op client in
+  let cmd =
+    C_send { cmd_conn = conn; op_id; stream; bytes; issued = now; deadline }
+  in
+  (* No admission here: the submitting backend owns accounting (the
+     guest mux charges the tenant's quota before posting), and no entry
+     lands in [charges], so the completion-side release is a no-op. *)
+  if not (Squeue.Spsc.push client.cmd_q ~now cmd) then
+    invalid_arg
+      (Printf.sprintf
+         "Pony.engine_post_send(%s): command queue full (check \
+          conn_cmd_free first)"
+         client.cname);
+  Engine.notify client.c_eng.core;
+  op_id
+
+let engine_poll_completion client = Squeue.Spsc.pop client.comp_q
+let engine_poll_message client = Squeue.Spsc.pop client.msg_q
 
 (* Admission rejections complete locally on the submitting thread —
    the op never reaches an engine, the app sees a [Rejected]

@@ -185,6 +185,30 @@ val await_completion : Cpu.Thread.ctx -> client -> completion
 val poll_message : Cpu.Thread.ctx -> client -> incoming option
 val await_message : Cpu.Thread.ctx -> client -> incoming
 
+(** {1 Engine-side (vhost backend) interface}
+
+    For in-Snap consumers that drive a client from an engine pass (the
+    guest mux) rather than from an application thread: no thread ctx,
+    no blocking, no client-side admission — the backend owns accounting
+    and must respect {!conn_cmd_free} before posting. *)
+
+val set_delivery_hook : client -> (unit -> unit) -> unit
+(** Invoked on every completion or message pushed to this client
+    (typically [Engine.notify] on the backend's engine). *)
+
+val conn_cmd_free : conn -> int
+(** Free slots in the client's command queue. *)
+
+val engine_post_send :
+  conn -> now:Sim.Time.t -> ?stream:int -> ?deadline:Sim.Time.t -> bytes:int -> unit -> int
+(** Post a two-sided send from engine context, bypassing client
+    admission (the caller has already charged its own accounting).
+    Returns the op id.  Raises [Invalid_argument] if the command queue
+    is full. *)
+
+val engine_poll_completion : client -> completion option
+val engine_poll_message : client -> incoming option
+
 val send_with_retry :
   Cpu.Thread.ctx ->
   conn ->

@@ -1,10 +1,12 @@
 type t = {
+  loop : Sim.Loop.t;
   machine : Cpu.Sched.machine;
   nic : Nic.t;
   control : Control.t;
   group : Engine.group;
   pony : Pony.Express.t;
   poller : Control.Poller.t option;
+  mutable mux : Guest.Mux.t option;
 }
 
 let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
@@ -43,7 +45,7 @@ let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
         Control.Poller.start p;
         Some p
   in
-  { machine; nic; control; group; pony; poller }
+  { loop; machine; nic; control; group; pony; poller; mux = None }
 
 let poller t = t.poller
 
@@ -52,6 +54,30 @@ let spawn_app t ~name ?(klass = Cpu.Sched.Cfs { nice = 0 }) ?(spin = false)
   Cpu.Thread.spawn t.machine ~name ~account:"app" ~klass
     ~idle:(if spin then Cpu.Sched.Spin else Cpu.Sched.Block)
     body
+
+(* -- Guest networking --------------------------------------------------- *)
+
+let enable_guests ?(engines = 1) ?(mode = Engine.Spreading { runtime_pct = 0.9 })
+    t =
+  match t.mux with
+  | Some m -> m
+  | None ->
+      let m = Guest.Mux.create ~loop:t.loop ~pony:t.pony ~engines ~mode () in
+      t.mux <- Some m;
+      m
+
+let guest_mux t = t.mux
+
+let attach_tenant ctx t ~name ~dst_host ~dst_name ?ring_slots ?buf_bytes
+    ?max_ops ?max_bytes ?rate_ops_per_sec ?burst_ops () =
+  let m = enable_guests t in
+  Guest.Mux.attach ctx m ~name ~dst_host ~dst_name ?ring_slots ?buf_bytes
+    ?max_ops ?max_bytes ?rate_ops_per_sec ?burst_ops ()
+
+let detach_tenant ?force t tenant =
+  match t.mux with
+  | None -> invalid_arg "Snap.Host.detach_tenant: guests never enabled"
+  | Some m -> Guest.Mux.detach ?force m tenant
 
 let snap_cpu_ns t = Cpu.Sched.account_busy_ns t.machine "snap"
 let app_cpu_ns t = Cpu.Sched.account_busy_ns t.machine "app"

@@ -7,12 +7,14 @@
     be loaded into the same group. *)
 
 type t = {
+  loop : Sim.Loop.t;
   machine : Cpu.Sched.machine;
   nic : Nic.t;
   control : Control.t;
   group : Engine.group;
   pony : Pony.Express.t;
   poller : Control.Poller.t option;
+  mutable mux : Guest.Mux.t option;  (** Guest backend, once enabled. *)
 }
 
 val create :
@@ -50,6 +52,38 @@ val spawn_app :
   Cpu.Sched.task
 (** Launch an application thread on this host (CFS nice 0 by default;
     [spin] selects spin-polling waits for the lowest latency). *)
+
+(** {1 Guest networking} *)
+
+val enable_guests : ?engines:int -> ?mode:Engine.mode -> t -> Guest.Mux.t
+(** Instantiate the guest backend (idempotent: later calls return the
+    existing mux and ignore the parameters).  Defaults to one mux
+    engine scheduled [Spreading {runtime_pct = 90}], in its own group so
+    guest engines upgrade independently of the Pony group. *)
+
+val guest_mux : t -> Guest.Mux.t option
+
+val attach_tenant :
+  Cpu.Thread.ctx ->
+  t ->
+  name:string ->
+  dst_host:Memory.Packet.addr ->
+  dst_name:string ->
+  ?ring_slots:int ->
+  ?buf_bytes:int ->
+  ?max_ops:int ->
+  ?max_bytes:int ->
+  ?rate_ops_per_sec:float ->
+  ?burst_ops:int ->
+  unit ->
+  Guest.Tenant.t
+(** Attach a guest tenant whose tx traffic the mux forwards to client
+    [dst_name] on [dst_host] (see {!Guest.Mux.attach}).  Enables the
+    guest backend with defaults if it is not up yet. *)
+
+val detach_tenant : ?force:bool -> t -> Guest.Tenant.t -> unit
+(** See {!Guest.Mux.detach}.  Generation-tagged reclaim guarantees the
+    tenant's pool bytes return even if completions are abandoned. *)
 
 val snap_cpu_ns : t -> int
 (** CPU consumed by Snap (engine threads) on this host so far. *)

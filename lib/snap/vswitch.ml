@@ -11,6 +11,8 @@ type guest = {
   vip : int;
   tx : Packet.t Squeue.Spsc.t;
   rx : Packet.t Squeue.Spsc.t;
+  c_drops : Stats.Counter.t;  (* full-ring losses, either direction *)
+  drops_base : int;
 }
 
 type t = {
@@ -22,10 +24,17 @@ type t = {
   guests : (int, guest) Hashtbl.t;
   mutable guest_list : guest list;
   gen : Packet.Id_gen.t;
-  mutable n_forwarded : int;
-  mutable n_unroutable : int;
-  mutable n_to_guests : int;
+  (* Registry counters are cumulative across vswitch instances sharing
+     a host address; the [_base] snapshots keep accessors per-instance. *)
+  c_forwarded : Stats.Counter.t;
+  forwarded_base : int;
+  c_unroutable : Stats.Counter.t;
+  unroutable_base : int;
+  c_to_guests : Stats.Counter.t;
+  to_guests_base : int;
 }
+
+let host_labels t = [ ("host", string_of_int (Nic.addr t.nic)) ]
 
 let run t () =
   let cost = ref Time.zero in
@@ -47,10 +56,10 @@ let run t () =
                 | Some host ->
                     let phys = { pkt with Packet.dst = host } in
                     if Nic.try_transmit t.nic phys then
-                      t.n_forwarded <- t.n_forwarded + 1
-                    else t.n_unroutable <- t.n_unroutable + 1
-                | None -> t.n_unroutable <- t.n_unroutable + 1)
-            | _ -> t.n_unroutable <- t.n_unroutable + 1)
+                      Stats.Counter.incr t.c_forwarded
+                    else Stats.Counter.incr t.c_unroutable
+                | None -> Stats.Counter.incr t.c_unroutable)
+            | _ -> Stats.Counter.incr t.c_unroutable)
         | None -> go := false
       done)
     t.guest_list;
@@ -69,8 +78,13 @@ let run t () =
             match Hashtbl.find_opt t.guests dst_vip with
             | Some g ->
                 if Squeue.Spsc.push g.rx ~now:(Loop.now t.lp) pkt then
-                  t.n_to_guests <- t.n_to_guests + 1
-            | None -> t.n_unroutable <- t.n_unroutable + 1)
+                  Stats.Counter.incr t.c_to_guests
+                else
+                  (* Guest's receive ring is full: the packet is lost at
+                     the port, exactly the drop the per-port counter is
+                     for. *)
+                  Stats.Counter.incr g.c_drops
+            | None -> Stats.Counter.incr t.c_unroutable)
         | _ -> ())
     | None -> go := false
   done;
@@ -94,6 +108,10 @@ let create ~loop ~nic ~group ~rx_queue () =
         | None -> 0)
       ()
   in
+  let labels = [ ("host", string_of_int (Nic.addr nic)) ] in
+  let c_forwarded = Stats.Registry.counter ~labels "vswitch_forwarded" in
+  let c_unroutable = Stats.Registry.counter ~labels "vswitch_unroutable" in
+  let c_to_guests = Stats.Registry.counter ~labels "vswitch_to_guests" in
   let t =
     {
       lp = loop;
@@ -104,9 +122,12 @@ let create ~loop ~nic ~group ~rx_queue () =
       guests = Hashtbl.create 16;
       guest_list = [];
       gen = Packet.Id_gen.create ();
-      n_forwarded = 0;
-      n_unroutable = 0;
-      n_to_guests = 0;
+      c_forwarded;
+      forwarded_base = Stats.Counter.value c_forwarded;
+      c_unroutable;
+      unroutable_base = Stats.Counter.value c_unroutable;
+      c_to_guests;
+      to_guests_base = Stats.Counter.value c_to_guests;
     }
   in
   t_ref := Some t;
@@ -118,13 +139,20 @@ let create ~loop ~nic ~group ~rx_queue () =
 let engine t = t.eng
 
 let add_guest t ~vip =
+  let labels = host_labels t @ [ ("port", string_of_int vip) ] in
+  let c_drops = Stats.Registry.counter ~labels "vswitch_port_drops" in
   let g =
     {
       vip;
       tx = Squeue.Spsc.create ~name:(Printf.sprintf "guest%d.tx" vip) ~capacity:1024 ();
       rx = Squeue.Spsc.create ~name:(Printf.sprintf "guest%d.rx" vip) ~capacity:1024 ();
+      c_drops;
+      drops_base = Stats.Counter.value c_drops;
     }
   in
+  ignore
+    (Stats.Registry.gauge_fn ~labels "vswitch_port_depth" (fun () ->
+         float_of_int (Squeue.Spsc.length g.tx + Squeue.Spsc.length g.rx)));
   Hashtbl.replace t.guests vip g;
   t.guest_list <- t.guest_list @ [ g ];
   g
@@ -143,10 +171,14 @@ let guest_transmit t g ~dst_vip ~bytes =
       ()
   in
   let ok = Squeue.Spsc.push g.tx ~now:(Loop.now t.lp) pkt in
-  if ok then Engine.notify t.eng;
+  if ok then Engine.notify t.eng else Stats.Counter.incr g.c_drops;
   ok
 
 let guest_rx_ring g = g.rx
-let forwarded t = t.n_forwarded
-let unroutable t = t.n_unroutable
-let delivered_to_guests t = t.n_to_guests
+let forwarded t = Stats.Counter.value t.c_forwarded - t.forwarded_base
+let unroutable t = Stats.Counter.value t.c_unroutable - t.unroutable_base
+
+let delivered_to_guests t =
+  Stats.Counter.value t.c_to_guests - t.to_guests_base
+
+let port_drops g = Stats.Counter.value g.c_drops - g.drops_base

@@ -39,3 +39,13 @@ val guest_rx_ring : guest -> Memory.Packet.t Squeue.Spsc.t
 val forwarded : t -> int
 val unroutable : t -> int
 val delivered_to_guests : t -> int
+
+val port_drops : guest -> int
+(** Packets lost at this port's rings (full guest rx ring on delivery,
+    full tx ring on [guest_transmit]).
+
+    All switch counters are also registered in {!Stats.Registry}:
+    [vswitch_forwarded]/[vswitch_unroutable]/[vswitch_to_guests]
+    labelled by host, and per-port [vswitch_port_drops] plus a
+    [vswitch_port_depth] gauge (tx + rx occupancy) labelled by host and
+    port. *)

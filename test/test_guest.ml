@@ -1,0 +1,328 @@
+(* Tests for the guest subsystem: virtio-style rings, tenant
+   accounting, and the mux backend end-to-end. *)
+
+module T = Sim.Time
+module Ring = Guest.Ring
+module Tenant = Guest.Tenant
+module PE = Pony.Express
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_region ?(size = 4096) () =
+  Memory.Region.create ~backed:true ~id:9000 ~size ~owner:"test" ()
+
+let mk_ring ?(slots = 4) ?region () =
+  let region =
+    match region with Some r -> r | None -> mk_region ()
+  in
+  Ring.create ~name:"test-ring" ~region ~slots ()
+
+(* {1 Ring} *)
+
+let test_ring_fifo () =
+  let r = mk_ring () in
+  check_bool "post 0" true (Ring.post r ~now:T.zero ~id:0 ~off:0 ~len:64);
+  check_bool "post 1" true (Ring.post r ~now:T.zero ~id:1 ~off:64 ~len:64);
+  check_int "backlog" 2 (Ring.backlog r);
+  (match Ring.take r with
+  | Some d -> check_int "take oldest" 0 d.Ring.d_id
+  | None -> Alcotest.fail "expected descriptor");
+  check_int "in flight" 1 (Ring.in_flight r);
+  Ring.complete r ~id:0 ~len:64 ~status:Ring.Complete;
+  check_int "completion ready" 1 (Ring.completions_ready r);
+  (match Ring.pop_used r with
+  | Some u ->
+      check_int "used id" 0 u.Ring.u_id;
+      check_bool "complete status" true (u.Ring.u_status = Ring.Complete)
+  | None -> Alcotest.fail "expected used entry");
+  check_int "occupancy after reap" 1 (Ring.occupancy r);
+  Alcotest.(check (option string)) "healthy" None (Ring.check r)
+
+let test_ring_out_of_order_completion () =
+  let r = mk_ring () in
+  for i = 0 to 2 do
+    ignore (Ring.post r ~now:T.zero ~id:i ~off:(i * 64) ~len:64)
+  done;
+  for _ = 0 to 2 do
+    ignore (Ring.take r)
+  done;
+  (* Used entries carry descriptor ids, so the backend may publish in
+     any order; the guest reaps in publication order. *)
+  Ring.complete r ~id:2 ~len:64 ~status:Ring.Complete;
+  Ring.complete r ~id:0 ~len:64 ~status:Ring.Failed;
+  Ring.complete r ~id:1 ~len:64 ~status:Ring.Complete;
+  let ids =
+    List.init 3 (fun _ ->
+        match Ring.pop_used r with
+        | Some u -> u.Ring.u_id
+        | None -> Alcotest.fail "missing used entry")
+  in
+  Alcotest.(check (list int)) "publication order" [ 2; 0; 1 ] ids;
+  Alcotest.(check (option string)) "healthy" None (Ring.check r)
+
+let test_ring_fullness_until_reaped () =
+  (* Virtio fullness is [avail - reaped <= capacity]: completion alone
+     does not free a slot, the guest must reap the used entry. *)
+  let r = mk_ring ~slots:2 () in
+  check_bool "post a" true (Ring.post r ~now:T.zero ~id:0 ~off:0 ~len:64);
+  check_bool "post b" true (Ring.post r ~now:T.zero ~id:1 ~off:64 ~len:64);
+  check_bool "full" true (Ring.is_full r);
+  check_bool "post bounces" false (Ring.post r ~now:T.zero ~id:2 ~off:0 ~len:64);
+  check_int "bounce counted" 1 (Ring.post_failures r);
+  ignore (Ring.take r);
+  ignore (Ring.take r);
+  Ring.complete r ~id:0 ~len:64 ~status:Ring.Complete;
+  Ring.complete r ~id:1 ~len:64 ~status:Ring.Complete;
+  check_bool "still full before reap" false
+    (Ring.post r ~now:T.zero ~id:2 ~off:0 ~len:64);
+  ignore (Ring.pop_used r);
+  check_bool "slot freed by reap" true
+    (Ring.post r ~now:T.zero ~id:2 ~off:0 ~len:64);
+  Alcotest.(check (option string)) "healthy" None (Ring.check r)
+
+let test_ring_wrap_indices () =
+  (* Drive the free-running indices several times around a tiny ring;
+     they must grow monotonically and stay ordered the whole way. *)
+  let r = mk_ring ~slots:2 () in
+  let monitor = Ring.monitor r in
+  for i = 0 to 19 do
+    check_bool "post" true
+      (Ring.post r ~now:T.zero ~id:i ~off:(i mod 2 * 64) ~len:64);
+    ignore (Ring.take r);
+    Ring.complete r ~id:i ~len:64 ~status:Ring.Complete;
+    ignore (Ring.pop_used r);
+    Alcotest.(check (option string)) "monitor happy" None (monitor ())
+  done;
+  check_int "avail wrapped far past capacity" 20 (Ring.avail_idx r);
+  check_int "reaped caught up" 20 (Ring.reaped_idx r);
+  check_int "occupancy" 0 (Ring.occupancy r)
+
+let test_ring_bounds_raise () =
+  let r = mk_ring ~slots:4 () in
+  Alcotest.check_raises "buffer past region end"
+    (Invalid_argument
+       "Guest.Ring.post(test-ring): [4000,4200) outside region of 4096 B")
+    (fun () -> ignore (Ring.post r ~now:T.zero ~id:0 ~off:4000 ~len:200));
+  Alcotest.check_raises "completion without take"
+    (Invalid_argument
+       "Guest.Ring.complete(test-ring): more completions than takes")
+    (fun () -> Ring.complete r ~id:0 ~len:0 ~status:Ring.Complete)
+
+let test_ring_notifiers () =
+  let r = mk_ring () in
+  let kicked = ref 0 and irqed = ref 0 in
+  Ring.arm_kick r (fun () -> incr kicked);
+  ignore (Ring.post r ~now:T.zero ~id:0 ~off:0 ~len:64);
+  check_int "kick fired" 1 !kicked;
+  (* Edge-triggered: disarmed after firing, further posts coalesce. *)
+  ignore (Ring.post r ~now:T.zero ~id:1 ~off:64 ~len:64);
+  check_int "kick coalesced" 1 !kicked;
+  Ring.arm_irq r (fun () -> incr irqed);
+  ignore (Ring.take r);
+  Ring.complete r ~id:0 ~len:64 ~status:Ring.Complete;
+  check_int "irq fired" 1 !irqed;
+  check_int "kicks counted" 2 (Ring.kicks r);
+  check_int "irqs counted" 1 (Ring.irqs r)
+
+(* {1 Tenant} *)
+
+let test_tenant_layout_and_counters () =
+  let pool = Memory.Pool.create ~name:"t-pool" ~capacity_bytes:(1 lsl 20) in
+  let tn =
+    Tenant.create ~pool ~host_addr:0 ~name:"t0" ~id:0 ~ring_slots:4
+      ~buf_bytes:128 ()
+  in
+  check_int "tx buf 0" 0 (Tenant.tx_buf_off tn 0);
+  check_int "tx buf wraps" 128 (Tenant.tx_buf_off tn 5);
+  check_int "rx bufs in second half" (4 * 128) (Tenant.rx_buf_off tn 0);
+  check_int "region covers both halves" (2 * 4 * 128)
+    (Memory.Region.size tn.Tenant.region);
+  Tenant.note_tx tn Ring.Complete;
+  Tenant.note_tx tn Ring.Rejected;
+  Tenant.note_tx tn Ring.Timed_out;
+  Tenant.note_tx tn Ring.Cancelled;
+  Tenant.note_rx tn 100;
+  Tenant.note_rx_drop tn;
+  Tenant.note_reclaimed tn 777;
+  check_int "tx completed" 1 (Tenant.tx_completed tn);
+  check_int "tx rejected" 1 (Tenant.tx_rejected tn);
+  check_int "tx failed" 1 (Tenant.tx_failed tn);
+  check_int "tx cancelled" 1 (Tenant.tx_cancelled tn);
+  check_int "rx delivered" 1 (Tenant.rx_delivered tn);
+  check_int "rx drops" 1 (Tenant.rx_drops tn);
+  check_int "reclaimed" 777 (Tenant.reclaimed_bytes tn)
+
+let test_tenant_owner_reclaim () =
+  (* The detach path in one unit: admission charges land in the pool
+     under the tenant's owner, and a generation-tagged bulk reclaim
+     returns every charged byte while stale releases become no-ops. *)
+  let pool = Memory.Pool.create ~name:"r-pool" ~capacity_bytes:(1 lsl 20) in
+  let tn =
+    Tenant.create ~pool ~host_addr:0 ~name:"t1" ~id:1 ~ring_slots:4
+      ~buf_bytes:128 ()
+  in
+  let charges =
+    List.init 3 (fun _ ->
+        match Overload.Admission.admit tn.Tenant.adm ~now:T.zero ~bytes:256 with
+        | Overload.Admission.Admitted a -> a
+        | Overload.Admission.Rejected _ -> Alcotest.fail "unexpected reject")
+  in
+  check_int "charged to owner" (3 * 256) (Tenant.pool_usage tn);
+  let reclaimed = Memory.Pool.release_owner pool ~owner:tn.Tenant.owner in
+  check_int "bulk reclaim returns every byte" (3 * 256) reclaimed;
+  check_int "owner emptied" 0 (Tenant.pool_usage tn);
+  (* Straggler releases after the generation bump must be no-ops. *)
+  List.iter (fun a -> Overload.Admission.release tn.Tenant.adm a) charges;
+  check_int "stale releases are no-ops" 0 (Tenant.pool_usage tn);
+  Memory.Pool.assert_quiesced pool
+
+(* {1 Mux end-to-end} *)
+
+let test_mux_echo_and_detach () =
+  let loop = Sim.Loop.create ~seed:7 () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let dir = PE.Directory.create () in
+  let mk addr =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr
+      ~mode:(Engine.Dedicating { cores = 2 })
+      ()
+  in
+  let h_guest = mk 0 in
+  let h_srv = mk 1 in
+  ignore (Snap.Host.enable_guests h_guest);
+  ignore
+    (Snap.Host.spawn_app h_srv ~name:"echo" ~spin:true (fun ctx ->
+         let c = PE.create_client ctx h_srv.Snap.Host.pony ~name:"echo" () in
+         while true do
+           let m = PE.await_message ctx c in
+           ignore (PE.send_message ctx m.PE.msg_conn ~bytes:m.PE.msg_bytes ())
+         done));
+  let echoes = ref 0 in
+  let statuses = ref [] in
+  let done_tenant = ref None in
+  ignore
+    (Snap.Host.spawn_app h_guest ~name:"guest" (fun ctx ->
+         Cpu.Thread.sleep ctx (T.us 100);
+         let tn =
+           Snap.Host.attach_tenant ctx h_guest ~name:"g0" ~dst_host:1
+             ~dst_name:"echo" ~ring_slots:8 ~buf_bytes:512 ()
+         in
+         for s = 0 to Ring.capacity tn.Tenant.rx - 1 do
+           ignore
+             (Ring.post tn.Tenant.rx ~now:(Cpu.Thread.now ctx) ~id:s
+                ~off:(Tenant.rx_buf_off tn s) ~len:512)
+         done;
+         for i = 0 to 2 do
+           ignore
+             (Ring.post tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id:i
+                ~off:(Tenant.tx_buf_off tn i) ~len:256)
+         done;
+         (* Sleep-poll both used rings until all three echoes landed. *)
+         let deadline = T.add (Cpu.Thread.now ctx) (T.ms 20) in
+         while
+           (!echoes < 3 || List.length !statuses < 3)
+           && Cpu.Thread.now ctx < deadline
+         do
+           (match Ring.pop_used tn.Tenant.tx with
+           | Some u -> statuses := u.Ring.u_status :: !statuses
+           | None -> ());
+           (match Ring.pop_used tn.Tenant.rx with
+           | Some _ -> incr echoes
+           | None -> ());
+           Cpu.Thread.sleep ctx (T.us 2)
+         done;
+         Snap.Host.detach_tenant h_guest tn;
+         done_tenant := Some tn));
+  Sim.Loop.run ~until:(T.ms 40) loop;
+  (match !done_tenant with
+  | None -> Alcotest.fail "guest app never finished"
+  | Some tn ->
+      check_int "all sends completed" 3 (Tenant.tx_completed tn);
+      check_bool "every status Complete" true
+        (List.for_all (fun s -> s = Ring.Complete) !statuses);
+      check_int "all echoes delivered" 3 (Tenant.rx_delivered tn);
+      check_int "no rx drops" 0 (Tenant.rx_drops tn);
+      check_bool "detached at quiesce" true (Tenant.state tn = Tenant.Detached);
+      check_int "no charges left behind" 0 (Tenant.pool_usage tn));
+  (match Snap.Host.guest_mux h_guest with
+  | Some mux ->
+      check_int "no in-flight ops" 0 (Guest.Mux.inflight_ops mux);
+      check_int "tenant gone from mux" 0 (Guest.Mux.attached mux)
+  | None -> Alcotest.fail "mux missing");
+  Memory.Pool.assert_quiesced (PE.op_pool h_guest.Snap.Host.pony)
+
+let test_mux_force_detach () =
+  let loop = Sim.Loop.create ~seed:8 () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let dir = PE.Directory.create () in
+  let mk addr =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr
+      ~mode:(Engine.Dedicating { cores = 2 })
+      ()
+  in
+  let h_guest = mk 0 in
+  let h_srv = mk 1 in
+  ignore (Snap.Host.enable_guests h_guest);
+  ignore
+    (Snap.Host.spawn_app h_srv ~name:"sink" ~spin:true (fun ctx ->
+         let c = PE.create_client ctx h_srv.Snap.Host.pony ~name:"sink" () in
+         while true do
+           let _m = PE.await_message ctx c in
+           Cpu.Thread.compute ctx (T.us 1)
+         done));
+  let done_tenant = ref None in
+  ignore
+    (Snap.Host.spawn_app h_guest ~name:"guest" (fun ctx ->
+         Cpu.Thread.sleep ctx (T.us 100);
+         let tn =
+           Snap.Host.attach_tenant ctx h_guest ~name:"g1" ~dst_host:1
+             ~dst_name:"sink" ~ring_slots:8 ~buf_bytes:512 ()
+         in
+         for i = 0 to 5 do
+           ignore
+             (Ring.post tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id:i
+                ~off:(Tenant.tx_buf_off tn i) ~len:256)
+         done;
+         (* Yank the tenant with descriptors still queued or in flight:
+            the forced path must abandon them and bulk-reclaim. *)
+         Cpu.Thread.sleep ctx (T.us 20);
+         Snap.Host.detach_tenant ~force:true h_guest tn;
+         done_tenant := Some tn));
+  Sim.Loop.run ~until:(T.ms 40) loop;
+  (match !done_tenant with
+  | None -> Alcotest.fail "guest app never finished"
+  | Some tn ->
+      check_bool "detached" true (Tenant.state tn = Tenant.Detached);
+      check_int "no charges left behind" 0 (Tenant.pool_usage tn));
+  (match Snap.Host.guest_mux h_guest with
+  | Some mux -> check_int "no in-flight ops" 0 (Guest.Mux.inflight_ops mux)
+  | None -> Alcotest.fail "mux missing");
+  Memory.Pool.assert_quiesced (PE.op_pool h_guest.Snap.Host.pony)
+
+let () =
+  Alcotest.run "guest"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "out-of-order completion" `Quick
+            test_ring_out_of_order_completion;
+          Alcotest.test_case "full until reaped" `Quick
+            test_ring_fullness_until_reaped;
+          Alcotest.test_case "wrap indices" `Quick test_ring_wrap_indices;
+          Alcotest.test_case "bounds raise" `Quick test_ring_bounds_raise;
+          Alcotest.test_case "notifiers" `Quick test_ring_notifiers;
+        ] );
+      ( "tenant",
+        [
+          Alcotest.test_case "layout and counters" `Quick
+            test_tenant_layout_and_counters;
+          Alcotest.test_case "owner reclaim" `Quick test_tenant_owner_reclaim;
+        ] );
+      ( "mux",
+        [
+          Alcotest.test_case "echo end-to-end" `Quick test_mux_echo_and_detach;
+          Alcotest.test_case "force detach" `Quick test_mux_force_detach;
+        ] );
+    ]

@@ -44,6 +44,75 @@ let test_spsc_drain () =
   check_int "sum" 55 !sum;
   check_bool "empty after" true (Squeue.Spsc.is_empty q)
 
+let test_spsc_wraparound () =
+  (* Cycle a small ring many times so head/tail indices cross the
+     capacity boundary repeatedly; FIFO order and occupancy must hold
+     through every wrap. *)
+  let cap = 4 in
+  let q = Squeue.Spsc.create ~capacity:cap () in
+  let next = ref 0 and expect = ref 0 in
+  for _cycle = 1 to 5 * cap do
+    for _ = 1 to cap do
+      check_bool "push" true (Squeue.Spsc.push q ~now:0 !next);
+      incr next
+    done;
+    check_bool "full after fill" true (Squeue.Spsc.is_full q);
+    check_int "length at capacity" cap (Squeue.Spsc.length q);
+    for _ = 1 to cap do
+      Alcotest.(check (option int)) "pop in order" (Some !expect)
+        (Squeue.Spsc.pop q);
+      incr expect
+    done;
+    check_bool "empty after drain" true (Squeue.Spsc.is_empty q)
+  done;
+  check_int "no drops across wraps" 0 (Squeue.Spsc.dropped q)
+
+let test_spsc_full_ring_wrap () =
+  (* Hold the ring at capacity while sliding the window forward: every
+     freed slot is immediately reused, which exercises the slot-reuse
+     path right at the wrap point. *)
+  let cap = 3 in
+  let q = Squeue.Spsc.create ~capacity:cap () in
+  for i = 0 to cap - 1 do
+    check_bool "fill" true (Squeue.Spsc.push q ~now:0 i)
+  done;
+  for i = cap to cap + 20 do
+    check_bool "push at capacity rejected" false (Squeue.Spsc.push q ~now:0 i);
+    Alcotest.(check (option int)) "window head" (Some (i - cap))
+      (Squeue.Spsc.pop q);
+    check_bool "reuse freed slot" true (Squeue.Spsc.push q ~now:0 i);
+    check_bool "full again" true (Squeue.Spsc.is_full q)
+  done;
+  for i = 21 to 21 + cap - 1 do
+    Alcotest.(check (option int)) "tail order" (Some i) (Squeue.Spsc.pop q)
+  done;
+  Alcotest.(check (option int)) "empty" None (Squeue.Spsc.pop q);
+  check_int "one drop per rejected push" 21 (Squeue.Spsc.dropped q)
+
+let spsc_prop_occupancy =
+  QCheck.Test.make
+    ~name:"spsc occupancy gauge agrees with push/pop accounting" ~count:200
+    QCheck.(list (int_bound 1))
+    (fun ops ->
+      let q = Squeue.Spsc.create ~capacity:3 () in
+      let pops = ref 0 in
+      let ok = ref true in
+      let check_gauges () =
+        let occ = Squeue.Spsc.pushed q - !pops in
+        if Squeue.Spsc.length q <> occ then ok := false;
+        if Squeue.Spsc.is_empty q <> (occ = 0) then ok := false;
+        if Squeue.Spsc.is_full q <> (occ = 3) then ok := false
+      in
+      List.iter
+        (fun op ->
+          (if op = 0 then ignore (Squeue.Spsc.push q ~now:0 op)
+           else match Squeue.Spsc.pop q with
+             | Some _ -> incr pops
+             | None -> ());
+          check_gauges ())
+        ops;
+      !ok)
+
 let spsc_prop_fifo =
   QCheck.Test.make ~name:"spsc preserves FIFO order under interleaving"
     ~count:200
@@ -83,6 +152,24 @@ let test_mailbox () =
   check_int "posted" 2 (Squeue.Mailbox.posted mb);
   check_int "serviced" 2 (Squeue.Mailbox.serviced mb)
 
+let test_mailbox_cycles () =
+  (* The depth-one mailbox reuses its single slot forever: many
+     post/service cycles must neither wedge nor let a second post slip
+     in while occupied, and the counters must agree at every step. *)
+  let mb = Squeue.Mailbox.create () in
+  let ran = ref 0 in
+  for i = 1 to 100 do
+    check_bool "post into empty slot" true
+      (Squeue.Mailbox.post mb (fun () -> ran := i));
+    check_bool "occupied rejects" false
+      (Squeue.Mailbox.post mb (fun () -> ran := -1));
+    check_bool "service" true (Squeue.Mailbox.service mb);
+    check_int "ran posted work" i !ran;
+    check_int "posted count" i (Squeue.Mailbox.posted mb);
+    check_int "serviced count" i (Squeue.Mailbox.serviced mb);
+    check_bool "slot free again" false (Squeue.Mailbox.is_occupied mb)
+  done
+
 let test_notifier_armed () =
   let n = Squeue.Notifier.create () in
   let fired = ref 0 in
@@ -114,9 +201,16 @@ let () =
           Alcotest.test_case "full drop" `Quick test_spsc_full_drop;
           Alcotest.test_case "oldest age" `Quick test_spsc_oldest_age;
           Alcotest.test_case "drain" `Quick test_spsc_drain;
+          Alcotest.test_case "wrap-around" `Quick test_spsc_wraparound;
+          Alcotest.test_case "full ring at wrap" `Quick test_spsc_full_ring_wrap;
+          QCheck_alcotest.to_alcotest spsc_prop_occupancy;
           QCheck_alcotest.to_alcotest spsc_prop_fifo;
         ] );
-      ("mailbox", [ Alcotest.test_case "depth one" `Quick test_mailbox ]);
+      ( "mailbox",
+        [
+          Alcotest.test_case "depth one" `Quick test_mailbox;
+          Alcotest.test_case "repeated cycles" `Quick test_mailbox_cycles;
+        ] );
       ( "notifier",
         [
           Alcotest.test_case "armed" `Quick test_notifier_armed;
