@@ -465,6 +465,53 @@ let overload () =
     (String.equal (O.fingerprint r) (O.fingerprint r2));
   flush stdout
 
+(* -- Partition / peer failure --------------------------------------------- *)
+
+let partition () =
+  section "Peer failure and reconnect (Workloads.Partition)";
+  let module P = Workloads.Partition in
+  let r = P.run P.default_config in
+  Printf.printf
+    "ops: %d attempted -> %d resolved (%d echo ok, %d echo timeouts, %d \
+     peer-dead, %d retry-exhausted, %d other)\n"
+    r.P.ops_attempted r.P.ops_resolved r.P.echo_ok r.P.echo_timeouts
+    r.P.peer_dead_failures r.P.retry_exhausted r.P.other_failures;
+  Printf.printf "no op hangs: %b (victims finished: %d/2)\n"
+    (r.P.ops_resolved = r.P.ops_attempted && r.P.victims_finished = 2)
+    r.P.victims_finished;
+  Printf.printf
+    "lifecycle: %d conns established, %d closed, %d resets sent, %d conn \
+     deaths, %d peer-dead ops\n"
+    r.P.conns_established r.P.conns_closed r.P.conn_resets r.P.peer_deaths
+    r.P.peer_dead_ops;
+  Printf.printf
+    "recovery: %d reconnects, %d server registrations, server incarnation \
+     %d, %d peer restarts detected, %d stale drops, %d keepalive probes\n"
+    r.P.reconnects r.P.server_registrations r.P.server_incarnation
+    r.P.peer_restarts r.P.stale_drops r.P.keepalive_probes;
+  Printf.printf
+    "detection: slowest failed op resolved in %.1fus (bound %.1fus); \
+     longest victim outage %.1fms (bound %.1fms) -> within bounds: %b\n"
+    (T.to_float_us r.P.max_failed_resolution)
+    (T.to_float_us r.P.resolution_bound)
+    (T.to_float_ms r.P.max_outage)
+    (T.to_float_ms r.P.outage_bound)
+    r.P.detection_ok;
+  let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
+  Printf.printf "clean-path latency: p50 %.1fus p99 %.1fus\n"
+    (pct r.P.latencies 50.0) (pct r.P.latencies 99.0);
+  Printf.printf "injected: %s\n"
+    (String.concat ", "
+       (List.filter_map
+          (fun (name, v) ->
+            if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
+          r.P.fault_counters));
+  Printf.printf "hygiene: %d pool bytes leaked\n" r.P.pool_leak_bytes;
+  let r2 = P.run P.default_config in
+  Printf.printf "deterministic across runs: %b\n"
+    (String.equal (P.fingerprint r) (P.fingerprint r2));
+  flush stdout
+
 (* -- Multi-tenant guest networking ---------------------------------------- *)
 
 let tenants () =
@@ -564,6 +611,15 @@ let sweep () =
                 tenants = 24; victim_ops = 8; aggressor_ops = 20;
                 stop_at = T.ms 8; run_cap = T.ms 20 }))
        ());
+  let module P = Workloads.Partition in
+  report "partition"
+    (Check.Explore.sweep ~seeds ~randomize_hash:true
+       ~run:(fun ~seed ~salt ->
+         P.fingerprint
+           (P.run
+              { P.default_config with P.seed; tie_salt = salt;
+                ops_per_victim = 60; stop_at = T.ms 22; run_cap = T.ms 40 }))
+       ());
   Printf.printf "invariants registered (last run): %d, evaluations: %d\n"
     (Check.Invariant.registered ())
     (Check.Invariant.evaluations ());
@@ -609,6 +665,33 @@ let sweep () =
   | None ->
       Printf.printf "SABOTAGE NOT CAUGHT: guest checker is vacuous\n%!";
       exit 1);
+  (* Lifecycle non-vacuity: a dying conn forgets to reclaim — waiting
+     ops are never failed and charges stay held; the peer-reclaim (or
+     pool quiesce) invariant must notice. *)
+  Check.Invariant.set_sabotage "skip_peer_reclaim" true;
+  let caught_peer =
+    match
+      (* Continuous streaming of large multi-chunk messages, so blackout
+         edges cut messages mid-flight: the receiving side then holds
+         pool-charged reassembly state when the keepalive declares the
+         conn dead, and a sabotaged kill_conn strands it. *)
+      Workloads.Partition.run
+        { Workloads.Partition.default_config with
+          Workloads.Partition.ops_per_victim = 200;
+          op_interval = T.us 0; bytes = 131072;
+          stop_at = T.ms 22; run_cap = T.ms 40 }
+    with
+    | _ -> None
+    | exception Check.Invariant.Violation msg -> Some msg
+  in
+  Check.Invariant.set_sabotage "skip_peer_reclaim" false;
+  (match caught_peer with
+  | Some msg ->
+      Printf.printf "peer-reclaim sabotage caught by checker: %s\n%!"
+        (String.concat " " (String.split_on_char '\n' msg))
+  | None ->
+      Printf.printf "SABOTAGE NOT CAUGHT: peer-reclaim checker is vacuous\n%!";
+      exit 1);
   Printf.printf "sweep OK\n%!"
 
 (* -- Driver ------------------------------------------------------------------ *)
@@ -630,6 +713,7 @@ let all_benches =
     ("chaos", chaos);
     ("chaos_upgrade", chaos_upgrade);
     ("overload", overload);
+    ("partition", partition);
     ("tenants", tenants);
     ("sweep", sweep);
     ("micro", micro);

@@ -12,6 +12,13 @@ type host = {
   h_control : Control.t;
   h_group : Engine.group;
   h_engines : Engine.t list;
+  (* Whole-host crash/restart hooks for [Plan.Host_crash].  The fault
+     layer cannot depend on the transport, so the host supplies
+     closures (Snap.Host.fault_host wires them); [None] means the host
+     does not support crash injection and a Host_crash targeting it is
+     a plan error. *)
+  h_crash : (unit -> unit) option;
+  h_restart : (unit -> unit) option;
 }
 
 (* Fabric-level fault windows active right now.  Toggled by loop events
@@ -20,6 +27,7 @@ type host = {
    injector's private RNG stream. *)
 type window =
   | W_blackout of int * int
+  | W_blackout_oneway of int * int  (* drops src -> dst only *)
   | W_loss of int * float
   | W_reorder of int * float * Time.t
   | W_corrupt of int * float
@@ -50,6 +58,8 @@ let counter_names =
     "engine_restarts";
     "straggler_windows";
     "engine_wedges";
+    "host_crashes";
+    "host_restarts";
   ]
 
 let bump t key =
@@ -99,6 +109,7 @@ let hook t (pkt : Packet.t) =
     let blackout =
       matching (function
         | W_blackout (a, b) -> (src = a && dst = b) || (src = b && dst = a)
+        | W_blackout_oneway (s, d) -> src = s && dst = d
         | _ -> false)
     in
     match blackout with
@@ -164,6 +175,10 @@ let schedule t (ev : Plan.event) =
       schedule_fabric_window t ~start ~duration ~kind:"blackout"
         ~detail:(Printf.sprintf "link %d<->%d" a b)
         (W_blackout (a, b))
+  | Plan.Link_blackout_oneway { src; dst; start; duration } ->
+      schedule_fabric_window t ~start ~duration ~kind:"blackout-oneway"
+        ~detail:(Printf.sprintf "link %d->%d" src dst)
+        (W_blackout_oneway (src, dst))
   | Plan.Burst_loss { port; start; duration; loss_pct } ->
       schedule_fabric_window t ~start ~duration ~kind:"loss"
         ~detail:(Printf.sprintf "port %d %.1f%%" port loss_pct)
@@ -224,6 +239,27 @@ let schedule t (ev : Plan.event) =
                announce t ~kind:"engine-wedge"
                  (Printf.sprintf "host %d engine %d" host engine)
              end))
+  | Plan.Host_crash { host; start; restart_after } ->
+      let h = find_host t host in
+      let crash, restart =
+        match (h.h_crash, h.h_restart) with
+        | Some c, Some r -> (c, r)
+        | _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Fault.Injector: host %d has no crash/restart hooks" host)
+      in
+      ignore
+        (Loop.at t.lp start (fun () ->
+             crash ();
+             bump t "host_crashes";
+             announce t ~kind:"host-crash" (Printf.sprintf "host %d" host);
+             ignore
+               (Loop.at t.lp (Time.add start restart_after) (fun () ->
+                    restart ();
+                    bump t "host_restarts";
+                    announce t ~kind:"host-restart"
+                      (Printf.sprintf "host %d" host)))))
   | Plan.Straggler { host; start; duration; slowdown } ->
       let h = find_host t host in
       ignore

@@ -17,6 +17,14 @@ type host = {
   h_engines : Engine.t list;
       (** Indexed by [Plan.Engine_crash.engine] /
           [Plan.Engine_wedge.engine]. *)
+  h_crash : (unit -> unit) option;
+      (** Kill the whole host: detach engines, destroy transport and
+          client state, release pool charges.  Required (with
+          [h_restart]) for [Plan.Host_crash] to target this host; the
+          fault layer cannot depend on the transport, so the host
+          supplies the closure ({!Snap.Host.fault_host} wires both). *)
+  h_restart : (unit -> unit) option;
+      (** Bring the host back with a fresh incarnation number. *)
 }
 
 type t

@@ -7,6 +7,12 @@ type event =
       start : Time.t;
       duration : Time.t;
     }
+  | Link_blackout_oneway of {
+      src : int;
+      dst : int;
+      start : Time.t;
+      duration : Time.t;
+    }
   | Burst_loss of {
       port : int;
       start : Time.t;
@@ -45,6 +51,7 @@ type event =
       slowdown : float;
     }
   | Engine_wedge of { host : int; engine : int; start : Time.t }
+  | Host_crash of { host : int; start : Time.t; restart_after : Time.t }
 
 type t = { seed : int; evs : event list }
 
@@ -54,6 +61,11 @@ let validate = function
   | Link_blackout { a; b; start; duration } ->
       if a < 0 || b < 0 || a = b then invalid_arg "Fault.Plan: blackout hosts";
       if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: blackout window"
+  | Link_blackout_oneway { src; dst; start; duration } ->
+      if src < 0 || dst < 0 || src = dst then
+        invalid_arg "Fault.Plan: oneway blackout hosts";
+      if start < 0 || duration <= 0 then
+        invalid_arg "Fault.Plan: oneway blackout window"
   | Burst_loss { port; start; duration; loss_pct } ->
       if port < 0 then invalid_arg "Fault.Plan: loss port";
       if start < 0 || duration <= 0 then invalid_arg "Fault.Plan: loss window";
@@ -81,6 +93,10 @@ let validate = function
   | Engine_wedge { host; engine; start } ->
       if host < 0 || engine < 0 then invalid_arg "Fault.Plan: wedge target";
       if start < 0 then invalid_arg "Fault.Plan: wedge start"
+  | Host_crash { host; start; restart_after } ->
+      if host < 0 then invalid_arg "Fault.Plan: host crash target";
+      if start < 0 || restart_after <= 0 then
+        invalid_arg "Fault.Plan: host crash times"
 
 let make ?(seed = 42) events =
   List.iter validate events;
@@ -95,6 +111,9 @@ let pp_event fmt = function
   | Link_blackout { a; b; start; duration } ->
       Format.fprintf fmt "blackout %d<->%d @%a for %a" a b Time.pp start Time.pp
         duration
+  | Link_blackout_oneway { src; dst; start; duration } ->
+      Format.fprintf fmt "blackout %d->%d (one-way) @%a for %a" src dst Time.pp
+        start Time.pp duration
   | Burst_loss { port; start; duration; loss_pct } ->
       Format.fprintf fmt "loss %.1f%% port %d @%a for %a" loss_pct port Time.pp
         start Time.pp duration
@@ -116,3 +135,6 @@ let pp_event fmt = function
   | Engine_wedge { host; engine; start } ->
       Format.fprintf fmt "wedge host %d engine %d @%a" host engine Time.pp
         start
+  | Host_crash { host; start; restart_after } ->
+      Format.fprintf fmt "host-crash %d @%a restart after %a" host Time.pp
+        start Time.pp restart_after

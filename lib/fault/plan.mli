@@ -15,6 +15,17 @@ type event =
     }
       (** All packets between hosts [a] and [b] (both directions) are
           dropped during the window: a link flap. *)
+  | Link_blackout_oneway of {
+      src : int;
+      dst : int;
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+    }
+      (** Asymmetric (half-open) partition: packets from [src] to [dst]
+          are dropped during the window, while the reverse direction
+          still flows — so [src] hears [dst] but [dst] never hears
+          [src].  The nastier real-world case: one side sees a healthy
+          peer while the other declares it dead. *)
   | Burst_loss of {
       port : int;
       start : Sim.Time.t;
@@ -72,6 +83,15 @@ type event =
           servicing its mailbox or run function — a silent failure the
           control plane can only detect by missed heartbeats
           ({!Control.Watchdog}).  Cleared when the engine is reloaded. *)
+  | Host_crash of { host : int; start : Sim.Time.t; restart_after : Sim.Time.t }
+      (** The whole host dies at [start]: every engine detaches, all
+          transport and client state (connections, flows, in-flight
+          ops, pool charges) is destroyed, and in-flight packets to and
+          from the host are lost.  [restart_after] later the host comes
+          back with a {e fresh incarnation number}; peers reject
+          packets stamped with the old incarnation, so pre-crash flows
+          cannot be resurrected.  Requires crash/restart hooks on the
+          registered host (see {!Injector.host}). *)
 
 type t
 

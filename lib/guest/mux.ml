@@ -44,7 +44,7 @@ let status_of : Pony.Wire.status -> Ring.status = function
   | Pony.Wire.Timed_out -> Ring.Timed_out
   | Pony.Wire.Busy -> Ring.Busy
   | Pony.Wire.Bad_region | Pony.Wire.Bad_range | Pony.Wire.No_match
-  | Pony.Wire.Not_permitted ->
+  | Pony.Wire.Not_permitted | Pony.Wire.Peer_dead ->
       Ring.Failed
 
 let rec drain_completions b cost work n =

@@ -19,6 +19,29 @@ type completion = {
   completed_at : Time.t;
 }
 
+(* Connection lifecycle (§4.3 availability): [Established] carries
+   traffic; [Draining] is a close in progress (credit-waiting ops still
+   drain, new sends are refused); [Dead] means the peer is gone
+   (keepalive miss budget, Conn_reset, peer restart or host crash) and
+   every stranded op has been failed [Peer_dead]; [Closed] is a
+   completed local close.  Dead/Closed conns stay in the table as
+   tombstones so late packets answer with a reset instead of
+   resurrecting state. *)
+type conn_state = Established | Draining | Dead | Closed
+
+let conn_state_to_string = function
+  | Established -> "established"
+  | Draining -> "draining"
+  | Dead -> "dead"
+  | Closed -> "closed"
+
+(* Opt-in dead-peer detection: probe a conn silent for [ka_interval];
+   declare the peer dead after [ka_interval * (ka_miss_budget + 1)] of
+   silence.  Off by default — a keepalive timer keeps an otherwise idle
+   host from quiescing, so only workloads that expect peer failure arm
+   it. *)
+type keepalive = { ka_interval : Time.t; ka_miss_budget : int }
+
 type command =
   | C_send of {
       cmd_conn : conn;
@@ -35,6 +58,7 @@ type command =
       issued : Time.t;
       deadline : Time.t option;
     }
+  | C_close of { cmd_conn : conn }
 
 and incoming = {
   msg_conn : conn;
@@ -52,7 +76,11 @@ and client = {
   comp_q : completion Squeue.Spsc.t;
   msg_q : incoming Squeue.Spsc.t;
   regions : (int, Memory.Region.t) Hashtbl.t;
-  outstanding : (int, Time.t) Hashtbl.t;  (* one-sided op id -> issue time *)
+  (* One-sided op id -> (issue time, conn key): the conn attribution is
+     what lets a dead peer's stranded ops be found and failed. *)
+  outstanding : (int, Time.t * Wire.conn_key) Hashtbl.t;
+  c_owner : string;  (* admission / pool accounting name *)
+  mutable c_dead : bool;  (* the owning host crashed while we existed *)
   adm : Overload.Admission.t;
   charges : (int, Memory.Pool.alloc option) Hashtbl.t;
       (* op id -> admission charge, held until the completion fires *)
@@ -79,6 +107,9 @@ and conn = {
   c_flow : Flow.t;
   mutable credit : int;
   waiting : command Queue.t;
+  mutable state : conn_state;
+  mutable last_heard : Time.t;  (* any item for this conn counts as life *)
+  mutable ka_sent_at : Time.t;  (* last keepalive probe we enqueued *)
 }
 
 and asm = {
@@ -124,6 +155,11 @@ and t = {
   versions : int list;  (* wire versions this release can speak (§3.1) *)
   mutable engs : eng list;  (* ascending eid *)
   mutable next_cid : int;
+  (* Conn-session allocator: every connect stamps a fresh session into
+     the conn key, so a re-dial between the same client pair can never
+     alias items still in flight from a dead predecessor.  Unique
+     within this host; [initiator_host] in the key makes it global. *)
+  mutable next_session : int;
   clients_tbl : (int, client) Hashtbl.t;
   gen : Packet.Id_gen.t;
   mutable rr_assign : int;
@@ -143,9 +179,35 @@ and t = {
   busy_base : int;
   c_pool_drop : Stats.Counter.t;
   pool_drop_base : int;
+  (* Connection lifecycle / peer failure (§4.3). *)
+  mutable incarnation : int;  (* bumped on every restart after a crash *)
+  mutable alive : bool;
+  ka : keepalive option;
+  (* Latest incarnation seen per peer host: packets with an older stamp
+     are pre-crash stragglers and are dropped; a newer stamp proves the
+     peer restarted, so everything we hold about it is torn down. *)
+  peer_incs : (Packet.addr, int) Hashtbl.t;
+  c_conn_est : Stats.Counter.t;
+  conn_est_base : int;
+  c_conn_closed : Stats.Counter.t;
+  conn_closed_base : int;
+  c_conn_reset : Stats.Counter.t;  (* resets sent *)
+  conn_reset_base : int;
+  c_peer_death : Stats.Counter.t;  (* conns declared dead *)
+  peer_death_base : int;
+  c_peer_dead_op : Stats.Counter.t;  (* ops failed Peer_dead *)
+  peer_dead_op_base : int;
+  c_stale_drop : Stats.Counter.t;  (* stale-incarnation packets dropped *)
+  stale_drop_base : int;
+  c_peer_restart : Stats.Counter.t;  (* peer restarts detected *)
+  peer_restart_base : int;
+  c_ka_probe : Stats.Counter.t;  (* keepalive probes enqueued *)
+  ka_probe_base : int;
 }
 
 and dir = { hosts : (Packet.addr, t) Hashtbl.t }
+
+module Retry = Overload.Retry
 
 module Directory = struct
   type nonrec dir = dir
@@ -177,6 +239,25 @@ let flow_resyncs t = Stats.Counter.value t.c_resync - t.resync_base
 let busy_nacks t = Stats.Counter.value t.c_busy - t.busy_base
 let rx_pool_drops t = Stats.Counter.value t.c_pool_drop - t.pool_drop_base
 let op_pool t = t.op_pool
+let incarnation t = t.incarnation
+let host_alive t = t.alive
+let conn_state c = c.state
+let conn_last_heard c = c.last_heard
+let client_alive c = (not c.c_dead) && c.c_host.alive
+let conns_established t = Stats.Counter.value t.c_conn_est - t.conn_est_base
+let conns_closed t = Stats.Counter.value t.c_conn_closed - t.conn_closed_base
+let conn_resets_sent t = Stats.Counter.value t.c_conn_reset - t.conn_reset_base
+let peer_deaths t = Stats.Counter.value t.c_peer_death - t.peer_death_base
+let peer_dead_ops t = Stats.Counter.value t.c_peer_dead_op - t.peer_dead_op_base
+let stale_drops t = Stats.Counter.value t.c_stale_drop - t.stale_drop_base
+
+let peer_restarts_detected t =
+  Stats.Counter.value t.c_peer_restart - t.peer_restart_base
+
+let keepalive_probes t = Stats.Counter.value t.c_ka_probe - t.ka_probe_base
+
+let conn_is_dead c =
+  match c.state with Dead | Closed -> true | Established | Draining -> false
 
 (* Hashtbl iteration order depends on the process hash seed
    (OCAMLRUNPARAM=R); every datapath or accounting scan over a table
@@ -220,20 +301,32 @@ let flow_stats t =
     t.engs
 
 let debug_snapshot t =
-  String.concat " "
-    (List.map
-       (fun e ->
-         Printf.sprintf "eng%d[ring=%d asm=%d %s]" e.eid
-           (Squeue.Spsc.length (Nic.rx_ring t.nic ~queue:e.rxq))
-           (Hashtbl.length e.assembly)
-           (String.concat ","
-              (List.map
-                 (fun f ->
-                   Printf.sprintf "fl(pend=%d,fly=%d,rate=%.0f)" (Flow.pending f)
-                     (Flow.in_flight f)
-                     (Timely.rate_gbps (Flow.cc f)))
-                 e.flow_list)))
-       t.engs)
+  let now = Loop.now t.lp in
+  Printf.sprintf "inc=%d%s " t.incarnation (if t.alive then "" else " down")
+  ^ String.concat " "
+      (List.map
+         (fun e ->
+           Printf.sprintf "eng%d[ring=%d asm=%d %s%s]" e.eid
+             (Squeue.Spsc.length (Nic.rx_ring t.nic ~queue:e.rxq))
+             (Hashtbl.length e.assembly)
+             (String.concat ","
+                (List.map
+                   (fun f ->
+                     Printf.sprintf "fl(pend=%d,fly=%d,rate=%.0f)" (Flow.pending f)
+                       (Flow.in_flight f)
+                       (Timely.rate_gbps (Flow.cc f)))
+                   e.flow_list))
+             (String.concat ""
+                (List.map
+                   (fun ((ckey, we_init), c) ->
+                     Printf.sprintf " cn(%d.%d->%d.%d%s %s heard=%dns)"
+                       ckey.Wire.initiator_host ckey.Wire.initiator_client
+                       ckey.Wire.target_host ckey.Wire.target_client
+                       (if we_init then "/i" else "/t")
+                       (conn_state_to_string c.state)
+                       (Time.sub now c.last_heard))
+                   (sorted_tbl e.conns))))
+         t.engs)
   ^
   match t.ce with
   | Some ce ->
@@ -286,7 +379,7 @@ let get_flow eng key =
       in
       let f =
         Flow.create ~loop:eng.e_host.lp ~key ~max_rate_gbps:(flow_max_rate eng.e_host)
-          ~version ()
+          ~version ~incarnation:eng.e_host.incarnation ()
       in
       Hashtbl.add eng.flows key f;
       eng.flow_list <- eng.flow_list @ [ f ];
@@ -491,6 +584,245 @@ let grant_credit eng flow ckey bytes =
   ignore eng;
   Flow.enqueue flow (Wire.Credit_grant { conn = ckey; bytes }) ~payload_bytes:0
 
+let deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow =
+  if
+    push_incoming eng cost conn.local
+      { msg_conn = conn; msg_op = op_id; stream; msg_bytes = total }
+  then
+    (* Receiver-driven replenishment once the message is handed to the
+       application (§3.3). *)
+    grant_credit eng reverse_flow conn.ckey total
+  else begin
+    (* The destination client's incoming queue is full: shed at
+       delivery and NACK so the sender's credit comes back and the op
+       completes [Busy] instead of silently losing both. *)
+    Stats.Counter.incr eng.e_host.c_busy;
+    Flow.enqueue reverse_flow
+      (Wire.Busy_nack { conn = conn.ckey; op_id; bytes = total })
+      ~payload_bytes:0
+  end
+
+(* Reassembly state is charged to the owning engine in the op pool so
+   receive-side memory is attributed (§2.5); best-effort — [None] when
+   the pool cannot cover it. *)
+let charge_assembly eng ~total =
+  if total = 0 then None
+  else
+    Memory.Pool.try_alloc eng.e_host.op_pool ~owner:(Engine.name eng.core)
+      ~bytes:total
+
+let free_assembly a =
+  match a.asm_charge with
+  | Some c ->
+      a.asm_charge <- None;
+      if c.Memory.Pool.live then Memory.Pool.free c
+  | None -> ()
+
+(* -- Connection death and orphan-state reclamation ----------------------- *)
+
+let item_for_conn ckey = function
+  | Wire.Msg_chunk { conn; _ }
+  | Wire.One_sided_req { conn; _ }
+  | Wire.One_sided_resp { conn; _ }
+  | Wire.Credit_grant { conn; _ }
+  | Wire.Busy_nack { conn; _ }
+  | Wire.Conn_reset { conn }
+  | Wire.Keepalive { conn }
+  | Wire.Keepalive_ack { conn } -> conn = ckey
+  | Wire.Bare_ack -> false
+
+let item_ckey = function
+  | Wire.Msg_chunk { conn; _ }
+  | Wire.One_sided_req { conn; _ }
+  | Wire.One_sided_resp { conn; _ }
+  | Wire.Credit_grant { conn; _ }
+  | Wire.Busy_nack { conn; _ }
+  | Wire.Conn_reset { conn }
+  | Wire.Keepalive { conn }
+  | Wire.Keepalive_ack { conn } -> Some conn
+  | Wire.Bare_ack -> None
+
+let peer_dead_completion client ~op_id ~bytes ~issued ~now =
+  Stats.Counter.incr client.c_host.c_peer_dead_op;
+  {
+    comp_op = op_id;
+    status = Wire.Peer_dead;
+    bytes;
+    value = None;
+    issued_at = issued;
+    completed_at = now;
+  }
+
+let conn_label conn =
+  Printf.sprintf "%d.%d->%d.%d%s" conn.ckey.Wire.initiator_host
+    conn.ckey.Wire.initiator_client conn.ckey.Wire.target_host
+    conn.ckey.Wire.target_client
+    (if conn.we_are_initiator then ".init" else ".tgt")
+
+(* Every path that declares a connection dead funnels here: fail every
+   stranded op with [Peer_dead] (releasing its admission charge through
+   the completion path) and reclaim all transport state attributable to
+   the peer — the credit-waiting queue, unsent flow items, outstanding
+   one-sided ops, and receive-side reassembly (whose op-pool charge
+   returns).  The per-host peer_reclaim invariant checks exactly this
+   postcondition on every Dead/Closed conn; the "skip_peer_reclaim"
+   sabotage switch skips the reclamation so the sweep can prove the
+   invariant is not vacuous. *)
+let kill_conn cost conn ~reason =
+  if not (conn_is_dead conn) then begin
+    let t = conn.local.c_host in
+    let now = Loop.now t.lp in
+    let eng = conn.local.c_eng in
+    conn.state <- Dead;
+    Stats.Counter.incr t.c_peer_death;
+    Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony" "conn %s dead: %s"
+      (conn_label conn) reason;
+    if not (Check.Invariant.sabotage "skip_peer_reclaim") then begin
+      (* Credit-starved ops parked on the conn. *)
+      Queue.iter
+        (fun cmd ->
+          match cmd with
+          | C_send { op_id; bytes; issued; _ } ->
+              push_completion eng cost conn.local
+                (peer_dead_completion conn.local ~op_id ~bytes ~issued ~now)
+          | C_one_sided { op_id; issued; _ } ->
+              push_completion eng cost conn.local
+                (peer_dead_completion conn.local ~op_id ~bytes:0 ~issued ~now)
+          | C_close _ -> ())
+        conn.waiting;
+      Queue.clear conn.waiting;
+      (* Segments and control items not yet on the wire would address a
+         dead peer; flight entries stay (removing them would punch holes
+         in the go-back-N sequence space). *)
+      ignore (Flow.purge_queue conn.c_flow ~drop:(item_for_conn conn.ckey));
+      (* One-sided ops stranded without a response. *)
+      List.iter
+        (fun (op_id, (issued, ck)) ->
+          if ck = conn.ckey then begin
+            Hashtbl.remove conn.local.outstanding op_id;
+            push_completion eng cost conn.local
+              (peer_dead_completion conn.local ~op_id ~bytes:0 ~issued ~now)
+          end)
+        (sorted_tbl conn.local.outstanding);
+      (* Partially reassembled messages from the dead peer. *)
+      List.iter
+        (fun (((ck, _, _) as akey), a) ->
+          if ck = conn.ckey then begin
+            Hashtbl.remove eng.assembly akey;
+            free_assembly a
+          end)
+        (sorted_tbl eng.assembly)
+    end
+  end
+
+(* Complete a local close: tell the peer (so its half dies promptly
+   rather than by keepalive), abandon inbound reassembly, tombstone. *)
+let finalize_close conn =
+  match conn.state with
+  | Draining ->
+      let t = conn.local.c_host in
+      let eng = conn.local.c_eng in
+      conn.state <- Closed;
+      Stats.Counter.incr t.c_conn_closed;
+      Stats.Counter.incr t.c_conn_reset;
+      Flow.enqueue conn.c_flow (Wire.Conn_reset { conn = conn.ckey })
+        ~payload_bytes:0;
+      List.iter
+        (fun (((ck, _, _) as akey), a) ->
+          if ck = conn.ckey then begin
+            Hashtbl.remove eng.assembly akey;
+            free_assembly a
+          end)
+        (sorted_tbl eng.assembly)
+  | Established | Dead | Closed -> ()
+
+let reset_back eng ckey ~reverse_flow =
+  Stats.Counter.incr eng.e_host.c_conn_reset;
+  Flow.enqueue reverse_flow (Wire.Conn_reset { conn = ckey }) ~payload_bytes:0
+
+(* Tear down everything this host holds about [peer]: conns die (their
+   ops fail [Peer_dead]) and flows are dropped wholesale — their
+   sequence state belongs to a peer instance that no longer exists. *)
+let forget_peer cost t ~peer ~reason =
+  List.iter
+    (fun eng ->
+      List.iter
+        (fun (_, conn) ->
+          if conn.remote_host = peer then kill_conn cost conn ~reason)
+        (sorted_tbl eng.conns);
+      let doomed, kept =
+        List.partition
+          (fun f -> (Flow.key f).Wire.dst_host = peer)
+          eng.flow_list
+      in
+      List.iter (fun f -> Hashtbl.remove eng.flows (Flow.key f)) doomed;
+      eng.flow_list <- kept)
+    t.engs
+
+(* Record the incarnation [peer] is speaking.  [`Stale] means the packet
+   predates the peer's latest restart and must be dropped; a stamp newer
+   than the recorded one proves the peer restarted, so everything held
+   about it is torn down before the packet is processed. *)
+let note_peer_inc cost t ~peer ~inc =
+  match Hashtbl.find_opt t.peer_incs peer with
+  | None ->
+      Hashtbl.replace t.peer_incs peer inc;
+      `Current
+  | Some known when inc = known -> `Current
+  | Some known when inc < known -> `Stale
+  | Some _ ->
+      Hashtbl.replace t.peer_incs peer inc;
+      Stats.Counter.incr t.c_peer_restart;
+      Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
+        "host %d: peer %d restarted (incarnation %d)" (addr t) peer inc;
+      forget_peer cost t ~peer ~reason:"peer restarted";
+      `Current
+
+(* The reclamation postcondition [kill_conn]/[finalize_close] enforce:
+   a Dead/Closed conn holds no parked ops, no outstanding one-sided
+   ops, and no reassembly buffers. *)
+let check_peer_reclaim t =
+  List.fold_left
+    (fun acc eng ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          List.fold_left
+            (fun acc (_, conn) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if not (conn_is_dead conn) then None
+                  else if not (Queue.is_empty conn.waiting) then
+                    Some
+                      (Printf.sprintf "conn %s: %d ops parked on a dead conn"
+                         (conn_label conn)
+                         (Queue.length conn.waiting))
+                  else if
+                    Hashtbl.fold
+                      (fun _ (_, ck) found -> found || ck = conn.ckey)
+                      conn.local.outstanding false
+                  then
+                    Some
+                      (Printf.sprintf
+                         "conn %s: outstanding one-sided ops on a dead conn"
+                         (conn_label conn))
+                  else if
+                    Hashtbl.fold
+                      (fun (ck, _, _) _ found -> found || ck = conn.ckey)
+                      eng.assembly false
+                  then
+                    Some
+                      (Printf.sprintf "conn %s: reassembly state on a dead conn"
+                         (conn_label conn))
+                  else None)
+            None (sorted_tbl eng.conns))
+    None t.engs
+
+let maybe_finalize_close conn =
+  if conn.state = Draining && Queue.is_empty conn.waiting then
+    finalize_close conn
+
 let drain_waiting eng cost conn =
   let t = eng.e_host in
   let continue = ref true in
@@ -527,7 +859,8 @@ let drain_waiting eng cost conn =
             completed_at = Loop.now t.lp;
           }
     | Some _ | None -> continue := false
-  done
+  done;
+  maybe_finalize_close conn
 
 (* Drop deadline-expired ops parked at the head of the credit-waiting
    queue.  [drain_waiting] does the same when credit arrives; this
@@ -555,76 +888,75 @@ let expire_waiting eng cost ~now =
                 completed_at = now;
               }
         | Some _ | None -> continue := false
-      done)
+      done;
+      maybe_finalize_close conn)
     (sorted_tbl eng.conns);
   !expired
-
-let deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow =
-  if
-    push_incoming eng cost conn.local
-      { msg_conn = conn; msg_op = op_id; stream; msg_bytes = total }
-  then
-    (* Receiver-driven replenishment once the message is handed to the
-       application (§3.3). *)
-    grant_credit eng reverse_flow conn.ckey total
-  else begin
-    (* The destination client's incoming queue is full: shed at
-       delivery and NACK so the sender's credit comes back and the op
-       completes [Busy] instead of silently losing both. *)
-    Stats.Counter.incr eng.e_host.c_busy;
-    Flow.enqueue reverse_flow
-      (Wire.Busy_nack { conn = conn.ckey; op_id; bytes = total })
-      ~payload_bytes:0
-  end
-
-(* Reassembly state is charged to the owning engine in the op pool so
-   receive-side memory is attributed (§2.5); best-effort — [None] when
-   the pool cannot cover it. *)
-let charge_assembly eng ~total =
-  if total = 0 then None
-  else
-    Memory.Pool.try_alloc eng.e_host.op_pool ~owner:(Engine.name eng.core)
-      ~bytes:total
-
-let free_assembly a =
-  match a.asm_charge with
-  | Some c ->
-      a.asm_charge <- None;
-      if c.Memory.Pool.live then Memory.Pool.free c
-  | None -> ()
 
 let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
   let t = eng.e_host in
   let now = Loop.now t.lp in
+  (* The item's conn, live halves only: traffic for an unknown or
+     Dead/Closed conn answers with a reset — except a reset itself,
+     which is never echoed, so two tombstones cannot ping-pong. *)
+  let live_conn ckey =
+    let we_init = not (ckey.Wire.initiator_host = from_host) in
+    match find_conn eng ckey ~we_init with
+    | Some c when not (conn_is_dead c) -> Some c
+    | Some _ | None -> None
+  in
+  (* Any item carried on a live conn counts as life for dead-peer
+     detection. *)
+  (match item_ckey item with
+  | Some ckey -> (
+      match live_conn ckey with
+      | Some c -> c.last_heard <- now
+      | None -> ())
+  | None -> ());
   match item with
   | Wire.Bare_ack -> ()
+  | Wire.Conn_reset { conn = ckey } -> (
+      match live_conn ckey with
+      | Some conn -> kill_conn cost conn ~reason:"reset by peer"
+      | None -> ())
+  | Wire.Keepalive { conn = ckey } -> (
+      match live_conn ckey with
+      | Some _ ->
+          Flow.enqueue reverse_flow (Wire.Keepalive_ack { conn = ckey })
+            ~payload_bytes:0
+      | None -> reset_back eng ckey ~reverse_flow)
+  | Wire.Keepalive_ack { conn = ckey } -> (
+      (* The probe answer itself already refreshed [last_heard]. *)
+      match live_conn ckey with
+      | Some _ -> ()
+      | None -> reset_back eng ckey ~reverse_flow)
   | Wire.Msg_chunk { conn = ckey; op_id; stream; offset = _; len; total } -> (
-      let from_initiator = ckey.Wire.initiator_host = from_host in
-      let we_init = not from_initiator in
-      rx_copy_cost eng cost len;
-      let akey = (ckey, from_initiator, op_id) in
-      let a =
-        match Hashtbl.find_opt eng.assembly akey with
-        | Some a -> a
-        | None ->
-            let a =
-              {
-                got = 0;
-                total;
-                first_value = None;
-                asm_status = Wire.Ok;
-                asm_charge = charge_assembly eng ~total;
-              }
-            in
-            Hashtbl.add eng.assembly akey a;
-            a
-      in
-      a.got <- a.got + len;
-      if a.got >= a.total then begin
-        Hashtbl.remove eng.assembly akey;
-        free_assembly a;
-        match find_conn eng ckey ~we_init with
-        | Some conn ->
+      match live_conn ckey with
+      | None -> reset_back eng ckey ~reverse_flow
+      | Some conn ->
+          let from_initiator = ckey.Wire.initiator_host = from_host in
+          rx_copy_cost eng cost len;
+          let akey = (ckey, from_initiator, op_id) in
+          let a =
+            match Hashtbl.find_opt eng.assembly akey with
+            | Some a -> a
+            | None ->
+                let a =
+                  {
+                    got = 0;
+                    total;
+                    first_value = None;
+                    asm_status = Wire.Ok;
+                    asm_charge = charge_assembly eng ~total;
+                  }
+                in
+                Hashtbl.add eng.assembly akey a;
+                a
+          in
+          a.got <- a.got + len;
+          if a.got >= a.total then begin
+            Hashtbl.remove eng.assembly akey;
+            free_assembly a;
             let deliver () =
               let cost' = ref 0 in
               deliver_message eng cost' ~conn ~op_id ~stream ~total ~reverse_flow;
@@ -642,52 +974,51 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
               | None -> deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow
             end
             else deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow
-        | None -> ()
-      end)
+          end)
   | Wire.One_sided_req { conn = ckey; op_id; op } -> (
-      eng.served_one_sided <- eng.served_one_sided + 1;
-      match Hashtbl.find_opt t.clients_tbl ckey.Wire.target_client with
-      | None ->
-          segment_response t reverse_flow ~ckey ~op_id ~status:Wire.Not_permitted
-            ~total:0 ~value:None
-      | Some client ->
-          let status, total, value = exec_one_sided eng cost client op in
+      match live_conn ckey with
+      | None -> reset_back eng ckey ~reverse_flow
+      | Some conn ->
+          eng.served_one_sided <- eng.served_one_sided + 1;
+          (* The conn's local half serves against its own client's
+             regions, whichever side initiated. *)
+          let status, total, value = exec_one_sided eng cost conn.local op in
           segment_response t reverse_flow ~ckey ~op_id ~status ~total ~value)
   | Wire.One_sided_resp { conn = ckey; op_id; status; chunk_offset; chunk_len; total; value }
     -> (
-      let from_initiator = ckey.Wire.initiator_host = from_host in
-      let we_init = not from_initiator in
-      rx_copy_cost eng cost chunk_len;
-      let akey = (ckey, from_initiator, op_id) in
-      let a =
-        match Hashtbl.find_opt eng.assembly akey with
-        | Some a -> a
-        | None ->
-            let a =
-              {
-                got = 0;
-                total;
-                first_value = None;
-                asm_status = status;
-                asm_charge = charge_assembly eng ~total;
-              }
-            in
-            Hashtbl.add eng.assembly akey a;
-            a
-      in
-      a.got <- a.got + chunk_len;
-      if chunk_offset = 0 then begin
-        a.first_value <- value;
-        a.asm_status <- status
-      end;
-      if a.got >= a.total then begin
-        Hashtbl.remove eng.assembly akey;
-        free_assembly a;
-        match find_conn eng ckey ~we_init with
-        | Some conn ->
+      match live_conn ckey with
+      | None -> reset_back eng ckey ~reverse_flow
+      | Some conn ->
+          let from_initiator = ckey.Wire.initiator_host = from_host in
+          rx_copy_cost eng cost chunk_len;
+          let akey = (ckey, from_initiator, op_id) in
+          let a =
+            match Hashtbl.find_opt eng.assembly akey with
+            | Some a -> a
+            | None ->
+                let a =
+                  {
+                    got = 0;
+                    total;
+                    first_value = None;
+                    asm_status = status;
+                    asm_charge = charge_assembly eng ~total;
+                  }
+                in
+                Hashtbl.add eng.assembly akey a;
+                a
+          in
+          a.got <- a.got + chunk_len;
+          if chunk_offset = 0 then begin
+            a.first_value <- value;
+            a.asm_status <- status
+          end;
+          if a.got >= a.total then begin
+            Hashtbl.remove eng.assembly akey;
+            free_assembly a;
             let issued =
               match Hashtbl.find_opt conn.local.outstanding op_id with
-              | Some ts ->
+              | Some (ts, _) ->
                   Hashtbl.remove conn.local.outstanding op_id;
                   ts
               | None -> now
@@ -701,20 +1032,15 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
                 issued_at = issued;
                 completed_at = now;
               }
-        | None -> ()
-      end)
+          end)
   | Wire.Credit_grant { conn = ckey; bytes } -> (
-      let from_initiator = ckey.Wire.initiator_host = from_host in
-      let we_init = not from_initiator in
-      match find_conn eng ckey ~we_init with
+      match live_conn ckey with
       | Some conn ->
           conn.credit <- conn.credit + bytes;
           drain_waiting eng cost conn
-      | None -> ())
+      | None -> reset_back eng ckey ~reverse_flow)
   | Wire.Busy_nack { conn = ckey; op_id; bytes } -> (
-      let from_initiator = ckey.Wire.initiator_host = from_host in
-      let we_init = not from_initiator in
-      match find_conn eng ckey ~we_init with
+      match live_conn ckey with
       | Some conn ->
           (* The receiver shed this op at delivery: reclaim the
              connection credit the send consumed and surface a [Busy]
@@ -731,7 +1057,7 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
               completed_at = now;
             };
           drain_waiting eng cost conn
-      | None -> ())
+      | None -> reset_back eng ckey ~reverse_flow)
 
 (* -- Command handling ---------------------------------------------------- *)
 
@@ -739,13 +1065,14 @@ let cmd_expired cmd ~now =
   match cmd with
   | C_send { deadline = Some d; _ } | C_one_sided { deadline = Some d; _ } ->
       now > d
-  | C_send _ | C_one_sided _ -> false
+  | C_send _ | C_one_sided _ | C_close _ -> false
 
 let complete_unstarted eng cost cmd ~status ~now =
   let conn, op_id, bytes, issued =
     match cmd with
     | C_send { cmd_conn; op_id; bytes; issued; _ } -> (cmd_conn, op_id, bytes, issued)
     | C_one_sided { cmd_conn; op_id; issued; _ } -> (cmd_conn, op_id, 0, issued)
+    | C_close _ -> invalid_arg "Pony: complete_unstarted on a close"
   in
   push_completion eng cost conn.local
     {
@@ -767,7 +1094,9 @@ let shed_at_dequeue eng cmd =
   | Overload.Pressure.Saturated ->
       let client =
         match cmd with
-        | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } -> cmd_conn.local
+        | C_send { cmd_conn; _ }
+        | C_one_sided { cmd_conn; _ }
+        | C_close { cmd_conn; _ } -> cmd_conn.local
       in
       Overload.Admission.outstanding_ops client.adm * 4
       > Overload.Admission.op_quota client.adm
@@ -777,40 +1106,64 @@ let handle_command eng cost cmd =
   let costs = t.cost in
   cost := !cost + costs.Sim.Costs.pony_per_op;
   let now = Loop.now t.lp in
-  if cmd_expired cmd ~now then begin
-    (match cmd with
-    | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } ->
-        Stats.Counter.incr cmd_conn.local.c_expired);
-    complete_unstarted eng cost cmd ~status:Wire.Timed_out ~now
-  end
-  else if shed_at_dequeue eng cmd then begin
-    (match cmd with
-    | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } ->
-        Stats.Counter.incr cmd_conn.local.c_shed);
-    complete_unstarted eng cost cmd ~status:Wire.Rejected ~now
-  end
-  else
-    match cmd with
-    | C_send { cmd_conn = conn; op_id; stream; bytes; issued; _ } ->
-        if bytes <= conn.credit then begin
-          conn.credit <- conn.credit - bytes;
-          segment_message t conn ~op_id ~stream ~bytes;
-          push_completion eng cost conn.local
-            {
-              comp_op = op_id;
-              status = Wire.Ok;
-              bytes;
-              value = None;
-              issued_at = issued;
-              completed_at = Loop.now t.lp;
-            }
-        end
-        else Queue.add cmd conn.waiting
-    | C_one_sided { cmd_conn = conn; op_id; op; issued; _ } ->
-        Hashtbl.replace conn.local.outstanding op_id issued;
-        Flow.enqueue conn.c_flow
-          (Wire.One_sided_req { conn = conn.ckey; op_id; op })
-          ~payload_bytes:0
+  match cmd with
+  | C_close { cmd_conn = conn } -> (
+      (* The close is ordered behind the conn's earlier sends in the
+         command queue; anything still credit-waiting drains first. *)
+      match conn.state with
+      | Established | Draining ->
+          conn.state <- Draining;
+          maybe_finalize_close conn
+      | Dead | Closed -> ())
+  | (C_send { cmd_conn = conn; _ } | C_one_sided { cmd_conn = conn; _ })
+    when conn_is_dead conn ->
+      (* The conn died between posting and dequeue. *)
+      let status =
+        match conn.state with
+        | Dead ->
+            Stats.Counter.incr t.c_peer_dead_op;
+            Wire.Peer_dead
+        | Established | Draining | Closed -> Wire.Rejected
+      in
+      complete_unstarted eng cost cmd ~status ~now
+  | C_send _ | C_one_sided _ -> (
+      if cmd_expired cmd ~now then begin
+        (match cmd with
+        | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } ->
+            Stats.Counter.incr cmd_conn.local.c_expired
+        | C_close _ -> ());
+        complete_unstarted eng cost cmd ~status:Wire.Timed_out ~now
+      end
+      else if shed_at_dequeue eng cmd then begin
+        (match cmd with
+        | C_send { cmd_conn; _ } | C_one_sided { cmd_conn; _ } ->
+            Stats.Counter.incr cmd_conn.local.c_shed
+        | C_close _ -> ());
+        complete_unstarted eng cost cmd ~status:Wire.Rejected ~now
+      end
+      else
+        match cmd with
+        | C_send { cmd_conn = conn; op_id; stream; bytes; issued; _ } ->
+            if bytes <= conn.credit then begin
+              conn.credit <- conn.credit - bytes;
+              segment_message t conn ~op_id ~stream ~bytes;
+              push_completion eng cost conn.local
+                {
+                  comp_op = op_id;
+                  status = Wire.Ok;
+                  bytes;
+                  value = None;
+                  issued_at = issued;
+                  completed_at = Loop.now t.lp;
+                }
+            end
+            else Queue.add cmd conn.waiting
+        | C_one_sided { cmd_conn = conn; op_id; op; issued; _ } ->
+            Hashtbl.replace conn.local.outstanding op_id (issued, conn.ckey);
+            Flow.enqueue conn.c_flow
+              (Wire.One_sided_req { conn = conn.ckey; op_id; op })
+              ~payload_bytes:0
+        | C_close _ -> ())
 
 (* -- The engine loop ----------------------------------------------------- *)
 
@@ -839,6 +1192,31 @@ let arm_timer eng =
             match acc with None -> Some d | Some a -> Some (Time.min a d))
         | _ -> acc)
       deadline (sorted_tbl eng.conns)
+  in
+  (* With keepalives armed, the engine must wake for the next probe or
+     dead-peer declaration even on an otherwise idle conn. *)
+  let deadline =
+    match t.ka with
+    | None -> deadline
+    | Some ka ->
+        let death_after = ka.ka_interval * (ka.ka_miss_budget + 1) in
+        List.fold_left
+          (fun acc (_, conn) ->
+            match conn.state with
+            | Dead | Closed -> acc
+            | Established | Draining ->
+                let probe_at =
+                  Time.add
+                    (Time.max conn.last_heard conn.ka_sent_at)
+                    ka.ka_interval
+                in
+                let next =
+                  Time.min probe_at (Time.add conn.last_heard death_after)
+                in
+                (match acc with
+                | None -> Some next
+                | Some a -> Some (Time.min a next)))
+          deadline (sorted_tbl eng.conns)
   in
   match deadline with
   | Some d when d > Loop.now t.lp ->
@@ -937,36 +1315,44 @@ let engine_run eng () =
         end
         else
         match pkt.Packet.payload with
-        | Wire.Pony { flow = k; _ } -> (
-            (* Packet ingest holds a transient op-pool charge for the
-               payload while it is processed; when the pool cannot
-               cover even that, shed the packet before any transport
-               work ([try_alloc], never the raising [alloc]).  No ack
-               advances, so the sender retransmits once pressure
-               clears. *)
-            let pb = pkt.Packet.payload_bytes in
-            let ingest =
-              if pb = 0 then Some None
-              else
-                match
-                  Memory.Pool.try_alloc t.op_pool
-                    ~owner:(Engine.name eng.core) ~bytes:pb
-                with
-                | Some a -> Some (Some a)
-                | None -> None
-            in
-            match ingest with
-            | None -> Stats.Counter.incr t.c_pool_drop
-            | Some charge -> (
-                (let f = get_flow eng (Wire.reverse k) in
-                 match Flow.on_receive f ~now pkt with
-                 | Some item ->
-                     handle_item eng cost ~from_host:pkt.Packet.src item
-                       ~reverse_flow:f
-                 | None -> ());
-                match charge with
-                | Some a -> if a.Memory.Pool.live then Memory.Pool.free a
-                | None -> ()))
+        | Wire.Pony { flow = k; inc; _ } -> (
+            (* Incarnation gate (§4.3): a stamp older than the sender's
+               recorded incarnation is a pre-crash straggler — processing
+               it could resurrect dead flow state, so it is dropped
+               before any transport work.  A newer stamp proves the peer
+               restarted and tears down what we held about it first. *)
+            match note_peer_inc cost t ~peer:pkt.Packet.src ~inc with
+            | `Stale -> Stats.Counter.incr t.c_stale_drop
+            | `Current -> (
+                (* Packet ingest holds a transient op-pool charge for the
+                   payload while it is processed; when the pool cannot
+                   cover even that, shed the packet before any transport
+                   work ([try_alloc], never the raising [alloc]).  No ack
+                   advances, so the sender retransmits once pressure
+                   clears. *)
+                let pb = pkt.Packet.payload_bytes in
+                let ingest =
+                  if pb = 0 then Some None
+                  else
+                    match
+                      Memory.Pool.try_alloc t.op_pool
+                        ~owner:(Engine.name eng.core) ~bytes:pb
+                    with
+                    | Some a -> Some (Some a)
+                    | None -> None
+                in
+                match ingest with
+                | None -> Stats.Counter.incr t.c_pool_drop
+                | Some charge -> (
+                    (let f = get_flow eng (Wire.reverse k) in
+                     match Flow.on_receive f ~now pkt with
+                     | Some item ->
+                         handle_item eng cost ~from_host:pkt.Packet.src item
+                           ~reverse_flow:f
+                     | None -> ());
+                    match charge with
+                    | Some a -> if a.Memory.Pool.live then Memory.Pool.free a
+                    | None -> ())))
         | _ -> ())
     | None -> continue := false
   done;
@@ -986,6 +1372,38 @@ let engine_run eng () =
       done)
     eng.eclients;
   if expire_waiting eng cost ~now > 0 then worked := true;
+  (* 2b. Dead-peer detection (opt-in keepalives, §4.3): probe conns
+     silent for the interval; declare the peer dead once the silence
+     exceeds the full miss budget.  Detection is therefore bounded by
+     ka_interval * (ka_miss_budget + 1) plus one engine wake-up. *)
+  (match t.ka with
+  | None -> ()
+  | Some ka ->
+      let death_after = ka.ka_interval * (ka.ka_miss_budget + 1) in
+      List.iter
+        (fun (_, conn) ->
+          match conn.state with
+          | Dead | Closed -> ()
+          | Established | Draining ->
+              let silence = Time.sub now conn.last_heard in
+              if silence >= death_after then begin
+                worked := true;
+                kill_conn cost conn
+                  ~reason:
+                    (Printf.sprintf "keepalive: %d probes unanswered"
+                       ka.ka_miss_budget)
+              end
+              else if
+                silence >= ka.ka_interval
+                && Time.sub now conn.ka_sent_at >= ka.ka_interval
+              then begin
+                conn.ka_sent_at <- now;
+                Stats.Counter.incr t.c_ka_probe;
+                worked := true;
+                Flow.enqueue conn.c_flow (Wire.Keepalive { conn = conn.ckey })
+                  ~payload_bytes:0
+              end)
+        (sorted_tbl eng.conns));
   (* 3. Retransmission timeouts. *)
   List.iter
     (fun f -> if Flow.check_timeout f ~now > 0 then worked := true)
@@ -1146,15 +1564,28 @@ let new_engine t =
 
 let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
     ?(use_copy_engine = false) ?(wire_versions = Wire.supported_versions)
-    ?(op_pool_bytes = 1 lsl 30) () =
+    ?(op_pool_bytes = 1 lsl 30) ?keepalive () =
   if engines <= 0 then invalid_arg "Pony.create: engines";
   if op_pool_bytes <= 0 then invalid_arg "Pony.create: op_pool_bytes";
+  (match keepalive with
+  | Some { ka_interval; ka_miss_budget } ->
+      if ka_interval <= 0 || ka_miss_budget < 0 then
+        invalid_arg "Pony.create: keepalive"
+  | None -> ());
   let lp = Sched.loop machine in
   let labels = [ ("host", string_of_int (Nic.addr nic)) ] in
   let c_corrupt = Stats.Registry.counter ~labels "pony_corrupt_dropped" in
   let c_resync = Stats.Registry.counter ~labels "pony_flow_resyncs" in
   let c_busy = Stats.Registry.counter ~labels "overload_busy_nacks" in
   let c_pool_drop = Stats.Registry.counter ~labels "overload_rx_pool_drops" in
+  let c_conn_est = Stats.Registry.counter ~labels "conn_established" in
+  let c_conn_closed = Stats.Registry.counter ~labels "conn_closed" in
+  let c_conn_reset = Stats.Registry.counter ~labels "conn_resets" in
+  let c_peer_death = Stats.Registry.counter ~labels "peer_conn_deaths" in
+  let c_peer_dead_op = Stats.Registry.counter ~labels "peer_dead_ops" in
+  let c_stale_drop = Stats.Registry.counter ~labels "peer_stale_drops" in
+  let c_peer_restart = Stats.Registry.counter ~labels "peer_restarts" in
+  let c_ka_probe = Stats.Registry.counter ~labels "peer_keepalive_probes" in
   let op_pool =
     Memory.Pool.create
       ~name:(Printf.sprintf "pony_op_pool@%d" (Nic.addr nic))
@@ -1178,6 +1609,7 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
       versions = wire_versions;
       engs = [];
       next_cid = 0;
+      next_session = 0;
       clients_tbl = Hashtbl.create 32;
       gen = Packet.Id_gen.create ();
       rr_assign = 0;
@@ -1190,6 +1622,26 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
       busy_base = Stats.Counter.value c_busy;
       c_pool_drop;
       pool_drop_base = Stats.Counter.value c_pool_drop;
+      incarnation = 0;
+      alive = true;
+      ka = keepalive;
+      peer_incs = Hashtbl.create 8;
+      c_conn_est;
+      conn_est_base = Stats.Counter.value c_conn_est;
+      c_conn_closed;
+      conn_closed_base = Stats.Counter.value c_conn_closed;
+      c_conn_reset;
+      conn_reset_base = Stats.Counter.value c_conn_reset;
+      c_peer_death;
+      peer_death_base = Stats.Counter.value c_peer_death;
+      c_peer_dead_op;
+      peer_dead_op_base = Stats.Counter.value c_peer_dead_op;
+      c_stale_drop;
+      stale_drop_base = Stats.Counter.value c_stale_drop;
+      c_peer_restart;
+      peer_restart_base = Stats.Counter.value c_peer_restart;
+      c_ka_probe;
+      ka_probe_base = Stats.Counter.value c_ka_probe;
     }
   in
   Hashtbl.replace directory.hosts (Nic.addr nic) t;
@@ -1203,6 +1655,12 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
   Check.Invariant.register ~kind:Check.Invariant.Quiesce_only
     ~name:(Printf.sprintf "pony.pool.%d.drained" (Nic.addr nic))
     (fun () -> Memory.Pool.check_quiesced op_pool);
+  (* Orphan-state reclamation (§4.3): no residual transport state may
+     be attributable to a dead peer.  The "skip_peer_reclaim" sabotage
+     switch proves this check is not vacuous. *)
+  Check.Invariant.register
+    ~name:(Printf.sprintf "pony.host.%d.peer_reclaim" (Nic.addr nic))
+    (fun () -> check_peer_reclaim t);
   (* Steer Pony packets to the destination engine's ring. *)
   Nic.install_steering nic (fun pkt ->
       match pkt.Packet.payload with
@@ -1215,10 +1673,83 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
   done;
   t
 
+(* -- Host crash / restart (Fault.Plan.Host_crash) ------------------------ *)
+
+let drain_ring ring =
+  let rec go () =
+    match Squeue.Spsc.pop ring with Some _ -> go () | None -> ()
+  in
+  go ()
+
+(* The whole host dies: engines detach, every byte of transport and
+   client state is destroyed, and op-pool charges are bulk-reclaimed by
+   owner name — late frees from pre-crash allocations become
+   generation-checked no-ops.  Parked app threads are kicked so they
+   can observe [client_alive] = false and unwind. *)
+let crash_host t =
+  if t.alive then begin
+    t.alive <- false;
+    Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony" "host %d crashed"
+      (addr t);
+    List.iter
+      (fun eng ->
+        (match eng.timer with
+        | Some h ->
+            Loop.cancel h;
+            eng.timer <- None
+        | None -> ());
+        if Engine.is_attached eng.core then Engine.remove t.group eng.core;
+        (* Packets in the rx ring die with the host's memory. *)
+        drain_ring (Nic.rx_ring t.nic ~queue:eng.rxq);
+        List.iter
+          (fun (akey, a) ->
+            Hashtbl.remove eng.assembly akey;
+            free_assembly a)
+          (sorted_tbl eng.assembly);
+        Hashtbl.reset eng.flows;
+        eng.flow_list <- [];
+        Hashtbl.reset eng.conns;
+        eng.eclients <- [];
+        ignore
+          (Memory.Pool.release_owner t.op_pool ~owner:(Engine.name eng.core)))
+      t.engs;
+    List.iter
+      (fun (_, c) ->
+        c.c_dead <- true;
+        Hashtbl.reset c.charges;
+        Hashtbl.reset c.outstanding;
+        ignore (Memory.Pool.release_owner t.op_pool ~owner:c.c_owner);
+        match c.app_task with Some task -> Sched.kick task | None -> ())
+      (sorted_tbl t.clients_tbl);
+    Hashtbl.reset t.clients_tbl;
+    (* Host memory is gone — including what it knew of peer
+       incarnations. *)
+    Hashtbl.reset t.peer_incs
+  end
+
+let restart_host t =
+  if not t.alive then begin
+    t.incarnation <- t.incarnation + 1;
+    t.alive <- true;
+    Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony"
+      "host %d restarted (incarnation %d)" (addr t) t.incarnation;
+    List.iter
+      (fun eng ->
+        (* Packets that arrived while the host was down were never
+           received by anyone. *)
+        drain_ring (Nic.rx_ring t.nic ~queue:eng.rxq);
+        if not (Engine.is_attached eng.core) then Engine.add t.group eng.core;
+        eng.last_epoch <- Engine.epoch eng.core;
+        Engine.notify eng.core)
+      t.engs
+  end
+
 (* -- Client library ------------------------------------------------------ *)
 
 let create_client ctx t ~name ?(exclusive_engine = false) ?(max_ops = 65536)
     ?max_bytes ?rate_ops_per_sec ?burst_ops () =
+  if not t.alive then
+    failwith (Printf.sprintf "Pony.create_client: host %d is down" (addr t));
   Control.authenticate ctx t.ctl ~client:name;
   (match Control.call ctx t.ctl ~service:"pony" (Pony_setup name) with
   | Pony_ready -> ()
@@ -1261,6 +1792,8 @@ let create_client ctx t ~name ?(exclusive_engine = false) ?(max_ops = 65536)
       msg_q = Squeue.Spsc.create ~name:(name ^ ".msg") ~capacity:comp_queue_slots ();
       regions = Hashtbl.create 8;
       outstanding = Hashtbl.create 64;
+      c_owner = owner;
+      c_dead = false;
       adm;
       charges = Hashtbl.create 64;
       c_shed;
@@ -1330,22 +1863,35 @@ let connect ctx client ~dst_host ~dst_client =
   Cpu.Thread.syscall ctx t.cost.Sim.Costs.syscall;
   Cpu.Thread.sleep ctx oob_setup_latency;
   if dst_host = addr t then invalid_arg "Pony.connect: loopback not supported";
+  if client.c_dead || not t.alive then
+    failwith (Printf.sprintf "Pony.connect: local host %d is down" (addr t));
   let remote_t =
     match Hashtbl.find_opt t.dir.hosts dst_host with
     | Some r -> r
     | None -> failwith "Pony.connect: unknown host"
   in
+  if not remote_t.alive then
+    failwith (Printf.sprintf "Pony.connect: host %d is down" dst_host);
   let remote_client =
     match Hashtbl.find_opt remote_t.clients_tbl dst_client with
     | Some c -> c
     | None -> failwith "Pony.connect: unknown client"
   in
+  (* Out-of-band setup reveals each side's current incarnation; a newer
+     stamp than previously recorded tears stale state down before the
+     new conn is installed. *)
+  let setup_cost = ref 0 in
+  ignore (note_peer_inc setup_cost t ~peer:dst_host ~inc:remote_t.incarnation);
+  ignore (note_peer_inc setup_cost remote_t ~peer:(addr t) ~inc:t.incarnation);
+  let session = t.next_session in
+  t.next_session <- session + 1;
   let ckey =
     {
       Wire.initiator_host = addr t;
       initiator_client = client.cid;
       target_host = dst_host;
       target_client = dst_client;
+      session;
     }
   in
   let local_eng = client.c_eng in
@@ -1360,6 +1906,21 @@ let connect ctx client ~dst_host ~dst_client =
   in
   let local_flow = get_flow local_eng tx_key in
   let remote_flow = get_flow remote_eng (Wire.reverse tx_key) in
+  (* A reconnect gets a fresh session, but any predecessor between the
+     same client pair still live must die — and reclaim its state — so
+     its charges cannot strand behind the new conn. *)
+  let supersede eng =
+    List.iter
+      (fun (_, old) ->
+        match old.state with
+        | Established | Draining ->
+            if Wire.conn_same_endpoints old.ckey ckey then
+              kill_conn setup_cost old ~reason:"superseded by reconnect"
+        | Dead | Closed -> ())
+      (sorted_tbl eng.conns)
+  in
+  supersede local_eng;
+  supersede remote_eng;
   let local_conn =
     {
       ckey;
@@ -1370,6 +1931,9 @@ let connect ctx client ~dst_host ~dst_client =
       c_flow = local_flow;
       credit = initial_credit_bytes;
       waiting = Queue.create ();
+      state = Established;
+      last_heard = Loop.now t.lp;
+      ka_sent_at = Loop.now t.lp;
     }
   in
   let remote_conn =
@@ -1382,10 +1946,15 @@ let connect ctx client ~dst_host ~dst_client =
       c_flow = remote_flow;
       credit = initial_credit_bytes;
       waiting = Queue.create ();
+      state = Established;
+      last_heard = Loop.now t.lp;
+      ka_sent_at = Loop.now t.lp;
     }
   in
   Hashtbl.replace local_eng.conns (ckey, true) local_conn;
   Hashtbl.replace remote_eng.conns (ckey, false) remote_conn;
+  Stats.Counter.incr t.c_conn_est;
+  Stats.Counter.incr remote_t.c_conn_est;
   (* Credit conservation: sends consume, grants and Busy-NACKs return.
      Credit going negative means an over-consume; exceeding the initial
      grant means a double-return (e.g. a Busy-NACK for an op whose
@@ -1439,6 +2008,27 @@ let connect_by_name ctx client ~dst_host ~dst_name =
         (Printf.sprintf "Pony.connect: client name %S ambiguous on host %d"
            dst_name dst_host)
 
+(* Reconnect helper: [connect_by_name] raises [Failure] while the peer
+   host is down or its service has not re-registered; retry on the same
+   backoff policy shape as [send_with_retry].  [None] when attempts run
+   out.  With session incarnations underneath, a successful reconnect
+   can never be confused with the pre-crash conn. *)
+let connect_with_retry ctx client ~dst_host ~dst_name
+    ?(policy = Overload.Retry.default_policy) () =
+  if policy.Overload.Retry.max_attempts <= 0 then
+    invalid_arg "Pony.connect_with_retry: max_attempts";
+  let rec attempt n =
+    if Overload.Retry.attempts_exhausted policy ~attempt:n then None
+    else begin
+      let backoff = Overload.Retry.delay_before policy ~attempt:n in
+      if backoff > 0 then Cpu.Thread.sleep ctx backoff;
+      match connect_by_name ctx client ~dst_host ~dst_name with
+      | conn -> Some conn
+      | exception Failure _ -> attempt (n + 1)
+    end
+  in
+  attempt 1
+
 (* Post a command into the shared-memory command queue (§3.1). *)
 let post_command ctx conn cmd =
   let client = conn.local in
@@ -1459,6 +2049,18 @@ let fresh_op client =
   client.next_op <- id + 1;
   id
 
+(* Refusal status for new work on a conn that can no longer carry it;
+   [None] means go ahead.  Dead conns answer [Peer_dead] so callers can
+   distinguish peer failure (reconnect) from flow-control rejection
+   (back off and retry). *)
+let conn_refusal conn =
+  if conn.local.c_dead || not conn.local.c_host.alive then Some Wire.Rejected
+  else
+    match conn.state with
+    | Established -> None
+    | Dead -> Some Wire.Peer_dead
+    | Draining | Closed -> Some Wire.Rejected
+
 (* -- Engine-side (vhost backend) interface ------------------------------ *)
 (* These run on engine cores (no thread ctx, no blocking): the guest mux
    drains tenant rings from an engine pass and feeds Pony directly. *)
@@ -1471,34 +2073,55 @@ let conn_cmd_free conn =
 let engine_post_send conn ~now ?(stream = 0) ?deadline ~bytes () =
   let client = conn.local in
   let op_id = fresh_op client in
-  let cmd =
-    C_send { cmd_conn = conn; op_id; stream; bytes; issued = now; deadline }
-  in
-  (* No admission here: the submitting backend owns accounting (the
-     guest mux charges the tenant's quota before posting), and no entry
-     lands in [charges], so the completion-side release is a no-op. *)
-  if not (Squeue.Spsc.push client.cmd_q ~now cmd) then
-    invalid_arg
-      (Printf.sprintf
-         "Pony.engine_post_send(%s): command queue full (check \
-          conn_cmd_free first)"
-         client.cname);
-  Engine.notify client.c_eng.core;
-  op_id
+  match conn_refusal conn with
+  | Some status ->
+      (* Lifecycle refusal, completed inline (no thread ctx here). *)
+      if status = Wire.Peer_dead then
+        Stats.Counter.incr client.c_host.c_peer_dead_op;
+      if
+        Squeue.Spsc.push client.comp_q ~now
+          {
+            comp_op = op_id;
+            status;
+            bytes;
+            value = None;
+            issued_at = now;
+            completed_at = now;
+          }
+      then begin
+        client.n_comps <- client.n_comps + 1;
+        match client.on_delivery with Some f -> f () | None -> ()
+      end;
+      op_id
+  | None ->
+      let cmd =
+        C_send { cmd_conn = conn; op_id; stream; bytes; issued = now; deadline }
+      in
+      (* No admission here: the submitting backend owns accounting (the
+         guest mux charges the tenant's quota before posting), and no entry
+         lands in [charges], so the completion-side release is a no-op. *)
+      if not (Squeue.Spsc.push client.cmd_q ~now cmd) then
+        invalid_arg
+          (Printf.sprintf
+             "Pony.engine_post_send(%s): command queue full (check \
+              conn_cmd_free first)"
+             client.cname);
+      Engine.notify client.c_eng.core;
+      op_id
 
 let engine_poll_completion client = Squeue.Spsc.pop client.comp_q
 let engine_poll_message client = Squeue.Spsc.pop client.msg_q
 
-(* Admission rejections complete locally on the submitting thread —
-   the op never reaches an engine, the app sees a [Rejected]
+(* Admission rejections and lifecycle refusals complete locally on the
+   submitting thread — the op never reaches an engine, the app sees a
    completion, never an exception. *)
-let reject_locally ctx client ~op_id ~bytes =
+let complete_locally ctx client ~op_id ~bytes ~status =
   let now = Cpu.Thread.now ctx in
   if
     Squeue.Spsc.push client.comp_q ~now
       {
         comp_op = op_id;
-        status = Wire.Rejected;
+        status;
         bytes;
         value = None;
         issued_at = now;
@@ -1506,24 +2129,37 @@ let reject_locally ctx client ~op_id ~bytes =
       }
   then client.n_comps <- client.n_comps + 1
 
+let reject_locally ctx client ~op_id ~bytes =
+  complete_locally ctx client ~op_id ~bytes ~status:Wire.Rejected
+
+let refuse_locally ctx conn ~op_id ~bytes ~status =
+  if status = Wire.Peer_dead then
+    Stats.Counter.incr conn.local.c_host.c_peer_dead_op;
+  complete_locally ctx conn.local ~op_id ~bytes ~status
+
 let send_message ctx conn ?(stream = 0) ?deadline ~bytes () =
   if bytes < 0 then invalid_arg "Pony.send_message";
   let client = conn.local in
   let op_id = fresh_op client in
-  (match Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes with
-  | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
-  | Overload.Admission.Admitted charge ->
-      Hashtbl.replace client.charges op_id charge;
-      post_command ctx conn
-        (C_send
-           {
-             cmd_conn = conn;
-             op_id;
-             stream;
-             bytes;
-             issued = Cpu.Thread.now ctx;
-             deadline;
-           }));
+  (match conn_refusal conn with
+  | Some status -> refuse_locally ctx conn ~op_id ~bytes ~status
+  | None -> (
+      match
+        Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes
+      with
+      | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
+      | Overload.Admission.Admitted charge ->
+          Hashtbl.replace client.charges op_id charge;
+          post_command ctx conn
+            (C_send
+               {
+                 cmd_conn = conn;
+                 op_id;
+                 stream;
+                 bytes;
+                 issued = Cpu.Thread.now ctx;
+                 deadline;
+               })));
   op_id
 
 (* Payload bytes an op will move — what admission charges for it. *)
@@ -1536,13 +2172,18 @@ let one_sided ?deadline ctx conn op =
   let client = conn.local in
   let op_id = fresh_op client in
   let bytes = one_sided_bytes op in
-  (match Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes with
-  | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
-  | Overload.Admission.Admitted charge ->
-      Hashtbl.replace client.charges op_id charge;
-      post_command ctx conn
-        (C_one_sided
-           { cmd_conn = conn; op_id; op; issued = Cpu.Thread.now ctx; deadline }));
+  (match conn_refusal conn with
+  | Some status -> refuse_locally ctx conn ~op_id ~bytes ~status
+  | None -> (
+      match
+        Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes
+      with
+      | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
+      | Overload.Admission.Admitted charge ->
+          Hashtbl.replace client.charges op_id charge;
+          post_command ctx conn
+            (C_one_sided
+               { cmd_conn = conn; op_id; op; issued = Cpu.Thread.now ctx; deadline })));
   op_id
 
 let one_sided_read ctx conn ~region ~off ~len =
@@ -1582,6 +2223,43 @@ let rec await_message ctx client =
   | None ->
       Cpu.Thread.wait ctx;
       await_message ctx client
+
+(* Deadline-bounded awaits: [None] on expiry.  The wake-up at the
+   deadline is a one-shot loop timer (cancelled once the wait ends);
+   nothing can be lost because the queue is re-polled after every
+   wake. *)
+let await_until poll ctx client ~deadline =
+  let t = client.c_host in
+  let rec go () =
+    match poll ctx client with
+    | Some v -> Some v
+    | None ->
+        if Cpu.Thread.now ctx >= deadline then None
+        else begin
+          let task = Cpu.Thread.task ctx in
+          let h = Loop.at t.lp deadline (fun () -> Sched.kick task) in
+          Cpu.Thread.wait ctx;
+          Loop.cancel h;
+          go ()
+        end
+  in
+  go ()
+
+let await_completion_until ctx client ~deadline =
+  await_until poll_completion ctx client ~deadline
+
+let await_message_until ctx client ~deadline =
+  await_until poll_message ctx client ~deadline
+
+(* Graceful close: the conn stops accepting new sends immediately;
+   credit-waiting ops still drain, then the engine sends [Conn_reset]
+   and tombstones the conn as [Closed]. *)
+let close ctx conn =
+  match conn.state with
+  | Dead | Closed | Draining -> ()
+  | Established ->
+      conn.state <- Draining;
+      post_command ctx conn (C_close { cmd_conn = conn })
 
 (* Bounded-retry send: backoff on Rejected / Timed_out / Busy, a
    deadline per attempt from the policy.  The helper owns the

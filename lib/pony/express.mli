@@ -20,6 +20,29 @@ type t
 type client
 type conn
 
+(** Connection lifecycle (§4.3): [Established] carries traffic;
+    [Draining] is a close in progress (credit-waiting ops still drain,
+    new sends refuse); [Dead] means the peer was declared gone
+    (keepalive miss budget, [Conn_reset], peer restart or host crash)
+    and every stranded op has completed [Peer_dead]; [Closed] is a
+    completed local close.  Dead/Closed conns remain as tombstones so
+    late packets answer with a reset instead of resurrecting state. *)
+type conn_state = Established | Draining | Dead | Closed
+
+val conn_state_to_string : conn_state -> string
+
+(** Opt-in dead-peer detection: a conn silent for [ka_interval] is
+    probed; the peer is declared dead after [ka_interval *
+    (ka_miss_budget + 1)] of silence.  Off by default — a keepalive
+    timer keeps an otherwise idle host from quiescing, so only
+    workloads that expect peer failure arm it. *)
+type keepalive = { ka_interval : Sim.Time.t; ka_miss_budget : int }
+
+(** The bounded-retry backoff policy {!send_with_retry} and
+    {!connect_with_retry} consume, re-exported so callers can build
+    policies without a direct dependency on the overload library. *)
+module Retry = Overload.Retry
+
 (** Cluster-wide name service standing in for the out-of-band (TCP)
     setup channel. *)
 module Directory : sig
@@ -38,6 +61,7 @@ val create :
   ?use_copy_engine:bool ->
   ?wire_versions:int list ->
   ?op_pool_bytes:int ->
+  ?keepalive:keepalive ->
   unit ->
   t
 (** Instantiate the Pony module on a host with [engines] (default 1)
@@ -51,8 +75,29 @@ val create :
     the host's op-memory pool: admission charges, receive-side
     reassembly state and packet ingest all draw from it, so overload
     surfaces as [Rejected] completions and counted drops instead of
-    unbounded memory growth (§2.5, §3.3).  Requires
+    unbounded memory growth (§2.5, §3.3).  [keepalive] (default off)
+    arms per-connection dead-peer detection.  Requires
     [engines <= num NIC rx queues]. *)
+
+(** {1 Host failure (crash / restart)} *)
+
+val crash_host : t -> unit
+(** Whole-host failure (the [Fault.Plan.Host_crash] hook): every engine
+    detaches, all transport and client state — connections, flows,
+    reassembly, in-flight ops, admission and pool charges — is
+    destroyed, packets in the NIC rings are lost, and parked
+    application threads are woken so they can observe
+    [client_alive = false].  Idempotent while down. *)
+
+val restart_host : t -> unit
+(** Bring a crashed host back with a {e fresh incarnation number}:
+    engines re-attach and packets stamped with the old incarnation are
+    rejected by peers ([peer_stale_drops]) rather than resurrecting
+    pre-crash flows.  Clients and connections do not survive — the
+    application re-creates clients and reconnects. *)
+
+val incarnation : t -> int
+val host_alive : t -> bool
 
 val machine : t -> Cpu.Sched.machine
 val addr : t -> Memory.Packet.addr
@@ -93,6 +138,12 @@ val client_id : client -> int
 val client_name : client -> string
 val client_engine : client -> Engine.t
 
+val client_alive : client -> bool
+(** False once the owning host has crashed: the client's queues and
+    charges are gone, and every operation on it refuses with
+    [Rejected].  A restart does not resurrect clients — re-create
+    them. *)
+
 val register_region :
   Cpu.Thread.ctx -> client -> Memory.Region.t -> unit
 (** Share a memory region with Snap (and register it for zero-copy and
@@ -113,7 +164,32 @@ val connect_by_name :
     under a perturbed schedule (the determinism sweep caught exactly
     this).  Raises if the name is absent or ambiguous on [dst_host]. *)
 
+val connect_with_retry :
+  Cpu.Thread.ctx ->
+  client ->
+  dst_host:Memory.Packet.addr ->
+  dst_name:string ->
+  ?policy:Overload.Retry.policy ->
+  unit ->
+  conn option
+(** Auto-reconnect: retries {!connect_by_name} with the policy's
+    backoff schedule while the peer host is down or the named service
+    has not yet re-registered.  [None] once attempts run out.  Because
+    connections carry session incarnations, a conn obtained here can
+    never be confused with a pre-crash one. *)
+
 val conn_peer : conn -> Memory.Packet.addr * int
+val conn_state : conn -> conn_state
+
+val conn_last_heard : conn -> Sim.Time.t
+(** Virtual time any item for this conn last arrived (keepalive
+    freshness). *)
+
+val close : Cpu.Thread.ctx -> conn -> unit
+(** Graceful close: the conn refuses new sends immediately
+    ([Draining]), already-queued ops still drain, then the peer is told
+    ([Conn_reset]) and the conn tombstones as [Closed].  No-op on a
+    conn already draining, dead or closed. *)
 
 (** {1 Asynchronous operations} *)
 
@@ -185,6 +261,16 @@ val await_completion : Cpu.Thread.ctx -> client -> completion
 val poll_message : Cpu.Thread.ctx -> client -> incoming option
 val await_message : Cpu.Thread.ctx -> client -> incoming
 
+val await_completion_until :
+  Cpu.Thread.ctx -> client -> deadline:Sim.Time.t -> completion option
+(** {!await_completion} bounded by an absolute deadline: [None] if no
+    completion arrived by then.  The caller's op may still complete
+    later — poll again or keep a higher-level timeout. *)
+
+val await_message_until :
+  Cpu.Thread.ctx -> client -> deadline:Sim.Time.t -> incoming option
+(** {!await_message} bounded by an absolute deadline. *)
+
 (** {1 Engine-side (vhost backend) interface}
 
     For in-Snap consumers that drive a client from an engine pass (the
@@ -222,9 +308,10 @@ val send_with_retry :
     [policy.op_timeout], backing off exponentially between attempts and
     retrying on [Rejected], [Timed_out] and [Busy].  [Ok c] on success;
     [Error last] with the final completion when attempts run out (or on
-    a non-retryable status).  The helper consumes this client's
-    completion queue while it runs, so it is intended for callers with
-    no other outstanding ops. *)
+    a non-retryable status — notably [Peer_dead], which retrying on the
+    same conn could never cure; reconnect instead).  The helper
+    consumes this client's completion queue while it runs, so it is
+    intended for callers with no other outstanding ops. *)
 
 (** {1 Telemetry} *)
 
@@ -287,6 +374,36 @@ val client_admission : client -> Overload.Admission.t
 val client_ops_shed : client -> int
 val client_ops_expired : client -> int
 
+(** {1 Connection lifecycle telemetry (§4.3)} *)
+
+val conns_established : t -> int
+(** Connection halves installed on this host. *)
+
+val conns_closed : t -> int
+(** Graceful closes completed locally. *)
+
+val conn_resets_sent : t -> int
+(** [Conn_reset] items sent (close notifications plus answers to
+    traffic for unknown or dead conns). *)
+
+val peer_deaths : t -> int
+(** Connection halves declared dead (keepalive miss budget, reset from
+    the peer, peer restart, or superseded by a reconnect). *)
+
+val peer_dead_ops : t -> int
+(** Ops failed with [Peer_dead] — stranded at death or refused on a
+    dead conn. *)
+
+val stale_drops : t -> int
+(** Packets dropped for carrying a pre-restart incarnation stamp. *)
+
+val peer_restarts_detected : t -> int
+(** Times a newer peer incarnation forced teardown of held state. *)
+
+val keepalive_probes : t -> int
+(** Keepalive probes enqueued by this host's engines. *)
+
 val debug_snapshot : t -> string
-(** One-line internal state dump (rings, assembly tables, flows, copy
+(** One-line internal state dump (host incarnation and liveness, rings,
+    assembly tables, flows, per-connection state/last-heard age, copy
     engine) for diagnostics. *)

@@ -24,6 +24,10 @@ type t = {
   lp : Loop.t;
   fkey : Wire.flow_key;
   ver : int;
+  (* Sender host incarnation stamped on every outgoing packet.  Fixed
+     at creation: a host crash destroys its flows, so a flow never
+     outlives the incarnation it was born under. *)
+  f_inc : int;
   timely : Timely.t;
   (* Transmit. *)
   queue : (Wire.item * int * Time.t) Queue.t;  (* item, payload, enqueued *)
@@ -62,7 +66,8 @@ type t = {
   h_flight : Stats.Histogram.t;
 }
 
-let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
+let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version)
+    ?(incarnation = 0) () =
   let fl_label =
     Printf.sprintf "%d.%d->%d.%d" key.Wire.src_host key.Wire.src_engine
       key.Wire.dst_host key.Wire.dst_engine
@@ -73,6 +78,7 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version) () =
     lp = loop;
     fkey = key;
     ver = version;
+    f_inc = incarnation;
     timely = Timely.create ~max_rate_gbps ();
     queue = Queue.create ();
     retx = Queue.create ();
@@ -177,6 +183,7 @@ let build_packet t ~now ~gen ~seq ~item ~payload =
          ts = now;
          ts_echo = t.latest_rx_ts;
          version = t.ver;
+         inc = t.f_inc;
          item;
        })
     ()
@@ -355,7 +362,8 @@ let absorb_ooo t =
 
 let on_receive t ~now pkt =
   match pkt.Packet.payload with
-  | Wire.Pony { flow = _; seq; ack; wnd; ts; ts_echo; version = _; item } -> (
+  | Wire.Pony { flow = _; seq; ack; wnd; ts; ts_echo; version = _; inc = _; item }
+    -> (
       t.peer_wnd <- wnd;
       t.wnd_update_at <- now;
       process_ack t ~now ~ack ~ts_echo ~pure:(item = Wire.Bare_ack);
@@ -432,3 +440,21 @@ let srtt t = int_of_float t.srtt_ns
 let set_window_provider t f = t.wnd_provider <- f
 let peer_window t = t.peer_wnd
 let zero_window_probes t = t.n_zw_probes
+let incarnation t = t.f_inc
+
+let purge_queue t ~drop =
+  (* Remove not-yet-sent items the upper layer no longer wants (ops for
+     a dead connection).  Flight and retransmission entries are left
+     alone: removing them would punch holes in the go-back-N sequence
+     space.  Returns the dropped items with their payload sizes so the
+     caller can settle their ops. *)
+  let kept = Queue.create () in
+  let dropped = ref [] in
+  Queue.iter
+    (fun ((item, payload, _enq) as e) ->
+      if drop item then dropped := (item, payload) :: !dropped
+      else Queue.add e kept)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer kept t.queue;
+  List.rev !dropped

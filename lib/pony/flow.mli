@@ -23,11 +23,17 @@ val create :
   key:Wire.flow_key ->
   max_rate_gbps:float ->
   ?version:int ->
+  ?incarnation:int ->
   unit ->
   t
+(** [incarnation] (default 0) is the sending host's incarnation number,
+    stamped on every outgoing packet.  It is fixed for the flow's
+    lifetime: a host crash destroys its flows, so a flow never outlives
+    the incarnation it was born under. *)
 
 val key : t -> Wire.flow_key
 val version : t -> int
+val incarnation : t -> int
 val cc : t -> Timely.t
 
 (** {1 Transmit side} *)
@@ -41,6 +47,14 @@ val pending : t -> int
 val queue_age : t -> now:Sim.Time.t -> Sim.Time.t
 (** Age of the oldest queued (unsent) item; the transmit-side component
     of the engine's queueing-delay load signal. *)
+
+val purge_queue :
+  t -> drop:(Wire.item -> bool) -> (Wire.item * int) list
+(** Remove not-yet-sent items for which [drop] is true (ops bound for a
+    dead connection) and return them with their payload sizes so the
+    caller can settle their ops.  Flight and retransmission entries are
+    untouched — removing them would punch holes in the go-back-N
+    sequence space. *)
 
 val in_flight : t -> int
 

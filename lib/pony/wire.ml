@@ -18,6 +18,7 @@ type conn_key = {
   initiator_client : int;
   target_host : Memory.Packet.addr;
   target_client : int;
+  session : int;
 }
 
 let conn_reverse k =
@@ -26,7 +27,14 @@ let conn_reverse k =
     initiator_client = k.initiator_client;
     target_host = k.target_host;
     target_client = k.target_client;
+    session = k.session;
   }
+
+let conn_same_endpoints a b =
+  a.initiator_host = b.initiator_host
+  && a.initiator_client = b.initiator_client
+  && a.target_host = b.target_host
+  && a.target_client = b.target_client
 
 type one_sided =
   | Read of { region : int; off : int; len : int }
@@ -53,6 +61,7 @@ type status =
   | Rejected
   | Timed_out
   | Busy
+  | Peer_dead
 
 let status_to_string = function
   | Ok -> "ok"
@@ -63,6 +72,7 @@ let status_to_string = function
   | Rejected -> "rejected"
   | Timed_out -> "timed_out"
   | Busy -> "busy"
+  | Peer_dead -> "peer_dead"
 
 type item =
   | Msg_chunk of {
@@ -85,6 +95,9 @@ type item =
     }
   | Credit_grant of { conn : conn_key; bytes : int }
   | Busy_nack of { conn : conn_key; op_id : int; bytes : int }
+  | Conn_reset of { conn : conn_key }
+  | Keepalive of { conn : conn_key }
+  | Keepalive_ack of { conn : conn_key }
   | Bare_ack
 
 type Memory.Packet.payload +=
@@ -96,6 +109,7 @@ type Memory.Packet.payload +=
       ts : Sim.Time.t;
       ts_echo : Sim.Time.t;
       version : int;
+      inc : int;
       item : item;
     }
 
@@ -122,4 +136,7 @@ let item_wire_bytes = function
   | One_sided_resp _ -> 24
   | Credit_grant _ -> 12
   | Busy_nack _ -> 12
+  | Conn_reset _ -> 8
+  | Keepalive _ -> 8
+  | Keepalive_ack _ -> 8
   | Bare_ack -> 0

@@ -17,15 +17,24 @@ type flow_key = {
 val reverse : flow_key -> flow_key
 
 (** An application-level connection between two clients, carried by a
-    flow. *)
+    flow.  [session] is a per-instance id chosen at connect time (both
+    halves share it via the out-of-band setup): a re-dial between the
+    same client pair gets a fresh session, so items still in flight
+    from a dead predecessor can never alias the successor — they miss
+    the connection table and draw a reset instead. *)
 type conn_key = {
   initiator_host : Memory.Packet.addr;
   initiator_client : int;
   target_host : Memory.Packet.addr;
   target_client : int;
+  session : int;
 }
 
 val conn_reverse : conn_key -> conn_key
+
+val conn_same_endpoints : conn_key -> conn_key -> bool
+(** Same client pair, any session — the "is this a reconnect of that?"
+    predicate. *)
 
 (** One-sided operation request bodies (§3.2).  These execute entirely
     within the remote engine against client-registered regions. *)
@@ -70,6 +79,12 @@ type status =
       (** NACKed by the destination: the target client's incoming
           queue was full.  The transport returned the op's flow-control
           credit; retry after backoff. *)
+  | Peer_dead
+      (** The connection's remote endpoint is gone: declared dead by
+          the keepalive miss budget, torn down by a [Conn_reset], or
+          lost to a host crash.  Every op stranded on such a
+          connection completes with this status — no op ever hangs
+          forever on a dead peer. *)
 
 val status_to_string : status -> string
 
@@ -102,6 +117,16 @@ type item =
           full, so the message was shed at delivery.  Returns the op's
           [bytes] of connection credit and completes the op with
           {!Busy} at the initiator. *)
+  | Conn_reset of { conn : conn_key }
+      (** The sender no longer has (or wants) this connection: sent on
+          explicit close and in reply to traffic for an unknown or dead
+          connection.  The receiver transitions its half to [Dead] and
+          fails stranded ops with {!Peer_dead}. *)
+  | Keepalive of { conn : conn_key }
+      (** Liveness probe sent on an idle connection; the peer answers
+          with {!Keepalive_ack}.  Any traffic for the connection counts
+          as life — probes only fill silence. *)
+  | Keepalive_ack of { conn : conn_key }  (** Answer to {!Keepalive}. *)
   | Bare_ack  (** No upper-layer payload; acks/timestamps only. *)
 
 type Memory.Packet.payload +=
@@ -119,6 +144,11 @@ type Memory.Packet.payload +=
       ts : Sim.Time.t;  (** Sender timestamp (for Timely RTT). *)
       ts_echo : Sim.Time.t;  (** Echoed timestamp of the acked packet. *)
       version : int;  (** Wire protocol version (§3.1). *)
+      inc : int;
+          (** Sender host incarnation.  Bumped when the host restarts
+              after a crash; receivers drop packets stamped with a
+              stale incarnation (no resurrecting pre-crash flows) and
+              treat a newer one as proof the peer restarted. *)
       item : item;
     }
 

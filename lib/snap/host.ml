@@ -12,7 +12,7 @@ type t = {
 let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
     ?(mode = Engine.Dedicating { cores = 2 }) ?(engines = 1)
     ?(use_copy_engine = false) ?(costs = Sim.Costs.default) ?wire_versions
-    ?op_pool_bytes ?poll_period () =
+    ?op_pool_bytes ?keepalive ?poll_period () =
   let machine =
     Cpu.Sched.create_machine ~loop ~costs
       ~name:(Printf.sprintf "host%d" addr)
@@ -26,7 +26,7 @@ let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
   let group = Engine.create_group ~machine ~name:"snap" ~mode in
   let pony =
     Pony.Express.create ~directory ~control ~machine ~nic ~group ~engines
-      ~use_copy_engine ?wire_versions ?op_pool_bytes ()
+      ~use_copy_engine ?wire_versions ?op_pool_bytes ?keepalive ()
   in
   (* Telemetry polling is opt-in: the periodic timer re-arms forever, so
      hosts sampled by default would keep an un-bounded [Sim.Loop.run]
@@ -48,6 +48,24 @@ let create ~loop ~fabric ~directory ~addr ?(cores = 16) ?nic_config
   { loop; machine; nic; control; group; pony; poller; mux = None }
 
 let poller t = t.poller
+
+(* Fault-layer registration record for this host.  The fault library
+   cannot depend on the transport, so the whole-host crash/restart
+   hooks are closures over Pony's teardown (which detaches the engines
+   itself). *)
+let fault_host t =
+  {
+    Fault.Injector.h_addr = Nic.addr t.nic;
+    h_nic = t.nic;
+    h_machine = t.machine;
+    h_control = t.control;
+    h_group = t.group;
+    h_engines =
+      List.init (Pony.Express.num_engines t.pony)
+        (Pony.Express.engine_handle t.pony);
+    h_crash = Some (fun () -> Pony.Express.crash_host t.pony);
+    h_restart = Some (fun () -> Pony.Express.restart_host t.pony);
+  }
 
 let spawn_app t ~name ?(klass = Cpu.Sched.Cfs { nice = 0 }) ?(spin = false)
     body =

@@ -30,18 +30,27 @@ val create :
   ?costs:Sim.Costs.t ->
   ?wire_versions:int list ->
   ?op_pool_bytes:int ->
+  ?keepalive:Pony.Express.keepalive ->
   ?poll_period:Sim.Time.t ->
   unit ->
   t
 (** Defaults: 16 cores, default NIC, dedicating 2 cores, 1 Pony
     engine.  [op_pool_bytes] sizes Pony's op-memory pool (see
     {!Pony.Express.create}); overload workloads shrink it to force
-    admission pressure.  [poll_period] arms a {!Control.Poller}
-    sampling every NIC rx-ring depth and the machine's per-account CPU
-    into the metric registry; it is off by default because the periodic
-    timer keeps an un-bounded [Sim.Loop.run] from going idle. *)
+    admission pressure.  [keepalive] arms Pony's per-connection
+    dead-peer detection (off by default).  [poll_period] arms a
+    {!Control.Poller} sampling every NIC rx-ring depth and the
+    machine's per-account CPU into the metric registry; it is off by
+    default because the periodic timer keeps an un-bounded
+    [Sim.Loop.run] from going idle. *)
 
 val poller : t -> Control.Poller.t option
+
+val fault_host : t -> Fault.Injector.host
+(** Registration record for {!Fault.Injector.install}, with whole-host
+    crash/restart hooks wired to {!Pony.Express.crash_host} /
+    {!Pony.Express.restart_host} so plans may include
+    [Fault.Plan.Host_crash] events targeting this host. *)
 
 val spawn_app :
   t ->

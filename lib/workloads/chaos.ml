@@ -74,19 +74,6 @@ type result = {
   port_report : (int * int * int) list;
 }
 
-let fault_host (h : Snap.Host.t) addr =
-  {
-    Fault.Injector.h_addr = addr;
-    h_nic = h.Snap.Host.nic;
-    h_machine = h.Snap.Host.machine;
-    h_control = h.Snap.Host.control;
-    h_group = h.Snap.Host.group;
-    h_engines =
-      List.init
-        (Pony.Express.num_engines h.Snap.Host.pony)
-        (Pony.Express.engine_handle h.Snap.Host.pony);
-  }
-
 let run (cfg : config) : result =
   (* Fresh invariant scope before any layer registers predicates; both
      calls are no-ops unless checking was enabled (bench --check). *)
@@ -102,7 +89,7 @@ let run (cfg : config) : result =
   let ha = mk 0 and hb = mk 1 in
   let inj =
     Fault.Injector.install ~loop ~plan:cfg.plan ~fabric:fab
-      ~hosts:[ fault_host ha 0; fault_host hb 1 ]
+      ~hosts:[ Snap.Host.fault_host ha; Snap.Host.fault_host hb ]
   in
   let hist = Stats.Histogram.create () in
   let reg_hist =

@@ -74,19 +74,6 @@ type result = {
   groups_consistent : bool;
 }
 
-let fault_host (h : Snap.Host.t) addr =
-  {
-    Fault.Injector.h_addr = addr;
-    h_nic = h.Snap.Host.nic;
-    h_machine = h.Snap.Host.machine;
-    h_control = h.Snap.Host.control;
-    h_group = h.Snap.Host.group;
-    h_engines =
-      List.init
-        (PE.num_engines h.Snap.Host.pony)
-        (PE.engine_handle h.Snap.Host.pony);
-  }
-
 let run (cfg : config) : result =
   Check.Invariant.begin_run ();
   let loop = Loop.create ~seed:cfg.seed ~tie_salt:cfg.tie_salt () in
@@ -103,7 +90,7 @@ let run (cfg : config) : result =
   in
   let inj =
     Fault.Injector.install ~loop ~plan:cfg.plan ~fabric:fab
-      ~hosts:[ fault_host ha 0; fault_host hb 1 ]
+      ~hosts:[ Snap.Host.fault_host ha; Snap.Host.fault_host hb ]
   in
   (* Watchdogs: one per host, monitoring the Pony engines.  They must
      coexist with the upgrade (migrating engines are excused) and catch

@@ -295,6 +295,7 @@ let test_flow_resync () =
       initiator_client = 0;
       target_host = 1;
       target_client = 0;
+      session = 0;
     }
   in
   let gen = Memory.Packet.Id_gen.create () in

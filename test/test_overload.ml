@@ -200,6 +200,7 @@ let ck =
     initiator_client = 0;
     target_host = 1;
     target_client = 0;
+    session = 0;
   }
 
 let grant i = Pony.Wire.Credit_grant { conn = ck; bytes = i }

@@ -88,7 +88,7 @@ let test_flow_delivers_items () =
   done;
   (* Bare_ack is not delivered; use a credit grant as a visible item. *)
   let ck =
-    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0; session = 0 }
   in
   for i = 1 to 5 do
     Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = i }) ~payload_bytes:0
@@ -118,7 +118,7 @@ let test_flow_dedup_on_retransmit () =
   let _loop, a, b = mk_flow_pair () in
   let gen = Memory.Packet.Id_gen.create () in
   let ck =
-    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0; session = 0 }
   in
   Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 42 }) ~payload_bytes:0;
   let pkt =
@@ -135,7 +135,7 @@ let test_flow_retransmit_on_timeout () =
   let _loop, a, _b = mk_flow_pair () in
   let gen = Memory.Packet.Id_gen.create () in
   let ck =
-    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0; session = 0 }
   in
   Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 1 }) ~payload_bytes:0;
   ignore (Pony.Flow.emit a ~now:1000 ~gen);
@@ -152,7 +152,7 @@ let test_flow_ack_clears_flight () =
   let _loop, a, b = mk_flow_pair () in
   let gen = Memory.Packet.Id_gen.create () in
   let ck =
-    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0; session = 0 }
   in
   Pony.Flow.enqueue a (Pony.Wire.Credit_grant { conn = ck; bytes = 1 }) ~payload_bytes:0;
   let pkt = Option.get (Pony.Flow.emit a ~now:1000 ~gen) in
@@ -169,7 +169,7 @@ let test_flow_pacing_spaces_packets () =
   let _loop, a, _b = mk_flow_pair () in
   let gen = Memory.Packet.Id_gen.create () in
   let ck =
-    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0 }
+    { Pony.Wire.initiator_host = 0; initiator_client = 0; target_host = 1; target_client = 0; session = 0 }
   in
   (* Two 5000-byte items at 100 Gbps (Timely starts at half = 100 of 200
      cap... rate is max_rate/2 = 50 Gbps): second release gated. *)
