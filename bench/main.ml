@@ -2,16 +2,27 @@
    evaluation (section 5), plus ablations and Bechamel microbenchmarks of
    the hot data structures.
 
-   Usage: main.exe [SECTION...|all] [--only SECTION]
-                   [--metrics-out FILE.json] [--trace-out FILE.json] [--check]
+   Usage: main.exe [SECTION...|all] [--only SECTION[,SECTION...]]
+                   [--metrics-out FILE.json] [--trace-out FILE.json]
+                   [--slow-ops-out FILE.json] [--bench-out FILE.json]
+                   [--check]
 
    `--help` lists the sections; the single source of truth is the
    [all_benches] table in the driver at the bottom of this file.
+   Section names (positional or via --only) may be comma-separated.
 
    --metrics-out dumps the full Stats.Registry (every counter, gauge,
    histogram and series the selected sections touched) as JSON.
    --trace-out turns on Sim.Span capture for the run and writes the
-   result as Chrome trace-event JSON (chrome://tracing, perfetto).
+   result as Chrome trace-event JSON (chrome://tracing, perfetto);
+   with op attribution on, cross-host flow arrows link each op's
+   tx-side and rx-side spans.
+   --slow-ops-out turns on Sim.Optrace capture and writes the top-K
+   slowest ops with their full stage timelines as JSON (grouped per
+   section for the attribution-enabled sections below).
+   --bench-out writes BENCH_8.json-style normalized perf rows for the
+   fault/overload/tenancy sections (the repo's perf trajectory; see
+   tools/bench_gate.py for the regression gate).
    --check enables the Check.Invariant registry for every workload run;
    the sweep section (invariants + schedule perturbation across seeds,
    tie-break salts and randomized hashing) enables it regardless and is
@@ -341,12 +352,124 @@ let micro () =
     (fun t -> benchmark (Test.make_grouped ~name:"g" [ t ]))
     [ heap_test; spsc_test; hist_test; timely_test ]
 
+(* -- Latency attribution + perf trajectory -------------------------------- *)
+
+(* The fault/overload/tenancy sections double as the repo's perf
+   trajectory: each runs with op latency attribution on, prints a
+   per-stage breakdown, and contributes one normalized row to the
+   --bench-out document (committed as BENCH_8.json at the repo root,
+   gated by tools/bench_gate.py in CI).  Only modeled, deterministic
+   quantities are recorded — plus minor-GC words per op, the one
+   compiler-dependent number, which the gate holds to a loose
+   tolerance. *)
+
+type bench8_row = {
+  b_section : string;
+  b_ops : int;
+  b_goodput_gbps : float;  (* 0 when the section has no goodput notion *)
+  b_p50_ns : int;
+  b_p99_ns : int;
+  b_cpu_ns_per_op : float;  (* modeled engine batch cost per op *)
+  b_gc_words_per_op : float;  (* minor-heap words allocated per op *)
+}
+
+let bench8_rows : bench8_row list ref = ref []
+let slow_wanted = ref false
+let slow_sections : (string * string) list ref = ref []
+
+(* Modeled CPU burned inside engine batches, summed over every engine
+   registered so far; sections measure the delta across their own
+   runs. *)
+let engine_batch_cost_sum () =
+  List.fold_left
+    (fun acc m ->
+      match m.Stats.Registry.m_kind with
+      | Stats.Registry.Histogram h
+        when String.equal m.Stats.Registry.m_name "engine_batch_cost_ns" ->
+          acc + Stats.Histogram.sum h
+      | _ -> acc)
+    0 (Stats.Registry.snapshot ())
+
+let stage_hist i =
+  let name = Sim.Optrace.stage_name (Sim.Optrace.stage_of_index i) in
+  match Stats.Registry.find ("op_stage_" ^ name) with
+  | Some { Stats.Registry.m_kind = Stats.Registry.Histogram h; _ } ->
+      Some (name, h)
+  | _ -> None
+
+let clear_stage_hists () =
+  for i = 0 to Sim.Optrace.n_stages - 1 do
+    match stage_hist i with
+    | Some (_, h) -> Stats.Histogram.clear h
+    | None -> ()
+  done
+
+let print_stage_breakdown () =
+  Printf.printf "stage breakdown (ns per stage, interpolated quantiles):\n";
+  Printf.printf "  %-10s %9s %12s %12s %12s\n" "stage" "count" "p50" "p99"
+    "p99.9";
+  for i = 0 to Sim.Optrace.n_stages - 1 do
+    match stage_hist i with
+    | Some (name, h) when Stats.Histogram.count h > 0 ->
+        Printf.printf "  %-10s %9d %12.1f %12.1f %12.1f\n" name
+          (Stats.Histogram.count h)
+          (Stats.Histogram.quantile_interp h 0.5)
+          (Stats.Histogram.quantile_interp h 0.99)
+          (Stats.Histogram.quantile_interp h 0.999)
+    | _ -> ()
+  done;
+  Printf.printf "  ops traced: %d completed, %d in flight, %d dropped\n%!"
+    (List.length (Sim.Optrace.completed ()))
+    (Sim.Optrace.in_flight ()) (Sim.Optrace.dropped ())
+
+let bench8_begin () =
+  if Sim.Optrace.enabled () then Sim.Optrace.clear ()
+  else Sim.Optrace.set_capture (Some 8192);
+  clear_stage_hists ();
+  (engine_batch_cost_sum (), Gc.minor_words ())
+
+let bench8_end ~sec ~ops ~goodput_gbps ~latencies (cost0, gc0) =
+  (* Measure before printing: the report itself allocates. *)
+  let cost1 = engine_batch_cost_sum () and gc1 = Gc.minor_words () in
+  let per x = x /. float_of_int (max 1 ops) in
+  print_stage_breakdown ();
+  bench8_rows :=
+    {
+      b_section = sec;
+      b_ops = ops;
+      b_goodput_gbps = goodput_gbps;
+      b_p50_ns = Stats.Histogram.percentile latencies 50.;
+      b_p99_ns = Stats.Histogram.percentile latencies 99.;
+      b_cpu_ns_per_op = per (float_of_int (cost1 - cost0));
+      b_gc_words_per_op = per (gc1 -. gc0);
+    }
+    :: !bench8_rows;
+  if !slow_wanted then
+    slow_sections :=
+      (sec, String.trim (Sim.Optrace.slow_ops_json ~k:32 ())) :: !slow_sections
+
+let bench8_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"bench\":\"BENCH_8\",\"sections\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"section\":\"%s\",\"ops\":%d,\"goodput_gbps\":%.3f,\"p50_ns\":%d,\
+         \"p99_ns\":%d,\"cpu_ns_per_op\":%.1f,\"gc_minor_words_per_op\":%.1f}"
+        r.b_section r.b_ops r.b_goodput_gbps r.b_p50_ns r.b_p99_ns
+        r.b_cpu_ns_per_op r.b_gc_words_per_op)
+    (List.rev !bench8_rows);
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
 (* -- Availability under faults ------------------------------------------- *)
 
 let chaos () =
   section "Availability under faults (Workloads.Chaos)";
   let cfg = Workloads.Chaos.default_config in
   let baseline = Workloads.Chaos.run { cfg with plan = Fault.Plan.empty } in
+  let b8 = bench8_begin () in
   let r = Workloads.Chaos.run cfg in
   let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
   Printf.printf "ops: %d/%d completed, %d lost\n" r.Workloads.Chaos.ops_completed
@@ -380,6 +503,9 @@ let chaos () =
     (fun (addr, drops, depth) ->
       Printf.printf "  %-6d %10d %16d\n" addr drops depth)
     r.Workloads.Chaos.port_report;
+  bench8_end ~sec:"chaos" ~ops:r.Workloads.Chaos.ops_completed
+    ~goodput_gbps:r.Workloads.Chaos.goodput_gbps
+    ~latencies:r.Workloads.Chaos.latencies b8;
   flush stdout
 
 (* -- Availability under upgrade ------------------------------------------ *)
@@ -387,6 +513,7 @@ let chaos () =
 let chaos_upgrade () =
   section "Availability under upgrade (Workloads.Chaos_upgrade)";
   let module CU = Workloads.Chaos_upgrade in
+  let b8 = bench8_begin () in
   let r = CU.run CU.default_config in
   let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
   Printf.printf "ops: %d/%d completed, %d lost\n" r.CU.ops_completed
@@ -427,6 +554,8 @@ let chaos_upgrade () =
             if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
           r.CU.fault_counters));
   Printf.printf "groups consistent: %b\n" r.CU.groups_consistent;
+  bench8_end ~sec:"chaos_upgrade" ~ops:r.CU.ops_completed ~goodput_gbps:0.0
+    ~latencies:r.CU.latencies b8;
   let r2 = CU.run CU.default_config in
   Printf.printf "deterministic across runs: %b\n"
     (String.equal (CU.fingerprint r) (CU.fingerprint r2));
@@ -437,6 +566,7 @@ let chaos_upgrade () =
 let overload () =
   section "Overload protection (Workloads.Overload)";
   let module O = Workloads.Overload in
+  let b8 = bench8_begin () in
   let r = O.run O.default_config in
   let u = O.run { O.default_config with O.aggressors = 0 } in
   Printf.printf
@@ -460,6 +590,8 @@ let overload () =
     (pct u.O.victim_latencies 99.0);
   Printf.printf "hygiene: %d pool bytes leaked, %d Exhausted escapes\n"
     r.O.pool_leak_bytes r.O.exhausted_escapes;
+  bench8_end ~sec:"overload" ~ops:r.O.victim_ok
+    ~goodput_gbps:r.O.victim_goodput_gbps ~latencies:r.O.victim_latencies b8;
   let r2 = O.run O.default_config in
   Printf.printf "deterministic across runs: %b\n"
     (String.equal (O.fingerprint r) (O.fingerprint r2));
@@ -470,6 +602,7 @@ let overload () =
 let partition () =
   section "Peer failure and reconnect (Workloads.Partition)";
   let module P = Workloads.Partition in
+  let b8 = bench8_begin () in
   let r = P.run P.default_config in
   Printf.printf
     "ops: %d attempted -> %d resolved (%d echo ok, %d echo timeouts, %d \
@@ -507,6 +640,8 @@ let partition () =
             if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
           r.P.fault_counters));
   Printf.printf "hygiene: %d pool bytes leaked\n" r.P.pool_leak_bytes;
+  bench8_end ~sec:"partition" ~ops:r.P.ops_resolved ~goodput_gbps:0.0
+    ~latencies:r.P.latencies b8;
   let r2 = P.run P.default_config in
   Printf.printf "deterministic across runs: %b\n"
     (String.equal (P.fingerprint r) (P.fingerprint r2));
@@ -517,6 +652,7 @@ let partition () =
 let tenants () =
   section "Multi-tenant guest networking (Workloads.Tenants)";
   let module G = Workloads.Tenants in
+  let b8 = bench8_begin () in
   let r = G.run G.default_config in
   (* Uncontended baseline: same tenant population, aggressors silent. *)
   let u = G.run { G.default_config with G.aggressor_ops = 0 } in
@@ -553,6 +689,8 @@ let tenants () =
   Printf.printf "blackout bounded: %b\n" (r.G.max_blackout < T.ms 15);
   Printf.printf "all tenants detached: %b\n" (r.G.detached = r.G.n_tenants);
   Printf.printf "hygiene: %d pool bytes leaked\n" r.G.pool_leak_bytes;
+  bench8_end ~sec:"tenants" ~ops:r.G.victim_ok
+    ~goodput_gbps:r.G.victim_goodput_gbps ~latencies:r.G.victim_latencies b8;
   let r2 = G.run G.default_config in
   Printf.printf "deterministic across runs: %b\n"
     (String.equal (G.fingerprint r) (G.fingerprint r2));
@@ -569,6 +707,10 @@ let tenants () =
 let sweep () =
   section "Determinism sweep: invariants under schedule perturbation";
   Check.Invariant.set_enabled true;
+  (* Latency attribution on for every swept run, so the per-engine
+     stage-conservation invariant is exercised across chaos, upgrade,
+     overload, tenants and partition schedules. *)
+  Sim.Optrace.set_capture (Some 8192);
   let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let report name outcome =
     Printf.printf "%-14s %s%!" name (Check.Explore.summary outcome);
@@ -692,6 +834,28 @@ let sweep () =
   | None ->
       Printf.printf "SABOTAGE NOT CAUGHT: peer-reclaim checker is vacuous\n%!";
       exit 1);
+  (* Attribution non-vacuity: the dequeue stamp advances the
+     attribution cursor without charging the elapsed time, so a
+     completed op's stage durations no longer sum to its end-to-end
+     latency; the per-engine conservation invariant must notice. *)
+  Sim.Optrace.clear ();
+  Check.Invariant.set_sabotage "skip_op_attribution" true;
+  let caught_attr =
+    match
+      Workloads.Chaos.run { C.default_config with C.ops_per_client = 50 }
+    with
+    | _ -> None
+    | exception Check.Invariant.Violation msg -> Some msg
+  in
+  Check.Invariant.set_sabotage "skip_op_attribution" false;
+  Sim.Optrace.clear ();
+  (match caught_attr with
+  | Some msg ->
+      Printf.printf "attribution sabotage caught by checker: %s\n%!"
+        (String.concat " " (String.split_on_char '\n' msg))
+  | None ->
+      Printf.printf "SABOTAGE NOT CAUGHT: attribution checker is vacuous\n%!";
+      exit 1);
   Printf.printf "sweep OK\n%!"
 
 (* -- Driver ------------------------------------------------------------------ *)
@@ -725,9 +889,10 @@ let section_names () = String.concat ", " (List.map fst all_benches)
 
 let usage oc =
   Printf.fprintf oc
-    "usage: main.exe [SECTION...|all] [--only SECTION] [--metrics-out \
-     FILE.json] [--trace-out FILE.json] [--check]\n\
-     sections: %s\n\
+    "usage: main.exe [SECTION...|all] [--only SECTION[,SECTION...]] \
+     [--metrics-out FILE.json] [--trace-out FILE.json] [--slow-ops-out \
+     FILE.json] [--bench-out FILE.json] [--check]\n\
+     sections (comma-separable): %s\n\
      `all` runs everything except the sweep (which re-runs the fault \
      workloads many times and must be named explicitly).\n"
     (section_names ())
@@ -756,16 +921,27 @@ let () =
     usage stdout;
     exit 0
   end;
-  (* Accept `--only NAME` as an alias for the positional form. *)
+  (* Accept `--only NAME[,NAME...]` as an alias for the positional form. *)
   let args = List.filter (fun a -> a <> "--only") args in
   let metrics_out, args = extract_flag "--metrics-out" args in
   let trace_out, args = extract_flag "--trace-out" args in
+  let slow_ops_out, args = extract_flag "--slow-ops-out" args in
+  let bench_out, args = extract_flag "--bench-out" args in
   (* --check turns on the invariant registry for every workload run in
      the selected sections (the sweep section enables it regardless). *)
   let check_on = List.mem "--check" args in
   let args = List.filter (fun a -> a <> "--check") args in
+  (* Section names may be comma-separated. *)
+  let args =
+    List.concat_map (String.split_on_char ',') args
+    |> List.filter (fun a -> a <> "")
+  in
   if check_on then Check.Invariant.set_enabled true;
   if trace_out <> None then Sim.Span.set_capture (Some 200_000);
+  if slow_ops_out <> None then begin
+    slow_wanted := true;
+    Sim.Optrace.set_capture (Some 8192)
+  end;
   (match args with
   | [] | [ "all" ] ->
       (* fig6b and fig6c share one run; don't execute twice.  The sweep
@@ -801,4 +977,26 @@ let () =
       if Sim.Span.dropped () > 0 then
         Printf.printf "trace ring dropped %d events\n" (Sim.Span.dropped ());
       Printf.printf "trace written to %s\n%!" path)
-    trace_out
+    trace_out;
+  Option.iter
+    (fun path ->
+      write_file path (bench8_json ());
+      Printf.printf "bench rows written to %s\n%!" path)
+    bench_out;
+  Option.iter
+    (fun path ->
+      let doc =
+        match List.rev !slow_sections with
+        | [] -> Sim.Optrace.slow_ops_json ~k:32 ()
+        | secs ->
+            "{\"sections\":["
+            ^ String.concat ","
+                (List.map
+                   (fun (n, j) ->
+                     Printf.sprintf "{\"section\":\"%s\",\"report\":%s}" n j)
+                   secs)
+            ^ "]}\n"
+      in
+      write_file path doc;
+      Printf.printf "slow ops written to %s\n%!" path)
+    slow_ops_out

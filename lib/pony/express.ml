@@ -110,6 +110,11 @@ and conn = {
   mutable state : conn_state;
   mutable last_heard : Time.t;  (* any item for this conn counts as life *)
   mutable ka_sent_at : Time.t;  (* last keepalive probe we enqueued *)
+  (* Latency-attribution stage transitions observed on this conn (both
+     the submit side of local ops and the receive side of remote ones),
+     indexed by [Sim.Optrace.stage_index].  Only advanced while Optrace
+     capture is on. *)
+  stage_counts : int array;
 }
 
 and asm = {
@@ -300,6 +305,86 @@ let flow_stats t =
       List.map (fun f -> (Flow.key f, Flow.delivered f, Flow.retransmits f)) e.flow_list)
     t.engs
 
+(* -- Latency attribution (Sim.Optrace) ----------------------------------- *)
+
+(* Key of an op submitted by [conn]'s local client. *)
+let ot_key conn op_id =
+  {
+    Sim.Optrace.k_origin = addr conn.local.c_host;
+    k_origin_client = conn.local.cid;
+    k_peer = conn.remote_host;
+    k_session = conn.ckey.Wire.session;
+    k_origin_init = conn.we_are_initiator;
+    k_op = op_id;
+  }
+
+(* Key of an op that originated at [conn]'s remote side (receive path). *)
+let ot_rkey conn op_id =
+  {
+    Sim.Optrace.k_origin = conn.remote_host;
+    k_origin_client = conn.remote_client;
+    k_peer = addr conn.local.c_host;
+    k_session = conn.ckey.Wire.session;
+    k_origin_init = not conn.we_are_initiator;
+    k_op = op_id;
+  }
+
+let ot_count conn stage =
+  let i = Sim.Optrace.stage_index stage in
+  conn.stage_counts.(i) <- conn.stage_counts.(i) + 1
+
+let ot_start conn op_id ~kind ~bytes =
+  if Sim.Optrace.enabled () then begin
+    ot_count conn Sim.Optrace.Submitted;
+    Sim.Optrace.start conn.local.c_host.lp (ot_key conn op_id) ~kind ~bytes
+  end
+
+let ot_stamp conn key stage =
+  if Sim.Optrace.enabled () then begin
+    ot_count conn stage;
+    Sim.Optrace.stamp conn.local.c_host.lp key stage
+  end
+
+let ot_dequeued conn op_id =
+  if Sim.Optrace.enabled () then begin
+    ot_count conn Sim.Optrace.Dequeued;
+    (* Sabotage point: with "skip_op_attribution" armed the dequeue
+       charge is dropped while the cursor still advances, so completed
+       ops under-account and the conservation invariant must fire
+       (never armed outside the sweep's non-vacuity run). *)
+    Sim.Optrace.stamp conn.local.c_host.lp
+      ~charge:(not (Check.Invariant.sabotage "skip_op_attribution"))
+      (ot_key conn op_id) Sim.Optrace.Dequeued
+  end
+
+let ot_finish conn key ~status =
+  if Sim.Optrace.enabled () then begin
+    ot_count conn Sim.Optrace.Completed;
+    Sim.Optrace.finish conn.local.c_host.lp key
+      ~host:(addr conn.local.c_host)
+      ~status:(Wire.status_to_string status)
+  end
+
+(* Age of the oldest attribution record still open on [conn]'s submit
+   side, for [debug_snapshot]. *)
+let ot_oldest_age conn ~now =
+  let best = ref None in
+  if Sim.Optrace.enabled () then
+    Sim.Optrace.iter_in_flight (fun r ->
+        let k = r.Sim.Optrace.r_key in
+        if
+          k.Sim.Optrace.k_origin = addr conn.local.c_host
+          && k.Sim.Optrace.k_origin_client = conn.local.cid
+          && k.Sim.Optrace.k_session = conn.ckey.Wire.session
+          && k.Sim.Optrace.k_origin_init = conn.we_are_initiator
+        then
+          match !best with
+          | None -> best := Some r.Sim.Optrace.r_start
+          | Some b ->
+              if r.Sim.Optrace.r_start < b then
+                best := Some r.Sim.Optrace.r_start);
+  Option.map (fun s -> Time.sub now s) !best
+
 let debug_snapshot t =
   let now = Loop.now t.lp in
   Printf.sprintf "inc=%d%s " t.incarnation (if t.alive then "" else " down")
@@ -319,12 +404,17 @@ let debug_snapshot t =
              (String.concat ""
                 (List.map
                    (fun ((ckey, we_init), c) ->
-                     Printf.sprintf " cn(%d.%d->%d.%d%s %s heard=%dns)"
+                     Printf.sprintf " cn(%d.%d->%d.%d%s %s heard=%dns stg=%s%s)"
                        ckey.Wire.initiator_host ckey.Wire.initiator_client
                        ckey.Wire.target_host ckey.Wire.target_client
                        (if we_init then "/i" else "/t")
                        (conn_state_to_string c.state)
-                       (Time.sub now c.last_heard))
+                       (Time.sub now c.last_heard)
+                       (String.concat "/"
+                          (Array.to_list (Array.map string_of_int c.stage_counts)))
+                       (match ot_oldest_age c ~now with
+                       | Some age -> Printf.sprintf " oldest=%dns" age
+                       | None -> ""))
                    (sorted_tbl e.conns))))
          t.engs)
   ^
@@ -588,10 +678,16 @@ let deliver_message eng cost ~conn ~op_id ~stream ~total ~reverse_flow =
   if
     push_incoming eng cost conn.local
       { msg_conn = conn; msg_op = op_id; stream; msg_bytes = total }
-  then
+  then begin
+    (* The message reached the destination application: this is the
+       end-to-end completion point of a two-sided op (the sender's [Ok]
+       completion at segmentation only covered transport take-over). *)
+    ot_stamp conn (ot_rkey conn op_id) Sim.Optrace.Delivered;
+    ot_finish conn (ot_rkey conn op_id) ~status:Wire.Ok;
     (* Receiver-driven replenishment once the message is handed to the
        application (§3.3). *)
     grant_credit eng reverse_flow conn.ckey total
+  end
   else begin
     (* The destination client's incoming queue is full: shed at
        delivery and NACK so the sender's credit comes back and the op
@@ -683,9 +779,11 @@ let kill_conn cost conn ~reason =
         (fun cmd ->
           match cmd with
           | C_send { op_id; bytes; issued; _ } ->
+              ot_finish conn (ot_key conn op_id) ~status:Wire.Peer_dead;
               push_completion eng cost conn.local
                 (peer_dead_completion conn.local ~op_id ~bytes ~issued ~now)
           | C_one_sided { op_id; issued; _ } ->
+              ot_finish conn (ot_key conn op_id) ~status:Wire.Peer_dead;
               push_completion eng cost conn.local
                 (peer_dead_completion conn.local ~op_id ~bytes:0 ~issued ~now)
           | C_close _ -> ())
@@ -700,6 +798,7 @@ let kill_conn cost conn ~reason =
         (fun (op_id, (issued, ck)) ->
           if ck = conn.ckey then begin
             Hashtbl.remove conn.local.outstanding op_id;
+            ot_finish conn (ot_key conn op_id) ~status:Wire.Peer_dead;
             push_completion eng cost conn.local
               (peer_dead_completion conn.local ~op_id ~bytes:0 ~issued ~now)
           end)
@@ -712,6 +811,28 @@ let kill_conn cost conn ~reason =
             free_assembly a
           end)
         (sorted_tbl eng.assembly)
+    end;
+    (* Attribution: ops on this conn still being traced — transmitted
+       but undelivered sends included — can never complete normally.
+       Close their records (both directions of the session) so the
+       in-flight table and oldest-age reporting do not carry them
+       forever. *)
+    if Sim.Optrace.enabled () then begin
+      let stale = ref [] in
+      Sim.Optrace.iter_in_flight (fun r ->
+          let k = r.Sim.Optrace.r_key in
+          if
+            k.Sim.Optrace.k_session = conn.ckey.Wire.session
+            && ((k.Sim.Optrace.k_origin = addr t
+                && k.Sim.Optrace.k_origin_client = conn.local.cid
+                && k.Sim.Optrace.k_peer = conn.remote_host
+                && k.Sim.Optrace.k_origin_init = conn.we_are_initiator)
+               || (k.Sim.Optrace.k_origin = conn.remote_host
+                  && k.Sim.Optrace.k_origin_client = conn.remote_client
+                  && k.Sim.Optrace.k_peer = addr t
+                  && k.Sim.Optrace.k_origin_init = not conn.we_are_initiator))
+          then stale := k :: !stale);
+      List.iter (fun k -> ot_finish conn k ~status:Wire.Peer_dead) !stale
     end
   end
 
@@ -834,6 +955,7 @@ let drain_waiting eng cost conn =
            work, without consuming credit. *)
         ignore (Queue.pop conn.waiting);
         Stats.Counter.incr conn.local.c_expired;
+        ot_finish conn (ot_key conn op_id) ~status:Wire.Timed_out;
         push_completion eng cost conn.local
           {
             comp_op = op_id;
@@ -848,6 +970,7 @@ let drain_waiting eng cost conn =
         ignore (Queue.pop conn.waiting);
         conn.credit <- conn.credit - bytes;
         cost := !cost + t.cost.Sim.Costs.pony_per_op;
+        ot_stamp conn (ot_key conn op_id) Sim.Optrace.Credit;
         segment_message t conn ~op_id ~stream ~bytes;
         push_completion eng cost conn.local
           {
@@ -878,6 +1001,7 @@ let expire_waiting eng cost ~now =
             ignore (Queue.pop conn.waiting);
             incr expired;
             Stats.Counter.incr conn.local.c_expired;
+            ot_finish conn (ot_key conn op_id) ~status:Wire.Timed_out;
             push_completion eng cost conn.local
               {
                 comp_op = op_id;
@@ -951,12 +1075,14 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
                   }
                 in
                 Hashtbl.add eng.assembly akey a;
+                ot_stamp conn (ot_rkey conn op_id) Sim.Optrace.Rx_first;
                 a
           in
           a.got <- a.got + len;
           if a.got >= a.total then begin
             Hashtbl.remove eng.assembly akey;
             free_assembly a;
+            ot_stamp conn (ot_rkey conn op_id) Sim.Optrace.Rx_done;
             let deliver () =
               let cost' = ref 0 in
               deliver_message eng cost' ~conn ~op_id ~stream ~total ~reverse_flow;
@@ -1006,6 +1132,8 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
                   }
                 in
                 Hashtbl.add eng.assembly akey a;
+                (* A one-sided response reassembles at the op's origin. *)
+                ot_stamp conn (ot_key conn op_id) Sim.Optrace.Rx_first;
                 a
           in
           a.got <- a.got + chunk_len;
@@ -1023,6 +1151,8 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
                   ts
               | None -> now
             in
+            ot_stamp conn (ot_key conn op_id) Sim.Optrace.Rx_done;
+            ot_finish conn (ot_key conn op_id) ~status:a.asm_status;
             push_completion eng cost conn.local
               {
                 comp_op = op_id;
@@ -1047,6 +1177,7 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
              completion (a second completion for the op — the first,
              [Ok], only covered transport take-over). *)
           conn.credit <- conn.credit + bytes;
+          ot_finish conn (ot_key conn op_id) ~status:Wire.Busy;
           push_completion eng cost conn.local
             {
               comp_op = op_id;
@@ -1074,6 +1205,7 @@ let complete_unstarted eng cost cmd ~status ~now =
     | C_one_sided { cmd_conn; op_id; issued; _ } -> (cmd_conn, op_id, 0, issued)
     | C_close _ -> invalid_arg "Pony: complete_unstarted on a close"
   in
+  ot_finish conn (ot_key conn op_id) ~status;
   push_completion eng cost conn.local
     {
       comp_op = op_id;
@@ -1144,8 +1276,10 @@ let handle_command eng cost cmd =
       else
         match cmd with
         | C_send { cmd_conn = conn; op_id; stream; bytes; issued; _ } ->
+            ot_dequeued conn op_id;
             if bytes <= conn.credit then begin
               conn.credit <- conn.credit - bytes;
+              ot_stamp conn (ot_key conn op_id) Sim.Optrace.Credit;
               segment_message t conn ~op_id ~stream ~bytes;
               push_completion eng cost conn.local
                 {
@@ -1159,6 +1293,7 @@ let handle_command eng cost cmd =
             end
             else Queue.add cmd conn.waiting
         | C_one_sided { cmd_conn = conn; op_id; op; issued; _ } ->
+            ot_dequeued conn op_id;
             Hashtbl.replace conn.local.outstanding op_id (issued, conn.ckey);
             Flow.enqueue conn.c_flow
               (Wire.One_sided_req { conn = conn.ckey; op_id; op })
@@ -1661,6 +1796,24 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
   Check.Invariant.register
     ~name:(Printf.sprintf "pony.host.%d.peer_reclaim" (Nic.addr nic))
     (fun () -> check_peer_reclaim t);
+  (* Attribution conservation: every completed op's per-stage durations
+     must sum to its end-to-end latency (checked eagerly at finish; the
+     predicate reads the sticky first failure).  "skip_op_attribution"
+     proves this one is not vacuous. *)
+  Check.Invariant.register
+    ~name:(Printf.sprintf "pony.optrace.%d.conserve" (Nic.addr nic))
+    Sim.Optrace.conservation_error;
+  (* [Sim] cannot depend on [Stats], so the per-stage duration
+     histograms ("op_stage_" ^ name) are fed through this hook.
+     Re-installed by every host creation: bench sections that clear the
+     registry get fresh histograms bound on the next host. *)
+  let stage_hists =
+    Array.init Sim.Optrace.n_stages (fun i ->
+        Stats.Registry.histogram
+          ("op_stage_" ^ Sim.Optrace.stage_name (Sim.Optrace.stage_of_index i)))
+  in
+  Sim.Optrace.set_stage_sink
+    (Some (fun si d -> Stats.Histogram.record stage_hists.(si) d));
   (* Steer Pony packets to the destination engine's ring. *)
   Nic.install_steering nic (fun pkt ->
       match pkt.Packet.payload with
@@ -1934,6 +2087,7 @@ let connect ctx client ~dst_host ~dst_client =
       state = Established;
       last_heard = Loop.now t.lp;
       ka_sent_at = Loop.now t.lp;
+      stage_counts = Array.make Sim.Optrace.n_stages 0;
     }
   in
   let remote_conn =
@@ -1949,6 +2103,7 @@ let connect ctx client ~dst_host ~dst_client =
       state = Established;
       last_heard = Loop.now t.lp;
       ka_sent_at = Loop.now t.lp;
+      stage_counts = Array.make Sim.Optrace.n_stages 0;
     }
   in
   Hashtbl.replace local_eng.conns (ckey, true) local_conn;
@@ -2073,9 +2228,11 @@ let conn_cmd_free conn =
 let engine_post_send conn ~now ?(stream = 0) ?deadline ~bytes () =
   let client = conn.local in
   let op_id = fresh_op client in
+  ot_start conn op_id ~kind:"guest_send" ~bytes;
   match conn_refusal conn with
   | Some status ->
       (* Lifecycle refusal, completed inline (no thread ctx here). *)
+      ot_finish conn (ot_key conn op_id) ~status;
       if status = Wire.Peer_dead then
         Stats.Counter.incr client.c_host.c_peer_dead_op;
       if
@@ -2141,15 +2298,21 @@ let send_message ctx conn ?(stream = 0) ?deadline ~bytes () =
   if bytes < 0 then invalid_arg "Pony.send_message";
   let client = conn.local in
   let op_id = fresh_op client in
+  ot_start conn op_id ~kind:"send" ~bytes;
   (match conn_refusal conn with
-  | Some status -> refuse_locally ctx conn ~op_id ~bytes ~status
+  | Some status ->
+      ot_finish conn (ot_key conn op_id) ~status;
+      refuse_locally ctx conn ~op_id ~bytes ~status
   | None -> (
       match
         Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes
       with
-      | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
+      | Overload.Admission.Rejected _ ->
+          ot_finish conn (ot_key conn op_id) ~status:Wire.Rejected;
+          reject_locally ctx client ~op_id ~bytes
       | Overload.Admission.Admitted charge ->
           Hashtbl.replace client.charges op_id charge;
+          ot_stamp conn (ot_key conn op_id) Sim.Optrace.Admitted;
           post_command ctx conn
             (C_send
                {
@@ -2172,15 +2335,21 @@ let one_sided ?deadline ctx conn op =
   let client = conn.local in
   let op_id = fresh_op client in
   let bytes = one_sided_bytes op in
+  ot_start conn op_id ~kind:"one_sided" ~bytes;
   (match conn_refusal conn with
-  | Some status -> refuse_locally ctx conn ~op_id ~bytes ~status
+  | Some status ->
+      ot_finish conn (ot_key conn op_id) ~status;
+      refuse_locally ctx conn ~op_id ~bytes ~status
   | None -> (
       match
         Overload.Admission.admit client.adm ~now:(Cpu.Thread.now ctx) ~bytes
       with
-      | Overload.Admission.Rejected _ -> reject_locally ctx client ~op_id ~bytes
+      | Overload.Admission.Rejected _ ->
+          ot_finish conn (ot_key conn op_id) ~status:Wire.Rejected;
+          reject_locally ctx client ~op_id ~bytes
       | Overload.Admission.Admitted charge ->
           Hashtbl.replace client.charges op_id charge;
+          ot_stamp conn (ot_key conn op_id) Sim.Optrace.Admitted;
           post_command ctx conn
             (C_one_sided
                { cmd_conn = conn; op_id; op; issued = Cpu.Thread.now ctx; deadline })));

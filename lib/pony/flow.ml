@@ -195,6 +195,23 @@ let advance_pacer t ~now wire_bytes =
   in
   t.next_release <- Time.add (Time.max now t.next_release) gap
 
+(* Latency-attribution hooks: transmissions stamp the op's first-tx
+   stage; retransmissions, RTO recoveries, and zero-window probes count
+   as stalls against whatever op the packet carries. *)
+let op_key t item = Wire.op_key_of_item ~src_host:t.fkey.Wire.src_host item
+
+let op_stall t item which =
+  if Sim.Optrace.enabled () then
+    match op_key t item with
+    | Some k -> Sim.Optrace.stall k which
+    | None -> ()
+
+let op_first_tx t item =
+  if Sim.Optrace.enabled () then
+    match op_key t item with
+    | Some k -> Sim.Optrace.stamp t.lp k Sim.Optrace.First_tx
+    | None -> ()
+
 let rec emit t ~now ~gen =
   (* Retransmissions go first and bypass the window check (their slots
      are already accounted in the flight). *)
@@ -210,6 +227,7 @@ let rec emit t ~now ~gen =
       Stats.Histogram.record t.h_flight t.flight_len;
       if Sim.Span.enabled () then
         span t ~now ~args:[ ("seq", string_of_int fe.f_seq) ] "retx";
+      op_stall t fe.f_item Sim.Optrace.Retx;
       Some pkt
   | None ->
       let probe = zw_probe_due t ~now in
@@ -227,6 +245,8 @@ let rec emit t ~now ~gen =
           if Sim.Span.enabled () then span t ~now "zw_probe"
         end;
         let item, payload, _enq = Queue.take t.queue in
+        if probe then op_stall t item Sim.Optrace.Zero_window;
+        op_first_tx t item;
         let seq = t.snd_nxt in
         t.snd_nxt <- seq + 1;
         let fe = { f_seq = seq; f_item = item; f_payload = payload; sent_at = now } in
@@ -425,6 +445,7 @@ let check_timeout t ~now =
             ~args:
               [ ("n", string_of_int n); ("seq", string_of_int fe.f_seq) ]
             "rto_gbn";
+        op_stall t fe.f_item Sim.Optrace.Rto;
         Timely.on_loss t.timely;
         (* Back off the timer so a stalled peer is not hammered. *)
         t.rto <- Time.min (Time.ms 50) (2 * t.rto);

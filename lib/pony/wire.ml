@@ -124,6 +124,44 @@ let negotiate a b =
   | [] -> None
   | l -> Some (List.nth l (List.length l - 1))
 
+(* Attribution key of the op an item belongs to, from the point of view
+   of a packet leaving [src_host].  Requests travel origin -> peer, so
+   the sender is the op's origin; responses and NACKs travel back, so
+   the origin is the destination.  Items without an op (credit, resets,
+   keepalives, bare acks) have no key. *)
+let op_key_of_item ~src_host item =
+  let key conn op_id ~origin_is_src =
+    let src_is_init = conn.initiator_host = src_host in
+    let origin_is_init = if origin_is_src then src_is_init else not src_is_init in
+    if origin_is_init then
+      Some
+        {
+          Sim.Optrace.k_origin = conn.initiator_host;
+          k_origin_client = conn.initiator_client;
+          k_peer = conn.target_host;
+          k_session = conn.session;
+          k_origin_init = true;
+          k_op = op_id;
+        }
+    else
+      Some
+        {
+          Sim.Optrace.k_origin = conn.target_host;
+          k_origin_client = conn.target_client;
+          k_peer = conn.initiator_host;
+          k_session = conn.session;
+          k_origin_init = false;
+          k_op = op_id;
+        }
+  in
+  match item with
+  | Msg_chunk { conn; op_id; _ } -> key conn op_id ~origin_is_src:true
+  | One_sided_req { conn; op_id; _ } -> key conn op_id ~origin_is_src:true
+  | One_sided_resp { conn; op_id; _ } -> key conn op_id ~origin_is_src:false
+  | Busy_nack { conn; op_id; _ } -> key conn op_id ~origin_is_src:false
+  | Credit_grant _ | Conn_reset _ | Keepalive _ | Keepalive_ack _ | Bare_ack ->
+      None
+
 let item_wire_bytes = function
   | Msg_chunk _ -> 24
   | One_sided_req { op; _ } -> (

@@ -166,3 +166,11 @@ val negotiate : int list -> int list -> int option
 
 val item_wire_bytes : item -> int
 (** Extra header bytes the item contributes beyond payload. *)
+
+val op_key_of_item :
+  src_host:Memory.Packet.addr -> item -> Sim.Optrace.key option
+(** Latency-attribution key of the op the item belongs to, given the
+    host the packet leaves from.  Requests ([Msg_chunk],
+    [One_sided_req]) originate at the sender; responses
+    ([One_sided_resp], [Busy_nack]) at the destination.  [None] for
+    items with no op (credit, resets, keepalives, bare acks). *)

@@ -20,6 +20,8 @@ type event = {
   ev_dur : Time.t option;  (* [None] renders as an instant event *)
   ev_track : string;
   ev_args : (string * string) list;
+  ev_flow : (int * bool) option;
+      (* flow-event binding: (id, is_start); renders as ph "s"/"f" *)
 }
 
 type ring = {
@@ -68,7 +70,15 @@ let emit loop ?(cat = "sim") ?(track = "main") ?(args = []) ?start ?dur name =
       let ts = match start with Some t -> t | None -> Loop.now loop in
       push r
         { ev_name = name; ev_cat = cat; ev_ts = ts; ev_dur = dur;
-          ev_track = track; ev_args = args }
+          ev_track = track; ev_args = args; ev_flow = None }
+
+let emit_flow loop ?(cat = "sim") ?(track = "main") ~id ~first name =
+  match !ring with
+  | None -> ()
+  | Some r ->
+      push r
+        { ev_name = name; ev_cat = cat; ev_ts = Loop.now loop; ev_dur = None;
+          ev_track = track; ev_args = []; ev_flow = Some (id, first) }
 
 (* -- Chrome trace-event export ------------------------------------------ *)
 
@@ -133,11 +143,19 @@ let to_chrome_json () =
       Printf.bprintf buf ",\"pid\":1,\"tid\":%d,\"ts\":"
         (Hashtbl.find tids ev.ev_track);
       add_us buf ev.ev_ts;
-      (match ev.ev_dur with
-      | Some d ->
-          Buffer.add_string buf ",\"ph\":\"X\",\"dur\":";
-          add_us buf d
-      | None -> Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\"");
+      (match ev.ev_flow with
+      | Some (id, first) ->
+          (* Chrome flow events: "s" opens an arrow, "f" with
+             "bp":"e" closes it at the enclosing slice's end.  Both
+             ends must share name, cat, and id. *)
+          if first then Printf.bprintf buf ",\"ph\":\"s\",\"id\":%d" id
+          else Printf.bprintf buf ",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d" id
+      | None -> (
+          match ev.ev_dur with
+          | Some d ->
+              Buffer.add_string buf ",\"ph\":\"X\",\"dur\":";
+              add_us buf d
+          | None -> Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\""));
       if ev.ev_args <> [] then begin
         Buffer.add_string buf ",\"args\":{";
         List.iteri

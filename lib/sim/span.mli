@@ -21,6 +21,9 @@ type event = {
   ev_dur : Time.t option;  (** [None] is an instant event *)
   ev_track : string;
   ev_args : (string * string) list;
+  ev_flow : (int * bool) option;
+      (** flow-event binding [(id, is_start)]; rendered as Chrome
+          [ph:"s"] / [ph:"f"] so the two ends draw as one arrow *)
 }
 
 val set_capture : int option -> unit
@@ -45,6 +48,13 @@ val emit :
     becomes a span of that length; [start] overrides the begin
     timestamp, for spans measured only once they finish.  No-op while
     capture is off. *)
+
+val emit_flow :
+  Loop.t -> ?cat:string -> ?track:string -> id:int -> first:bool -> string -> unit
+(** [emit_flow loop ~id ~first name] records one end of a flow arrow:
+    [first = true] opens it, [first = false] closes it (bound to the
+    enclosing slice's end).  The two ends must share [name], [cat], and
+    [id] for viewers to connect them.  No-op while capture is off. *)
 
 val events : unit -> event list
 (** Captured events, oldest first; empty while capture is off. *)

@@ -85,6 +85,42 @@ let quantile t q =
 
 let percentile t p = quantile t (p /. 100.)
 
+(* Bucket bounds: [low, low + width).  Derived the same way as
+   [value_of]'s midpoint. *)
+let bucket_bounds t idx =
+  let sb = t.sub_bits in
+  if idx < 1 lsl (sb + 1) then (float_of_int idx, 1.0)
+  else
+    let shift = (idx lsr sb) - 1 in
+    let sub = idx land ((1 lsl sb) - 1) lor (1 lsl sb) in
+    (float_of_int (sub lsl shift), float_of_int (1 lsl shift))
+
+let quantile_interp t q =
+  if t.total = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    (* Rank in [0, total - 1], continuous: linear interpolation within
+       the bucket the rank lands in, like a sorted-array quantile with
+       each bucket's mass spread evenly over its value range. *)
+    let rank = q *. float_of_int (t.total - 1) in
+    let acc = ref 0 and result = ref (float_of_int t.max_v) in
+    let found = ref false in
+    let i = ref 0 in
+    let n = Array.length t.counts in
+    while (not !found) && !i < n do
+      let c = t.counts.(!i) in
+      if c > 0 && rank < float_of_int (!acc + c) then begin
+        let low, width = bucket_bounds t !i in
+        let frac = (rank -. float_of_int !acc +. 0.5) /. float_of_int c in
+        result := low +. (frac *. width);
+        found := true
+      end;
+      acc := !acc + c;
+      incr i
+    done;
+    Float.min (Float.max !result (float_of_int (min_value t))) (float_of_int t.max_v)
+  end
+
 let merge_into ~src ~dst =
   if src.sub_bits <> dst.sub_bits then
     invalid_arg

@@ -41,6 +41,15 @@ val quantile : t -> float -> int
 val percentile : t -> float -> int
 (** [percentile t p] is [quantile t (p /. 100.)]. *)
 
+val quantile_interp : t -> float -> float
+(** [quantile_interp t q] is an interpolated [q]-quantile: the rank
+    [q * (count - 1)] is located in its bucket and the result linearly
+    interpolated across the bucket's value range (each bucket's mass
+    spread evenly), then clamped into [[min_value, max_value]].  Exact
+    for values below [2^(sub_bits+1)] (width-1 buckets); within the
+    bucket's relative error elsewhere.  0 when empty.  The stage
+    breakdown report's p50/p99/p99.9 come from here. *)
+
 val merge_into : src:t -> dst:t -> unit
 (** Fold [src]'s records into [dst].
 

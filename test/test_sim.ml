@@ -281,6 +281,28 @@ let test_span_ring_wraparound () =
       check_int "virtual timestamps" (Sim.Time.us 3)
         (match evs with e :: _ -> e.Sim.Span.ev_ts | [] -> -1))
 
+let test_span_ring_sustained_overflow () =
+  (* Emit far past capacity from a single hot loop: the ring must keep
+     exactly the newest [cap] events in order and count every eviction,
+     with no resizing or aliasing under sustained pressure. *)
+  with_span_reset (fun () ->
+      let loop = Sim.Loop.create () in
+      let cap = 16 and total = 1000 in
+      Sim.Span.set_capture (Some cap);
+      ignore
+        (Sim.Loop.at loop (Sim.Time.us 1) (fun () ->
+             for i = 1 to total do
+               Sim.Span.emit loop (Printf.sprintf "ev%d" i)
+             done));
+      Sim.Loop.run loop;
+      let evs = Sim.Span.events () in
+      check_int "ring holds exactly cap" cap (List.length evs);
+      check_int "everything else dropped" (total - cap) (Sim.Span.dropped ());
+      Alcotest.(check (list string))
+        "newest cap events, oldest first"
+        (List.init cap (fun i -> Printf.sprintf "ev%d" (total - cap + 1 + i)))
+        (List.map (fun e -> e.Sim.Span.ev_name) evs))
+
 let test_span_chrome_export () =
   with_span_reset (fun () ->
       let loop = Sim.Loop.create () in
@@ -372,6 +394,8 @@ let () =
         [
           Alcotest.test_case "disabled no-op" `Quick test_span_disabled_noop;
           Alcotest.test_case "ring wraparound" `Quick test_span_ring_wraparound;
+          Alcotest.test_case "ring sustained overflow" `Quick
+            test_span_ring_sustained_overflow;
           Alcotest.test_case "chrome export" `Quick test_span_chrome_export;
           Alcotest.test_case "on/off transitions" `Quick
             test_span_on_off_transitions;

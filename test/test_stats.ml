@@ -79,6 +79,77 @@ let test_hist_quantiles_order () =
   check_bool "p99 near 9900" true (abs (p99 - 9900) < 300);
   check_bool "ordered" true (p50 <= p90 && p90 <= p99)
 
+(* Interpolated quantiles: exact in the width-1 region, clamped to the
+   observed range, and within the bucket's relative error against a
+   sorted-array reference elsewhere. *)
+let check_float_near msg ~tol expected actual =
+  check_bool
+    (Printf.sprintf "%s: |%g - %g| <= %g" msg actual expected tol)
+    true
+    (Float.abs (actual -. expected) <= tol)
+
+let test_hist_quantile_interp_small () =
+  let h = Stats.Histogram.create () in
+  check_bool "empty is 0" true (Stats.Histogram.quantile_interp h 0.5 = 0.0);
+  List.iter (Stats.Histogram.record h) [ 10; 20; 30; 40 ];
+  (* Small values are exact buckets, so interpolation reproduces the
+     textbook midpoint-linear quantile up to half a bucket width. *)
+  check_float_near "p0 is min" ~tol:0.5 10.0
+    (Stats.Histogram.quantile_interp h 0.0);
+  check_float_near "p100 is max" ~tol:0.5 40.0
+    (Stats.Histogram.quantile_interp h 1.0);
+  check_float_near "p50 between the middle pair" ~tol:5.0 25.0
+    (Stats.Histogram.quantile_interp h 0.5);
+  (* Out-of-range q clamps rather than raising. *)
+  check_float_near "q>1 clamps" ~tol:0.5 40.0
+    (Stats.Histogram.quantile_interp h 2.0);
+  check_float_near "q<0 clamps" ~tol:0.5 10.0
+    (Stats.Histogram.quantile_interp h (-1.0))
+
+let test_hist_quantile_interp_vs_sorted_reference () =
+  let h = Stats.Histogram.create () in
+  (* Deterministic skewed values spanning several power-of-two ranges. *)
+  let values =
+    List.init 5000 (fun i -> 100 + (i * i mod 9973) + (i * 37 mod 1000))
+  in
+  List.iter (Stats.Histogram.record h) values;
+  let sorted = List.sort compare values |> Array.of_list in
+  let reference q =
+    (* Same definition the histogram interpolates: rank q*(n-1) in the
+       sorted sample, linear between neighbors. *)
+    let rank = q *. float_of_int (Array.length sorted - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (Array.length sorted - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    ((1.0 -. frac) *. float_of_int sorted.(lo))
+    +. (frac *. float_of_int sorted.(hi))
+  in
+  List.iter
+    (fun q ->
+      let expect = reference q in
+      let got = Stats.Histogram.quantile_interp h q in
+      (* Bucket relative error (~2^-(sub_bits) = 3.2%) plus a bucket. *)
+      check_float_near
+        (Printf.sprintf "q=%g" q)
+        ~tol:((expect *. 0.04) +. 2.0)
+        expect got)
+    [ 0.01; 0.1; 0.25; 0.5; 0.9; 0.99; 0.999 ]
+
+let hist_prop_quantile_interp_monotone =
+  QCheck.Test.make ~name:"quantile_interp is monotone and in range" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (int_bound 1_000_000))
+              (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (vs, (q1, q2)) ->
+      QCheck.assume (vs <> []);
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.record h) vs;
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      let a = Stats.Histogram.quantile_interp h lo in
+      let b = Stats.Histogram.quantile_interp h hi in
+      a <= b
+      && a >= float_of_int (Stats.Histogram.min_value h)
+      && b <= float_of_int (Stats.Histogram.max_value h))
+
 let test_hist_merge () =
   let a = Stats.Histogram.create () in
   let b = Stats.Histogram.create () in
@@ -296,6 +367,11 @@ let () =
             test_hist_index_value_round_trip;
           QCheck_alcotest.to_alcotest hist_prop_round_trip;
           Alcotest.test_case "quantile order" `Quick test_hist_quantiles_order;
+          Alcotest.test_case "interpolated quantiles (small)" `Quick
+            test_hist_quantile_interp_small;
+          Alcotest.test_case "interpolated quantiles vs sorted reference"
+            `Quick test_hist_quantile_interp_vs_sorted_reference;
+          QCheck_alcotest.to_alcotest hist_prop_quantile_interp_monotone;
           Alcotest.test_case "merge" `Quick test_hist_merge;
           Alcotest.test_case "merge sub_bits mismatch" `Quick
             test_hist_merge_sub_bits_mismatch;
