@@ -696,6 +696,64 @@ let tenants () =
     (String.equal (G.fingerprint r) (G.fingerprint r2));
   flush stdout
 
+(* -- Hostile-guest hardening ----------------------------------------------- *)
+
+let hostile () =
+  section "Hostile-guest hardening (Workloads.Hostile)";
+  let module H = Workloads.Hostile in
+  let b8 = bench8_begin () in
+  (* Clean same-seed baseline first: identical cohorts and schedule,
+     empty fault plan. *)
+  let clean = H.run { H.default_config with H.byzantine = false } in
+  let r = H.run H.default_config in
+  Printf.printf "tenants: %d (%d victims, %d byzantine attackers)\n"
+    r.H.n_tenants r.H.n_victims r.H.n_attackers;
+  let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
+  let kept =
+    if clean.H.victim_goodput_gbps > 0.0 then
+      100.0 *. r.H.victim_goodput_gbps /. clean.H.victim_goodput_gbps
+    else 0.0
+  in
+  Printf.printf
+    "victim: %d ok, %d failed, %d retries; goodput %.2f Gbps (clean %.2f), \
+     p99 %.1fus (clean %.1fus)\n"
+    r.H.victim_ok r.H.victim_failed r.H.victim_retries r.H.victim_goodput_gbps
+    clean.H.victim_goodput_gbps
+    (pct r.H.victim_latencies 99.0)
+    (pct clean.H.victim_latencies 99.0);
+  Printf.printf "attacks: %d byzantine windows launched; violations: %s\n"
+    r.H.guest_attacks
+    (String.concat ", "
+       (List.filter_map
+          (fun (name, v) ->
+            if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
+          r.H.violations));
+  Printf.printf
+    "verdicts: %d descs completed Failed, %d cancelled, %d rx drops, %d \
+     unmatched completions, %d checked posts refused\n"
+    r.H.atk_failed r.H.atk_cancelled r.H.rx_drops r.H.unmatched_completions
+    r.H.post_bad_range;
+  Printf.printf
+    "containment: %d/%d attackers quarantined (%d suspect escalations), \
+     worst detection %.1fus (bound %.1fus)\n"
+    r.H.attackers_quarantined r.H.n_attackers r.H.suspects
+    (T.to_float_us r.H.max_detection)
+    (T.to_float_us H.default_config.H.detect_bound);
+  Printf.printf "all attackers quarantined: %b\n"
+    (r.H.attackers_quarantined = r.H.n_attackers);
+  Printf.printf "within bound: %b\n" r.H.detection_ok;
+  Printf.printf "no victim violations: %b\n" (r.H.victim_violations = 0);
+  Printf.printf "victim goodput kept: %b (%.0f%% of clean, need >= 80%%)\n"
+    (kept >= 80.0) kept;
+  Printf.printf "all tenants detached: %b\n" (r.H.detached = r.H.n_tenants);
+  Printf.printf "hygiene: %d pool bytes leaked\n" r.H.pool_leak_bytes;
+  bench8_end ~sec:"hostile" ~ops:r.H.victim_ok
+    ~goodput_gbps:r.H.victim_goodput_gbps ~latencies:r.H.victim_latencies b8;
+  let r2 = H.run H.default_config in
+  Printf.printf "deterministic across runs: %b\n"
+    (String.equal (H.fingerprint r) (H.fingerprint r2));
+  flush stdout
+
 (* -- Determinism sweep ---------------------------------------------------- *)
 
 (* Invariant-checked schedule-perturbation sweep: runs the chaos,
@@ -761,6 +819,15 @@ let sweep () =
            (P.run
               { P.default_config with P.seed; tie_salt = salt;
                 ops_per_victim = 60; stop_at = T.ms 22; run_cap = T.ms 40 }))
+       ());
+  let module H = Workloads.Hostile in
+  report "hostile"
+    (Check.Explore.sweep ~seeds ~randomize_hash:true
+       ~run:(fun ~seed ~salt ->
+         H.fingerprint
+           (H.run
+              { H.default_config with H.seed; tie_salt = salt;
+                tenants = 12; victim_ops = 6 }))
        ());
   Printf.printf "invariants registered (last run): %d, evaluations: %d\n"
     (Check.Invariant.registered ())
@@ -856,6 +923,26 @@ let sweep () =
   | None ->
       Printf.printf "SABOTAGE NOT CAUGHT: attribution checker is vacuous\n%!";
       exit 1);
+  (* Quarantine non-vacuity: escalation stops short of quarantining —
+     violations keep accruing past the threshold while the tenant stays
+     attached; the [guest.quarantine] invariant must notice. *)
+  Check.Invariant.set_sabotage "skip_tenant_quarantine" true;
+  let caught_quarantine =
+    match
+      Workloads.Hostile.run
+        { H.default_config with H.tenants = 8; victim_ops = 4 }
+    with
+    | _ -> None
+    | exception Check.Invariant.Violation msg -> Some msg
+  in
+  Check.Invariant.set_sabotage "skip_tenant_quarantine" false;
+  (match caught_quarantine with
+  | Some msg ->
+      Printf.printf "quarantine sabotage caught by checker: %s\n%!"
+        (String.concat " " (String.split_on_char '\n' msg))
+  | None ->
+      Printf.printf "SABOTAGE NOT CAUGHT: quarantine checker is vacuous\n%!";
+      exit 1);
   Printf.printf "sweep OK\n%!"
 
 (* -- Driver ------------------------------------------------------------------ *)
@@ -879,6 +966,7 @@ let all_benches =
     ("overload", overload);
     ("partition", partition);
     ("tenants", tenants);
+    ("hostile", hostile);
     ("sweep", sweep);
     ("micro", micro);
   ]

@@ -19,6 +19,19 @@ type host = {
      a plan error. *)
   h_crash : (unit -> unit) option;
   h_restart : (unit -> unit) option;
+  (* Byzantine-guest hook for [Plan.Guest_byzantine]: launch a hostile
+     driver against the named tenant's rings until [until].  Returns
+     false when the tenant is unknown (the attack is skipped, not an
+     error — the tenant may have detached before the window).  Same
+     layering as the crash hooks: the fault layer cannot depend on the
+     guest edge, so the host supplies the closure. *)
+  h_byzantine :
+    (tenant:string ->
+    rng:Rng.t ->
+    behaviors:Plan.byzantine list ->
+    until:Time.t ->
+    bool)
+    option;
 }
 
 (* Fabric-level fault windows active right now.  Toggled by loop events
@@ -60,6 +73,7 @@ let counter_names =
     "engine_wedges";
     "host_crashes";
     "host_restarts";
+    "guest_attacks";
   ]
 
 let bump t key =
@@ -260,6 +274,35 @@ let schedule t (ev : Plan.event) =
                     bump t "host_restarts";
                     announce t ~kind:"host-restart"
                       (Printf.sprintf "host %d" host)))))
+  | Plan.Guest_byzantine { host; tenant; start; duration; behaviors } ->
+      let h = find_host t host in
+      let launch =
+        match h.h_byzantine with
+        | Some f -> f
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Fault.Injector: host %d has no byzantine hook"
+                 host)
+      in
+      (* A split stream per attack: the hostile driver's draws never
+         perturb the packet hook's stream (or another attack's), so
+         fault sequences stay byte-identical per plan. *)
+      let rng = Rng.split t.rng in
+      let until = Time.add start duration in
+      let detail =
+        Printf.sprintf "tenant %s host %d [%s]" tenant host
+          (String.concat "," (List.map Plan.byzantine_to_string behaviors))
+      in
+      ignore
+        (Loop.at t.lp start (fun () ->
+             if launch ~tenant ~rng ~behaviors ~until then begin
+               bump t "guest_attacks";
+               announce t ~kind:"byzantine-start" detail;
+               ignore
+                 (Loop.at t.lp until (fun () ->
+                      announce t ~kind:"byzantine-end" detail))
+             end
+             else announce t ~kind:"byzantine-skip" detail))
   | Plan.Straggler { host; start; duration; slowdown } ->
       let h = find_host t host in
       ignore

@@ -25,6 +25,19 @@ type host = {
           supplies the closure ({!Snap.Host.fault_host} wires both). *)
   h_restart : (unit -> unit) option;
       (** Bring the host back with a fresh incarnation number. *)
+  h_byzantine :
+    (tenant:string ->
+    rng:Sim.Rng.t ->
+    behaviors:Plan.byzantine list ->
+    until:Sim.Time.t ->
+    bool)
+    option;
+      (** Launch a hostile guest driver against the named tenant's
+          rings until [until], drawing randomness from [rng] (a stream
+          split off the injector's, one per attack).  [false] means the
+          tenant is unknown and the attack is skipped.  Required for
+          [Plan.Guest_byzantine] to target this host;
+          {!Snap.Host.fault_host} wires it to [Snap.Byzantine]. *)
 }
 
 type t

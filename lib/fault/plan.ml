@@ -52,6 +52,29 @@ type event =
     }
   | Engine_wedge of { host : int; engine : int; start : Time.t }
   | Host_crash of { host : int; start : Time.t; restart_after : Time.t }
+  | Guest_byzantine of {
+      host : int;
+      tenant : string;
+      start : Time.t;
+      duration : Time.t;
+      behaviors : byzantine list;
+    }
+
+and byzantine =
+  | Bad_desc_range
+  | Desc_id_alias
+  | Avail_rollback
+  | Avail_runahead
+  | Reap_withhold
+  | Kick_storm of { hz : float }
+
+let byzantine_to_string = function
+  | Bad_desc_range -> "bad-desc-range"
+  | Desc_id_alias -> "desc-id-alias"
+  | Avail_rollback -> "avail-rollback"
+  | Avail_runahead -> "avail-runahead"
+  | Reap_withhold -> "reap-withhold"
+  | Kick_storm { hz } -> Printf.sprintf "kick-storm@%.0fHz" hz
 
 type t = { seed : int; evs : event list }
 
@@ -97,6 +120,20 @@ let validate = function
       if host < 0 then invalid_arg "Fault.Plan: host crash target";
       if start < 0 || restart_after <= 0 then
         invalid_arg "Fault.Plan: host crash times"
+  | Guest_byzantine { host; tenant; start; duration; behaviors } ->
+      if host < 0 then invalid_arg "Fault.Plan: byzantine host";
+      if tenant = "" then invalid_arg "Fault.Plan: byzantine tenant";
+      if start < 0 || duration <= 0 then
+        invalid_arg "Fault.Plan: byzantine window";
+      if behaviors = [] then invalid_arg "Fault.Plan: byzantine behaviors";
+      List.iter
+        (function
+          | Kick_storm { hz } ->
+              if hz <= 0.0 then invalid_arg "Fault.Plan: kick_storm hz"
+          | Bad_desc_range | Desc_id_alias | Avail_rollback | Avail_runahead
+          | Reap_withhold ->
+              ())
+        behaviors
 
 let make ?(seed = 42) events =
   List.iter validate events;
@@ -138,3 +175,7 @@ let pp_event fmt = function
   | Host_crash { host; start; restart_after } ->
       Format.fprintf fmt "host-crash %d @%a restart after %a" host Time.pp
         start Time.pp restart_after
+  | Guest_byzantine { host; tenant; start; duration; behaviors } ->
+      Format.fprintf fmt "byzantine guest %s@%d [%s] @%a for %a" tenant host
+        (String.concat "," (List.map byzantine_to_string behaviors))
+        Time.pp start Time.pp duration

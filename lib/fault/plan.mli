@@ -92,6 +92,37 @@ type event =
           packets stamped with the old incarnation, so pre-crash flows
           cannot be resurrected.  Requires crash/restart hooks on the
           registered host (see {!Injector.host}). *)
+  | Guest_byzantine of {
+      host : int;
+      tenant : string;  (** The tenant name used at attach. *)
+      start : Sim.Time.t;
+      duration : Sim.Time.t;
+      behaviors : byzantine list;
+    }
+      (** The named guest tenant's driver turns hostile for the window,
+          abusing its shared-memory rings through the unchecked
+          [Guest.Ring] raw surface.  The host must validate at its own
+          boundary: malformed descriptors complete [Failed], corrupt
+          rings stop draining, violations accumulate until the tenant
+          is quarantined.  Requires the byzantine hook on the
+          registered host (see {!Injector.host}). *)
+
+(** One hostile behavior; a byzantine guest runs any mix. *)
+and byzantine =
+  | Bad_desc_range
+      (** Descriptors with garbage id/off/len outside the region. *)
+  | Desc_id_alias
+      (** Pairs of descriptors sharing an id, aliasing one in flight. *)
+  | Avail_rollback  (** The avail index moves backwards. *)
+  | Avail_runahead
+      (** The avail index jumps past capacity over unwritten slots. *)
+  | Reap_withhold
+      (** Valid descriptors posted forever, used entries never reaped:
+          overcommits the ring until the host refuses to take. *)
+  | Kick_storm of { hz : float }
+      (** Doorbell interrupts at [hz] with nothing posted. *)
+
+val byzantine_to_string : byzantine -> string
 
 type t
 

@@ -13,6 +13,13 @@ type binding = {
   (* Pony op id -> (descriptor id, bytes, admission charge).  Held
      until the op's first completion; survives engine epochs. *)
   inflight : (int, int * int * Memory.Pool.alloc option) Hashtbl.t;
+  (* Descriptor ids currently in flight: a second take of a live id is
+     the Dup_id violation (virtio drivers never alias a live id). *)
+  live_ids : (int, unit) Hashtbl.t;
+  (* Host indices (tx taken/used, rx taken/used) captured at
+     quarantine; the guest.quarantine invariant asserts they never move
+     again. *)
+  mutable frozen : (int * int * int * int) option;
   b_meng : meng;
 }
 
@@ -30,12 +37,20 @@ type t = {
   addr : int;
   copy_ns_per_byte : float;
   group : Engine.group;
+  suspect_after : int;
+  quarantine_after : int;
   mutable engs : meng list;
   mutable rr : int;
   mutable bindings : binding list;
   by_name : (string, binding) Hashtbl.t;
   mutable next_tid : int;
   mutable n_resyncs : int;
+  c_suspects : Stats.Counter.t;
+  suspects_base : int;
+  c_quarantines : Stats.Counter.t;
+  quarantines_base : int;
+  c_unmatched : Stats.Counter.t;
+  unmatched_base : int;
 }
 
 let status_of : Pony.Wire.status -> Ring.status = function
@@ -47,7 +62,87 @@ let status_of : Pony.Wire.status -> Ring.status = function
   | Pony.Wire.Not_permitted | Pony.Wire.Peer_dead ->
       Ring.Failed
 
-let rec drain_completions b cost work n =
+(* {1 Misbehavior escalation}
+
+   Trust-boundary violations accumulate on the tenant; past
+   [suspect_after] the mux throttles its tx drain to one descriptor per
+   pass, past [quarantine_after] the tenant is quarantined: in-flight
+   ops abandoned, pool charges bulk-reclaimed through the
+   generation-tagged owner release, rings cancelled and never served
+   again.  Modeled on the watchdog's engine quarantine — the offender
+   is ejected, the victims keep their engines. *)
+
+let cancel_ring tn ring ~count_ops =
+  let rec go n =
+    match Ring.take_checked ring with
+    | Ring.Take_ok d | Ring.Take_bad (_, d) ->
+        if count_ops then Tenant.note_tx tn Ring.Cancelled;
+        Ring.complete ring ~id:d.Ring.d_id ~len:0 ~status:Ring.Cancelled;
+        go (n + 1)
+    | Ring.Take_drop _ -> go n  (* consumed, nothing to publish *)
+    | Ring.Take_empty | Ring.Take_stop _ -> n
+  in
+  go 0
+
+let quarantine t b =
+  let tn = b.tenant in
+  tn.Tenant.health <- Tenant.Quarantined;
+  tn.Tenant.quarantined_at <- Some (Loop.now t.lp);
+  Stats.Counter.incr t.c_quarantines;
+  Sim.Span.emit t.lp ~cat:"guest" ~track:"quarantine"
+    ~args:
+      [
+        ("tenant", tn.Tenant.owner);
+        ("violations", string_of_int (Tenant.violations tn));
+      ]
+    "tenant-quarantine";
+  (* Abandon in-flight ops: their straggler completions surface in the
+     unmatched counter, their pool charges are reclaimed in bulk below
+     and the generation bump turns any late per-alloc free into a
+     no-op. *)
+  Hashtbl.reset b.inflight;
+  Hashtbl.reset b.live_ids;
+  if tn.Tenant.state <> Tenant.Detached then begin
+    tn.Tenant.state <- Tenant.Detaching;
+    ignore (cancel_ring tn tn.Tenant.tx ~count_ops:true);
+    ignore (cancel_ring tn tn.Tenant.rx ~count_ops:false);
+    let freed = Memory.Pool.release_owner t.pool ~owner:tn.Tenant.owner in
+    if freed > 0 then Tenant.note_reclaimed tn freed;
+    tn.Tenant.state <- Tenant.Detached
+  end;
+  b.frozen <-
+    Some
+      ( Ring.taken_idx tn.Tenant.tx,
+        Ring.used_idx tn.Tenant.tx,
+        Ring.taken_idx tn.Tenant.rx,
+        Ring.used_idx tn.Tenant.rx )
+
+let violate t b reason =
+  let tn = b.tenant in
+  let total = Tenant.note_violation tn reason in
+  if tn.Tenant.health <> Tenant.Quarantined then begin
+    if tn.Tenant.health = Tenant.Healthy && total >= t.suspect_after then begin
+      tn.Tenant.health <- Tenant.Suspect;
+      Stats.Counter.incr t.c_suspects;
+      Sim.Span.emit t.lp ~cat:"guest" ~track:"quarantine"
+        ~args:
+          [
+            ("tenant", tn.Tenant.owner);
+            ("reason", Tenant.violation_to_string reason);
+          ]
+        "tenant-suspect"
+    end;
+    (* Sabotage point: with "skip_tenant_quarantine" armed the score
+       crosses the threshold but the ejection never happens, so the
+       sweep can prove the guest.quarantine invariant is not vacuous
+       (never armed outside the checker's own non-vacuity test). *)
+    if
+      total >= t.quarantine_after
+      && not (Check.Invariant.sabotage "skip_tenant_quarantine")
+    then quarantine t b
+  end
+
+let rec drain_completions t b cost work n =
   if n < batch then
     match PE.engine_poll_completion b.client with
     | Some c ->
@@ -55,6 +150,7 @@ let rec drain_completions b cost work n =
         cost := Time.add !cost per_comp_cost;
         (match Hashtbl.find_opt b.inflight c.PE.comp_op with
         | Some (did, bytes, charge) ->
+            Hashtbl.remove b.live_ids did;
             (* Sabotage point: with "guest_skip_release" armed the
                backend forgets the op's bookkeeping — the in-flight
                entry and the tenant's admission charge both leak — so
@@ -69,10 +165,12 @@ let rec drain_completions b cost work n =
             Tenant.note_tx b.tenant st;
             Ring.complete b.tenant.Tenant.tx ~id:did ~len:bytes ~status:st
         | None ->
-            (* Second completion of the same op (a Busy NACK following
-               the Ok): the used entry was already published. *)
-            ());
-        drain_completions b cost work (n + 1)
+            (* No in-flight entry: the second completion of the same op
+               (a Busy NACK following the Ok), or a straggler of an op
+               abandoned by force-detach/quarantine.  Counted so
+               genuinely-orphaned completions are visible. *)
+            Stats.Counter.incr t.c_unmatched);
+        drain_completions t b cost work (n + 1)
     | None -> ()
 
 let rec drain_messages t b cost work n =
@@ -80,65 +178,98 @@ let rec drain_messages t b cost work n =
     match PE.engine_poll_message b.client with
     | Some m ->
         incr work;
-        (match Ring.take b.tenant.Tenant.rx with
-        | Some d ->
+        let tn = b.tenant in
+        (match Ring.take_checked tn.Tenant.rx with
+        | Ring.Take_ok d ->
             let len = min m.PE.msg_bytes d.Ring.d_len in
             cost :=
               Time.add !cost
                 (Time.ns
                    (int_of_float (t.copy_ns_per_byte *. float_of_int len)));
             (* Stamp the buffer head: backed regions carry evidence of
-               the delivery for functional checks. *)
-            if
-              Memory.Region.is_backed b.tenant.Tenant.region
-              && d.Ring.d_len >= 8
+               the delivery for functional checks.  The validated
+               verdict is what makes this write safe against hostile
+               offsets. *)
+            if Memory.Region.is_backed tn.Tenant.region && d.Ring.d_len >= 8
             then
-              Memory.Region.write_int64 b.tenant.Tenant.region d.Ring.d_off
+              Memory.Region.write_int64 tn.Tenant.region d.Ring.d_off
                 (Int64.of_int m.PE.msg_op);
-            Tenant.note_rx b.tenant len;
-            Ring.complete b.tenant.Tenant.rx ~id:d.Ring.d_id ~len
+            Tenant.note_rx tn len;
+            Ring.complete tn.Tenant.rx ~id:d.Ring.d_id ~len
               ~status:Ring.Complete
-        | None ->
+        | Ring.Take_bad (r, d) ->
+            (* Complete before scoring: scoring may quarantine, and the
+               frozen-index snapshot must postdate every publication. *)
+            Tenant.note_rx_drop tn;
+            Ring.complete tn.Tenant.rx ~id:d.Ring.d_id ~len:0
+              ~status:Ring.Failed;
+            violate t b (Tenant.of_ring_fault r)
+        | Ring.Take_drop r ->
+            Tenant.note_rx_drop tn;
+            violate t b (Tenant.of_ring_fault r)
+        | Ring.Take_stop r ->
+            (* rx ring corrupt: the message is shed. *)
+            Tenant.note_rx_drop tn;
+            violate t b (Tenant.of_ring_fault r)
+        | Ring.Take_empty ->
             (* No posted rx buffer: the message is shed, like a virtio
                rx-ring overflow. *)
-            Tenant.note_rx_drop b.tenant);
+            Tenant.note_rx_drop tn);
         drain_messages t b cost work (n + 1)
     | None -> ()
 
-let rec drain_tx t b cost work n =
+let rec drain_tx t b cost work ~limit n =
   let tn = b.tenant in
-  if n < batch && PE.conn_cmd_free b.conn > 0 then
-    match Ring.take tn.Tenant.tx with
-    | Some d ->
+  if
+    n < limit
+    && tn.Tenant.health <> Tenant.Quarantined
+    && PE.conn_cmd_free b.conn > 0
+  then
+    match Ring.take_checked tn.Tenant.tx with
+    | Ring.Take_empty -> ()
+    | Ring.Take_stop r ->
+        (* No progress possible (avail rollback or overcommit): score
+           once and stop the pass. *)
+        incr work;
+        violate t b (Tenant.of_ring_fault r)
+    | Ring.Take_drop r ->
         incr work;
         cost := Time.add !cost per_desc_cost;
-        (match
-           Overload.Admission.admit tn.Tenant.adm ~now:(Loop.now t.lp)
-             ~bytes:d.Ring.d_len
-         with
-        | Overload.Admission.Rejected _ ->
-            Tenant.note_tx tn Ring.Rejected;
-            Ring.complete tn.Tenant.tx ~id:d.Ring.d_id ~len:0
-              ~status:Ring.Rejected
-        | Overload.Admission.Admitted charge ->
-            let op =
-              PE.engine_post_send b.conn ~now:(Loop.now t.lp)
-                ~bytes:d.Ring.d_len ()
-            in
-            Hashtbl.replace b.inflight op (d.Ring.d_id, d.Ring.d_len, charge));
-        drain_tx t b cost work (n + 1)
-    | None -> ()
-
-let cancel_ring tn ring ~count_ops =
-  let rec go n =
-    match Ring.take ring with
-    | Some d ->
-        if count_ops then Tenant.note_tx tn Ring.Cancelled;
-        Ring.complete ring ~id:d.Ring.d_id ~len:0 ~status:Ring.Cancelled;
-        go (n + 1)
-    | None -> n
-  in
-  go 0
+        violate t b (Tenant.of_ring_fault r);
+        drain_tx t b cost work ~limit (n + 1)
+    | Ring.Take_bad (r, d) ->
+        incr work;
+        cost := Time.add !cost per_desc_cost;
+        Tenant.note_tx tn Ring.Failed;
+        Ring.complete tn.Tenant.tx ~id:d.Ring.d_id ~len:0 ~status:Ring.Failed;
+        violate t b (Tenant.of_ring_fault r);
+        drain_tx t b cost work ~limit (n + 1)
+    | Ring.Take_ok d ->
+        incr work;
+        cost := Time.add !cost per_desc_cost;
+        if Hashtbl.mem b.live_ids d.Ring.d_id then begin
+          Tenant.note_tx tn Ring.Failed;
+          Ring.complete tn.Tenant.tx ~id:d.Ring.d_id ~len:0
+            ~status:Ring.Failed;
+          violate t b Tenant.Dup_id
+        end
+        else
+          (match
+             Overload.Admission.admit tn.Tenant.adm ~now:(Loop.now t.lp)
+               ~bytes:d.Ring.d_len
+           with
+          | Overload.Admission.Rejected _ ->
+              Tenant.note_tx tn Ring.Rejected;
+              Ring.complete tn.Tenant.tx ~id:d.Ring.d_id ~len:0
+                ~status:Ring.Rejected
+          | Overload.Admission.Admitted charge ->
+              let op =
+                PE.engine_post_send b.conn ~now:(Loop.now t.lp)
+                  ~bytes:d.Ring.d_len ()
+              in
+              Hashtbl.replace b.inflight op (d.Ring.d_id, d.Ring.d_len, charge);
+              Hashtbl.replace b.live_ids d.Ring.d_id ());
+        drain_tx t b cost work ~limit (n + 1)
 
 let finalize t b =
   let tn = b.tenant in
@@ -152,13 +283,26 @@ let finalize t b =
 let service t b cost work =
   let tn = b.tenant in
   match tn.Tenant.state with
-  | Tenant.Detached -> ()
+  | Tenant.Detached ->
+      (* Stragglers for a finalized binding (graceful detach, forced
+         detach, or quarantine): completions find no in-flight entry
+         and are counted unmatched; the rings are never touched
+         again. *)
+      drain_completions t b cost work 0
   | Tenant.Attached ->
-      drain_completions b cost work 0;
+      drain_completions t b cost work 0;
       drain_messages t b cost work 0;
-      drain_tx t b cost work 0
+      (* A Suspect tenant is throttled to a quarter batch per pass —
+         damage control while the score settles.  Not all the way to
+         one: passes can be hundreds of microseconds apart, and a
+         single take per pass would stretch the evidence-gathering
+         window (and quarantine latency) by that same factor. *)
+      let limit =
+        if tn.Tenant.health = Tenant.Suspect then max 1 (batch / 4) else batch
+      in
+      drain_tx t b cost work ~limit 0
   | Tenant.Detaching ->
-      drain_completions b cost work 0;
+      drain_completions t b cost work 0;
       drain_messages t b cost work 0;
       let cancelled = cancel_ring tn tn.Tenant.tx ~count_ops:true in
       if cancelled > 0 then work := !work + cancelled;
@@ -188,22 +332,33 @@ let meng_queue_delay m now =
       else Time.max acc (Ring.oldest_pending_age b.tenant.Tenant.tx ~now))
     0 m.owned
 
+(* Guest-owned indices can make occupancy negative (rollback) or
+   absurd (runahead); clamp to what the ring can physically hold. *)
+let clamped_occ ring =
+  min (Ring.capacity ring) (max 0 (Ring.occupancy ring))
+
 let meng_state_bytes m =
   List.fold_left
     (fun acc b ->
       acc + 512
-      + 64
-        * (Ring.occupancy b.tenant.Tenant.tx + Ring.occupancy b.tenant.Tenant.rx)
+      + 64 * (clamped_occ b.tenant.Tenant.tx + clamped_occ b.tenant.Tenant.rx)
       + 48 * Hashtbl.length b.inflight)
     0 m.owned
 
-let create ~loop ~pony ?(engines = 1) ~mode () =
+let create ~loop ~pony ?(engines = 1) ~mode ?(suspect_after = 3)
+    ?(quarantine_after = 12) () =
   if engines <= 0 then invalid_arg "Guest.Mux.create: engines";
+  if suspect_after <= 0 then invalid_arg "Guest.Mux.create: suspect_after";
+  if quarantine_after < suspect_after then
+    invalid_arg "Guest.Mux.create: quarantine_after < suspect_after";
   let machine = PE.machine pony in
   let addr = PE.addr pony in
   let group =
     Engine.create_group ~machine ~name:(Printf.sprintf "guest%d" addr) ~mode
   in
+  let c_suspects = Stats.Registry.counter "tenant_quarantine_suspects" in
+  let c_quarantines = Stats.Registry.counter "tenant_quarantines" in
+  let c_unmatched = Stats.Registry.counter "guest_unmatched_completions" in
   let t =
     {
       lp = loop;
@@ -213,12 +368,20 @@ let create ~loop ~pony ?(engines = 1) ~mode () =
       copy_ns_per_byte =
         (Cpu.Sched.costs machine).Sim.Costs.snap_copy_per_byte_ns;
       group;
+      suspect_after;
+      quarantine_after;
       engs = [];
       rr = 0;
       bindings = [];
       by_name = Hashtbl.create 64;
       next_tid = 0;
       n_resyncs = 0;
+      c_suspects;
+      suspects_base = Stats.Counter.value c_suspects;
+      c_quarantines;
+      quarantines_base = Stats.Counter.value c_quarantines;
+      c_unmatched;
+      unmatched_base = Stats.Counter.value c_unmatched;
     }
   in
   for i = 0 to engines - 1 do
@@ -240,6 +403,53 @@ let create ~loop ~pony ?(engines = 1) ~mode () =
     m.last_epoch <- Engine.epoch core;
     t.engs <- t.engs @ [ m ]
   done;
+  if Check.Invariant.enabled () then
+    (* The containment invariant: a tenant over the quarantine
+       threshold must actually be quarantined (this is what the
+       skip_tenant_quarantine sabotage breaks), and a quarantined
+       tenant must make no further ring progress and hold no pool
+       bytes — its damage is fully contained. *)
+    Check.Invariant.register ~name:"guest.quarantine" (fun () ->
+        let rec scan = function
+          | [] -> None
+          | b :: rest -> (
+              let tn = b.tenant in
+              if
+                tn.Tenant.health <> Tenant.Quarantined
+                && Tenant.violations tn >= t.quarantine_after
+              then
+                Some
+                  (Printf.sprintf
+                     "tenant %s has %d violations (threshold %d) but is %s"
+                     tn.Tenant.owner (Tenant.violations tn) t.quarantine_after
+                     (Tenant.health_to_string tn.Tenant.health))
+              else
+                match (tn.Tenant.health, b.frozen) with
+                | Tenant.Quarantined, Some (ttx, utx, trx, urx) ->
+                    if
+                      Ring.taken_idx tn.Tenant.tx <> ttx
+                      || Ring.used_idx tn.Tenant.tx <> utx
+                      || Ring.taken_idx tn.Tenant.rx <> trx
+                      || Ring.used_idx tn.Tenant.rx <> urx
+                    then
+                      Some
+                        (Printf.sprintf
+                           "quarantined tenant %s made ring progress"
+                           tn.Tenant.owner)
+                    else if Tenant.pool_usage tn <> 0 then
+                      Some
+                        (Printf.sprintf
+                           "quarantined tenant %s holds %d pool bytes"
+                           tn.Tenant.owner (Tenant.pool_usage tn))
+                    else scan rest
+                | Tenant.Quarantined, None ->
+                    Some
+                      (Printf.sprintf
+                         "quarantined tenant %s has no frozen snapshot"
+                         tn.Tenant.owner)
+                | (Tenant.Healthy | Tenant.Suspect), _ -> scan rest)
+        in
+        scan t.bindings);
   t
 
 let register_invariants b =
@@ -247,6 +457,9 @@ let register_invariants b =
   let owner = tn.Tenant.owner in
   let mon_tx = Ring.monitor tn.Tenant.tx in
   let mon_rx = Ring.monitor tn.Tenant.rx in
+  (* Host-safety only: guest-owned indices are attacker-controlled and
+     deliberately unchecked here — their abuse is scored and escalated
+     by the mux, not treated as a host invariant violation. *)
   Check.Invariant.register
     ~name:(Printf.sprintf "guest.%s.rings" owner)
     (fun () ->
@@ -308,17 +521,35 @@ let attach ctx t ~name ~dst_host ~dst_name ?ring_slots ?buf_bytes ?max_ops
   let n = List.length t.engs in
   let m = List.nth t.engs (t.rr mod n) in
   t.rr <- t.rr + 1;
-  let b = { tenant; client; conn; inflight = Hashtbl.create 32; b_meng = m } in
+  let b =
+    {
+      tenant;
+      client;
+      conn;
+      inflight = Hashtbl.create 32;
+      live_ids = Hashtbl.create 32;
+      frozen = None;
+      b_meng = m;
+    }
+  in
   m.owned <- m.owned @ [ b ];
   t.bindings <- t.bindings @ [ b ];
   Hashtbl.replace t.by_name name b;
   (* Wakeups: completions/messages landing at the pony client, and
-     guest kicks on either ring, all nudge the owning mux engine. *)
+     guest kicks on either ring, all nudge the owning mux engine.  A
+     kick with nothing behind it (empty or rolled-back backlog) is
+     scored as a spurious kick, and a quarantined tenant's notifier is
+     never rearmed — kick storms stop waking the engine. *)
   PE.set_delivery_hook client (fun () -> Engine.notify m.core);
   let rec rearm ring =
     Ring.arm_kick ring (fun () ->
-        Engine.notify m.core;
-        rearm ring)
+        if tenant.Tenant.health <> Tenant.Quarantined then begin
+          if Ring.backlog ring <= 0 then violate t b Tenant.Spurious_kick;
+          if tenant.Tenant.health <> Tenant.Quarantined then begin
+            Engine.notify m.core;
+            rearm ring
+          end
+        end)
   in
   rearm tenant.Tenant.tx;
   rearm tenant.Tenant.rx;
@@ -336,11 +567,12 @@ let detach ?(force = false) t tenant =
         tenant.Tenant.state <- Tenant.Detaching;
         if force then begin
           (* Abandon in-flight ops.  Their straggler completions find
-             no in-flight entry and are dropped; their pool charges are
-             reclaimed in bulk right here, and the generation bump in
-             [release_owner] turns any late per-alloc free into a
-             no-op. *)
+             no in-flight entry and are counted unmatched; their pool
+             charges are reclaimed in bulk right here, and the
+             generation bump in [release_owner] turns any late
+             per-alloc free into a no-op. *)
           Hashtbl.reset b.inflight;
+          Hashtbl.reset b.live_ids;
           finalize t b
         end
         else Engine.notify b.b_meng.core
@@ -357,3 +589,15 @@ let attached t =
 
 let inflight_ops t =
   List.fold_left (fun acc b -> acc + Hashtbl.length b.inflight) 0 t.bindings
+
+let suspects t = Stats.Counter.value t.c_suspects - t.suspects_base
+let quarantines t = Stats.Counter.value t.c_quarantines - t.quarantines_base
+
+let unmatched_completions t =
+  Stats.Counter.value t.c_unmatched - t.unmatched_base
+
+let quarantined t =
+  List.length
+    (List.filter
+       (fun b -> b.tenant.Tenant.health = Tenant.Quarantined)
+       t.bindings)

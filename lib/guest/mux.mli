@@ -13,6 +13,23 @@
     Pony sends).  Ring backpressure is structural: descriptors stay in
     the ring while the Pony command queue is full.
 
+    {b Trust boundary.}  Every drain consumes through
+    {!Ring.take_checked}: malformed descriptors complete [Failed],
+    corrupt-ring verdicts stop the pass, and no guest input can raise
+    into the engine loop.  Each verdict scores a violation against the
+    tenant ({!Tenant.note_violation}), driving a watchdog-style
+    escalation — past [suspect_after] total violations the tenant's tx
+    drain is throttled to one descriptor per pass, past
+    [quarantine_after] it is {e quarantined}: in-flight ops abandoned,
+    pool charges bulk-reclaimed through the generation-tagged
+    {!Memory.Pool.release_owner}, rings cancelled and never served
+    again, kick notifier left unarmed so kick storms stop waking the
+    engine.  The [guest.quarantine] invariant asserts both directions:
+    over-threshold tenants are quarantined (the
+    ["skip_tenant_quarantine"] sabotage breaks exactly this), and
+    quarantined tenants make no further ring progress and hold no pool
+    bytes.
+
     Ring contents and in-flight state live in the bindings, outside any
     engine incarnation, so a transparent upgrade of the mux group
     preserves them and tenants observe only the blackout window.
@@ -30,11 +47,16 @@ val create :
   pony:Pony.Express.t ->
   ?engines:int ->
   mode:Engine.mode ->
+  ?suspect_after:int ->
+  ?quarantine_after:int ->
   unit ->
   t
 (** Build the backend over [pony]'s host, with [engines] (default 1)
     mux engines in a fresh group named ["guest<addr>"] scheduled per
-    [mode]. *)
+    [mode].  [suspect_after] (default 3) and [quarantine_after]
+    (default 12) are the violation-count escalation thresholds; when
+    checking is enabled the [guest.quarantine] containment invariant is
+    registered here. *)
 
 val attach :
   Cpu.Thread.ctx ->
@@ -53,10 +75,10 @@ val attach :
 (** Attach a tenant: builds its rings and admission handle
     ({!Tenant.create}), opens the backend's Pony client and connection
     to [dst_name] on [dst_host], binds the tenant to a mux engine, and
-    registers the tenant-isolation invariants (ring-index legality and
-    monotonicity; pool-charge/admission agreement, which a cross-tenant
-    byte leak breaks on both tenants; full reclaim at detach-quiesce)
-    when checking is enabled. *)
+    registers the tenant-isolation invariants (host-side ring-index
+    safety and monotonicity; pool-charge/admission agreement, which a
+    cross-tenant byte leak breaks on both tenants; full reclaim at
+    detach-quiesce) when checking is enabled. *)
 
 val detach : ?force:bool -> t -> Tenant.t -> unit
 (** Begin detach.  Graceful (default): queued descriptors complete
@@ -78,3 +100,18 @@ val attached : t -> int
 
 val inflight_ops : t -> int
 (** Ops handed to Pony and not yet completed, across all tenants. *)
+
+(** {1 Misbehavior escalation} (per-instance counts) *)
+
+val suspects : t -> int
+(** Tenants escalated to Suspect ([tenant_quarantine_suspects]). *)
+
+val quarantines : t -> int
+(** Quarantine decisions taken ([tenant_quarantines]). *)
+
+val quarantined : t -> int
+(** Tenants currently in the Quarantined state. *)
+
+val unmatched_completions : t -> int
+(** Pony completions with no in-flight entry (Busy-NACK seconds, or
+    stragglers of abandoned ops) — [guest_unmatched_completions]. *)

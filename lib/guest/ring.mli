@@ -10,6 +10,15 @@
     fullness condition [avail - reaped <= capacity] bounds both
     descriptor-slot and used-slot reuse.
 
+    {b Trust boundary.}  Everything the guest writes is
+    attacker-controlled: [avail], [reaped], and every descriptor field
+    may hold garbage.  The cooperative {!post}/{!pop_used} API models a
+    well-behaved driver; the [_raw] surface models a byzantine one.
+    The backend therefore never trusts the guest side — it consumes
+    through {!take_checked}, which validates at the host boundary and
+    returns a typed verdict instead of raising.  Host-owned indices
+    ([taken], [used]) are the only state the backend's safety rests on.
+
     Completions may be published out of order (they carry the
     descriptor id, like virtio's used ring), but never outnumber the
     descriptors taken.  Notifications follow virtio's eventfd shape:
@@ -36,6 +45,26 @@ type desc = {
 
 type used = { u_id : int; u_len : int; u_status : status }
 
+type fault_reason =
+  | Bad_range  (** Descriptor buffer outside the shared region. *)
+  | Empty_slot  (** avail covers a slot no descriptor was written to. *)
+  | Rollback  (** The guest's avail index regressed. *)
+  | Overcommit  (** Posted past capacity without reaping. *)
+
+val fault_reason_to_string : fault_reason -> string
+
+type take_verdict =
+  | Take_empty  (** Nothing posted; not a fault. *)
+  | Take_ok of desc
+  | Take_bad of fault_reason * desc
+      (** Consumed; the host should publish a counted [Failed]
+          completion so a buggy guest still sees its op resolve. *)
+  | Take_drop of fault_reason
+      (** Consumed, but there is no descriptor to complete. *)
+  | Take_stop of fault_reason
+      (** The ring itself is corrupt; no progress was made and the
+          drain pass should stop. *)
+
 type t
 
 val create :
@@ -52,27 +81,57 @@ val region : t -> Memory.Region.t
 val post :
   t -> now:Sim.Time.t -> id:int -> off:int -> len:int -> bool
 (** Publish a descriptor and signal the kick notifier; [false] (and a
-    counted failure) when the ring is full.  Raises [Invalid_argument]
-    if the buffer falls outside the region — a guest-driver bug, not a
-    runtime condition. *)
+    counted failure) when the ring is full or the buffer falls outside
+    the region (counted separately in {!post_bad_range} and the
+    [ring_post_bad_range] registry counter) — a guest-driver bug is
+    non-fatal to the guest's own thread. *)
 
 val pop_used : t -> used option
 (** Reap the oldest unreaped used entry. *)
 
+(** {1 Byzantine guest surface}
+
+    What a hostile driver does to shared memory: no bounds check, no
+    fullness check, arbitrary index stores, kicks with nothing behind
+    them.  None of these raise and none are validated — the host's
+    {!take_checked} is where every consequence is caught. *)
+
+val post_raw : t -> now:Sim.Time.t -> id:int -> off:int -> len:int -> unit
+(** Overwrite the slot at [avail mod capacity] with an arbitrary
+    descriptor, advance [avail], kick.  Ignores fullness and bounds. *)
+
+val set_avail_raw : t -> int -> unit
+(** Store an arbitrary value (rollback or runahead) into [avail] and
+    kick. *)
+
+val kick_raw : t -> unit
+(** Signal the kick notifier without posting anything. *)
+
 (** {1 Backend side} *)
 
 val take : t -> desc option
-(** Consume the oldest posted-but-untaken descriptor. *)
+(** Consume the oldest posted-but-untaken descriptor, trusting the
+    guest's indices.  Legacy cooperative path — the mux uses
+    {!take_checked}. *)
+
+val take_checked : t -> take_verdict
+(** Consume one descriptor, validating at the trust boundary: detects
+    avail rollback (edge-triggered against the largest avail ever
+    observed), overcommit ([taken - reaped >= capacity], which would
+    overwrite unreaped used entries), never-written slots, and
+    out-of-region buffers.  Each fault is counted per reason (see
+    {!take_faults}).  Never raises. *)
 
 val complete : t -> id:int -> len:int -> status:status -> unit
 (** Publish a used entry (any order w.r.t. [take]s) and signal the irq
     notifier.  Raises [Invalid_argument] if it would outnumber the
-    taken descriptors. *)
+    taken descriptors — host-side API misuse, not guest input. *)
 
 (** {1 Occupancy and indices} *)
 
 val occupancy : t -> int
-(** Live descriptors: posted and not yet reaped ([avail - reaped]). *)
+(** Live descriptors: posted and not yet reaped ([avail - reaped]).
+    May be negative or beyond capacity under a hostile guest. *)
 
 val backlog : t -> int
 (** Posted and not yet taken ([avail - taken]) — the backend's queue
@@ -89,7 +148,15 @@ val avail_idx : t -> int
 val taken_idx : t -> int
 val used_idx : t -> int
 val reaped_idx : t -> int
+
 val post_failures : t -> int
+(** Checked posts refused because the ring was full. *)
+
+val post_bad_range : t -> int
+(** Checked posts refused because the buffer was out of range. *)
+
+val take_faults : t -> fault_reason -> int
+(** Take-side faults recorded by {!take_checked}, by reason. *)
 
 val oldest_pending_age : t -> now:Sim.Time.t -> Sim.Time.t
 (** Age of the oldest descriptor the backend has not taken (0 when the
@@ -105,11 +172,19 @@ val irqs : t -> int
 (** {1 Checking} *)
 
 val check : t -> string option
-(** Index legality: ordering ([reaped <= used <= taken <= avail]),
-    occupancy within capacity, per-slot id sanity.  [None] when
-    healthy. *)
+(** Full-ring index legality for a {e well-behaved} guest: ordering
+    ([reaped <= used <= taken <= avail]) and occupancy within capacity.
+    [None] when healthy.  Under a byzantine guest this legitimately
+    reports trouble — use {!check_host} for what the host guarantees. *)
+
+val check_host : t -> string option
+(** Host-safety only: [0 <= used <= taken], and [taken] never beyond
+    any avail value the guest ever published.  These hold regardless of
+    guest behavior; a [Some] here is a backend bug. *)
 
 val monitor : t -> unit -> string option
-(** A stateful predicate for {!Check.Invariant}: runs {!check} and
-    additionally requires every index to have grown monotonically since
-    the previous evaluation. *)
+(** A stateful predicate for {!Check.Invariant}: runs {!check_host} and
+    additionally requires the host-owned indices to have grown
+    monotonically since the previous evaluation.  Deliberately silent
+    about guest-owned indices, which a hostile driver may move
+    arbitrarily. *)

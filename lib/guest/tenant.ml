@@ -5,6 +5,46 @@ let state_to_string = function
   | Detaching -> "detaching"
   | Detached -> "detached"
 
+type health = Healthy | Suspect | Quarantined
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Quarantined -> "quarantined"
+
+type violation =
+  | Bad_range
+  | Empty_slot
+  | Rollback
+  | Overcommit
+  | Dup_id
+  | Spurious_kick
+
+let violation_to_string = function
+  | Bad_range -> "bad-range"
+  | Empty_slot -> "empty-slot"
+  | Rollback -> "rollback"
+  | Overcommit -> "overcommit"
+  | Dup_id -> "dup-id"
+  | Spurious_kick -> "spurious-kick"
+
+let violation_index = function
+  | Bad_range -> 0
+  | Empty_slot -> 1
+  | Rollback -> 2
+  | Overcommit -> 3
+  | Dup_id -> 4
+  | Spurious_kick -> 5
+
+let all_violations =
+  [ Bad_range; Empty_slot; Rollback; Overcommit; Dup_id; Spurious_kick ]
+
+let of_ring_fault : Ring.fault_reason -> violation = function
+  | Ring.Bad_range -> Bad_range
+  | Ring.Empty_slot -> Empty_slot
+  | Ring.Rollback -> Rollback
+  | Ring.Overcommit -> Overcommit
+
 type t = {
   tname : string;
   tid : int;
@@ -16,6 +56,12 @@ type t = {
   pool : Memory.Pool.t;
   buf_bytes : int;
   mutable state : state;
+  mutable health : health;
+  mutable quarantined_at : Sim.Time.t option;
+  (* Misbehavior score: per-reason counts feed the mux's
+     Suspect/Quarantined escalation.  Per-instance (fresh at create),
+     unlike the registry counters below. *)
+  viols : int array;
   c_tx_done : Stats.Counter.t;
   tx_done_base : int;
   c_tx_rejected : Stats.Counter.t;
@@ -74,6 +120,9 @@ let create ~pool ~host_addr ~name ~id ?(ring_slots = 64) ?(buf_bytes = 4096)
       pool;
       buf_bytes;
       state = Attached;
+      health = Healthy;
+      quarantined_at = None;
+      viols = Array.make 6 0;
       c_tx_done;
       tx_done_base = Stats.Counter.value c_tx_done;
       c_tx_rejected;
@@ -122,3 +171,16 @@ let note_rx t bytes =
 
 let note_rx_drop t = Stats.Counter.incr t.c_rx_drops
 let note_reclaimed t bytes = Stats.Counter.incr ~by:bytes t.c_reclaimed
+
+let health t = t.health
+let quarantined_at t = t.quarantined_at
+let violations t = Array.fold_left ( + ) 0 t.viols
+let violations_by t v = t.viols.(violation_index v)
+
+let note_violation t v =
+  t.viols.(violation_index v) <- t.viols.(violation_index v) + 1;
+  Stats.Counter.incr
+    (Stats.Registry.counter
+       ~labels:[ ("tenant", t.owner); ("reason", violation_to_string v) ]
+       "guest_violations");
+  violations t

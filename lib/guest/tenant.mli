@@ -15,6 +15,28 @@ type state = Attached | Detaching | Detached
 
 val state_to_string : state -> string
 
+type health = Healthy | Suspect | Quarantined
+(** Misbehavior escalation ladder, modeled on the watchdog's engine
+    quarantine: trust-boundary violations accumulate per tenant; past
+    one threshold the mux throttles the tenant (Suspect), past a second
+    it force-detaches and stops serving it (Quarantined). *)
+
+val health_to_string : health -> string
+
+(** One scored trust-boundary violation.  The first four mirror
+    {!Ring.fault_reason}; the last two are mux-level observations. *)
+type violation =
+  | Bad_range
+  | Empty_slot
+  | Rollback
+  | Overcommit
+  | Dup_id  (** A descriptor id aliasing one still in flight. *)
+  | Spurious_kick  (** A kick with an empty (or rolled-back) backlog. *)
+
+val violation_to_string : violation -> string
+val all_violations : violation list
+val of_ring_fault : Ring.fault_reason -> violation
+
 type t = {
   tname : string;
   tid : int;
@@ -26,6 +48,9 @@ type t = {
   pool : Memory.Pool.t;
   buf_bytes : int;
   mutable state : state;
+  mutable health : health;
+  mutable quarantined_at : Sim.Time.t option;
+  viols : int array;
   (* Registry counters are cumulative across runs sharing a tenant
      name; the [_base] snapshots keep per-instance accessors exact. *)
   c_tx_done : Stats.Counter.t;
@@ -90,3 +115,17 @@ val note_tx : t -> Ring.status -> unit
 val note_rx : t -> int -> unit
 val note_rx_drop : t -> unit
 val note_reclaimed : t -> int -> unit
+
+(** {1 Misbehavior scoring} (maintained by the mux) *)
+
+val health : t -> health
+val quarantined_at : t -> Sim.Time.t option
+val violations : t -> int
+(** Total violations scored against this tenant instance. *)
+
+val violations_by : t -> violation -> int
+
+val note_violation : t -> violation -> int
+(** Score one violation (also bumping the [guest_violations] registry
+    counter, labeled by tenant and reason) and return the new total —
+    the mux compares it against its escalation thresholds. *)

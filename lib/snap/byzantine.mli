@@ -1,0 +1,19 @@
+(** A hostile guest driver, the implementation behind
+    {!Fault.Plan.Guest_byzantine}.
+
+    Abuses the tenant's tx ring through {!Guest.Ring}'s unchecked raw
+    surface ([post_raw] / [set_avail_raw] / [kick_raw]) on a fixed tick
+    (20 us) until the attack window closes, plus a dedicated timer per
+    [Kick_storm] behavior.  Randomness comes from the injector-supplied
+    split stream, so attacks are deterministic per plan.  The driver
+    does not stop when the tenant is quarantined — the containment
+    invariant asserts the host makes no further ring progress
+    regardless. *)
+
+val launch :
+  loop:Sim.Loop.t ->
+  rng:Sim.Rng.t ->
+  tenant:Guest.Tenant.t ->
+  behaviors:Fault.Plan.byzantine list ->
+  until:Sim.Time.t ->
+  unit

@@ -65,6 +65,22 @@ let fault_host t =
         (Pony.Express.engine_handle t.pony);
     h_crash = Some (fun () -> Pony.Express.crash_host t.pony);
     h_restart = Some (fun () -> Pony.Express.restart_host t.pony);
+    h_byzantine =
+      Some
+        (fun ~tenant ~rng ~behaviors ~until ->
+          match t.mux with
+          | None -> false
+          | Some m -> (
+              match
+                List.find_opt
+                  (fun tn -> tn.Guest.Tenant.tname = tenant)
+                  (Guest.Mux.tenants m)
+              with
+              | None -> false
+              | Some tn ->
+                  Byzantine.launch ~loop:t.loop ~rng ~tenant:tn ~behaviors
+                    ~until;
+                  true));
   }
 
 let spawn_app t ~name ?(klass = Cpu.Sched.Cfs { nice = 0 }) ?(spin = false)
@@ -76,11 +92,14 @@ let spawn_app t ~name ?(klass = Cpu.Sched.Cfs { nice = 0 }) ?(spin = false)
 (* -- Guest networking --------------------------------------------------- *)
 
 let enable_guests ?(engines = 1) ?(mode = Engine.Spreading { runtime_pct = 0.9 })
-    t =
+    ?suspect_after ?quarantine_after t =
   match t.mux with
   | Some m -> m
   | None ->
-      let m = Guest.Mux.create ~loop:t.loop ~pony:t.pony ~engines ~mode () in
+      let m =
+        Guest.Mux.create ~loop:t.loop ~pony:t.pony ~engines ~mode
+          ?suspect_after ?quarantine_after ()
+      in
       t.mux <- Some m;
       m
 

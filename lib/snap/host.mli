@@ -50,7 +50,10 @@ val fault_host : t -> Fault.Injector.host
 (** Registration record for {!Fault.Injector.install}, with whole-host
     crash/restart hooks wired to {!Pony.Express.crash_host} /
     {!Pony.Express.restart_host} so plans may include
-    [Fault.Plan.Host_crash] events targeting this host. *)
+    [Fault.Plan.Host_crash] events targeting this host, and the
+    byzantine-guest hook wired to {!Byzantine.launch} (resolving the
+    plan's tenant name against the mux) so plans may include
+    [Fault.Plan.Guest_byzantine] events. *)
 
 val spawn_app :
   t ->
@@ -64,11 +67,19 @@ val spawn_app :
 
 (** {1 Guest networking} *)
 
-val enable_guests : ?engines:int -> ?mode:Engine.mode -> t -> Guest.Mux.t
+val enable_guests :
+  ?engines:int ->
+  ?mode:Engine.mode ->
+  ?suspect_after:int ->
+  ?quarantine_after:int ->
+  t ->
+  Guest.Mux.t
 (** Instantiate the guest backend (idempotent: later calls return the
     existing mux and ignore the parameters).  Defaults to one mux
     engine scheduled [Spreading {runtime_pct = 90}], in its own group so
-    guest engines upgrade independently of the Pony group. *)
+    guest engines upgrade independently of the Pony group.
+    [suspect_after]/[quarantine_after] set the misbehavior-escalation
+    thresholds (see {!Guest.Mux.create}). *)
 
 val guest_mux : t -> Guest.Mux.t option
 

@@ -199,6 +199,7 @@ let run (cfg : config) : result =
     tenant_of.(i) <- Some tn;
     prime_rx tn;
     let n = ref 0 in
+    let next_id = ref 0 in
     while !n < cfg.victim_ops && Cpu.Thread.now ctx < cfg.stop_at do
       incr n;
       let t0 = Cpu.Thread.now ctx in
@@ -207,9 +208,15 @@ let run (cfg : config) : result =
         else begin
           if k > 1 then incr victim_retries;
           let slot = !n mod cfg.ring_slots in
+          (* Fresh id per attempt: a timed-out attempt's descriptor may
+             still be in flight, and reusing its id would be scored as
+             id aliasing by the hardened mux.  The id is a label; the
+             buffer slot stays op-indexed. *)
+          incr next_id;
+          let id = !next_id in
           if
             not
-              (Ring.post tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id:slot
+              (Ring.post tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id
                  ~off:(Tenant.tx_buf_off tn slot) ~len:cfg.victim_bytes)
           then begin
             (* Single outstanding op: a full tx ring means cancelled
@@ -224,7 +231,7 @@ let run (cfg : config) : result =
             match
               poll ctx ~deadline (fun () ->
                   match Ring.pop_used tn.Tenant.tx with
-                  | Some u when u.Ring.u_id = slot -> Some u
+                  | Some u when u.Ring.u_id = id -> Some u
                   | Some _ | None -> None)
             with
             | Some u when u.Ring.u_status = Ring.Complete -> (
@@ -287,10 +294,12 @@ let run (cfg : config) : result =
         match Ring.pop_used tn.Tenant.tx with Some _ -> reap () | None -> ()
       in
       reap ();
-      let slot = !posted mod cfg.ring_slots in
+      (* Monotonic ids for the same reason as the victims: a slow
+         (Busy-retried) op can outlive a full ring wrap, and reusing
+         its id while live reads as aliasing. *)
       if
-        Ring.post tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id:slot
-          ~off:(Tenant.tx_buf_off tn slot) ~len:cfg.aggressor_bytes
+        Ring.post tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id:!posted
+          ~off:(Tenant.tx_buf_off tn !posted) ~len:cfg.aggressor_bytes
       then incr posted;
       Cpu.Thread.sleep ctx cfg.aggressor_interval
     done;

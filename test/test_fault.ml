@@ -311,6 +311,44 @@ let test_chaos_deterministic () =
   check_int "identical completion times" r1.Workloads.Chaos.completion_time
     r2.Workloads.Chaos.completion_time
 
+let test_plan_validate_byzantine () =
+  let byz ?(host = 0) ?(tenant = "x0") ?(start = T.ms 1) ?(duration = T.ms 2)
+      ?(behaviors = [ Fault.Plan.Bad_desc_range ]) () =
+    Fault.Plan.Guest_byzantine { host; tenant; start; duration; behaviors }
+  in
+  let rejects name ev msg =
+    Alcotest.check_raises name (Invalid_argument msg) (fun () ->
+        ignore (Fault.Plan.make [ ev ]))
+  in
+  rejects "negative host" (byz ~host:(-1) ()) "Fault.Plan: byzantine host";
+  rejects "empty tenant" (byz ~tenant:"" ()) "Fault.Plan: byzantine tenant";
+  rejects "negative start"
+    (byz ~start:(-1) ())
+    "Fault.Plan: byzantine window";
+  rejects "zero duration" (byz ~duration:0 ()) "Fault.Plan: byzantine window";
+  rejects "no behaviors" (byz ~behaviors:[] ())
+    "Fault.Plan: byzantine behaviors";
+  rejects "kick storm needs a rate"
+    (byz ~behaviors:[ Fault.Plan.Kick_storm { hz = 0.0 } ] ())
+    "Fault.Plan: kick_storm hz";
+  (* A well-formed event with every behavior passes, and each behavior
+     renders to a distinct name (the injector logs them). *)
+  let all =
+    [
+      Fault.Plan.Bad_desc_range;
+      Fault.Plan.Desc_id_alias;
+      Fault.Plan.Avail_rollback;
+      Fault.Plan.Avail_runahead;
+      Fault.Plan.Reap_withhold;
+      Fault.Plan.Kick_storm { hz = 1e5 };
+    ]
+  in
+  let plan = Fault.Plan.make [ byz ~behaviors:all () ] in
+  check_int "event accepted" 1 (List.length (Fault.Plan.events plan));
+  let names = List.map Fault.Plan.byzantine_to_string all in
+  check_int "behavior names distinct" (List.length all)
+    (List.length (List.sort_uniq compare names))
+
 let () =
   Alcotest.run "fault"
     [
@@ -332,6 +370,11 @@ let () =
         ] );
       ( "cpu",
         [ Alcotest.test_case "straggler cost scale" `Quick test_cost_scale ] );
+      ( "plan",
+        [
+          Alcotest.test_case "byzantine event validation" `Quick
+            test_plan_validate_byzantine;
+        ] );
       ( "chaos",
         [
           Alcotest.test_case "corruption recovery" `Quick

@@ -98,16 +98,184 @@ let test_ring_wrap_indices () =
   check_int "reaped caught up" 20 (Ring.reaped_idx r);
   check_int "occupancy" 0 (Ring.occupancy r)
 
-let test_ring_bounds_raise () =
+let test_ring_bad_post_counted () =
+  (* A buggy (non-hostile) guest driver posting outside its region is a
+     counted, non-fatal rejection: the descriptor never reaches the
+     ring.  Exceptions are reserved for host-side API misuse. *)
   let r = mk_ring ~slots:4 () in
-  Alcotest.check_raises "buffer past region end"
-    (Invalid_argument
-       "Guest.Ring.post(test-ring): [4000,4200) outside region of 4096 B")
-    (fun () -> ignore (Ring.post r ~now:T.zero ~id:0 ~off:4000 ~len:200));
-  Alcotest.check_raises "completion without take"
+  check_bool "past region end refused" false
+    (Ring.post r ~now:T.zero ~id:0 ~off:4000 ~len:200);
+  check_bool "negative length refused" false
+    (Ring.post r ~now:T.zero ~id:1 ~off:0 ~len:(-8));
+  check_bool "negative offset refused" false
+    (Ring.post r ~now:T.zero ~id:2 ~off:(-64) ~len:64);
+  check_int "rejections counted" 3 (Ring.post_bad_range r);
+  check_int "nothing reached the ring" 0 (Ring.backlog r);
+  check_int "fullness bounces counted separately" 0 (Ring.post_failures r);
+  check_bool "ring still usable" true
+    (Ring.post r ~now:T.zero ~id:3 ~off:0 ~len:64);
+  Alcotest.(check (option string)) "healthy" None (Ring.check r);
+  (* Host-side misuse is still a programming error, not guest input. *)
+  ignore (Ring.take r);
+  Ring.complete r ~id:3 ~len:64 ~status:Ring.Complete;
+  Alcotest.check_raises "completion without take raises"
     (Invalid_argument
        "Guest.Ring.complete(test-ring): more completions than takes")
     (fun () -> Ring.complete r ~id:0 ~len:0 ~status:Ring.Complete)
+
+(* {1 Host-side trust boundary} *)
+
+let test_take_checked_bad_range () =
+  let r = mk_ring ~slots:4 () in
+  Ring.post_raw r ~now:T.zero ~id:7 ~off:4000 ~len:200;
+  (match Ring.take_checked r with
+  | Ring.Take_bad (Ring.Bad_range, d) ->
+      (* The host still learns the id so it can complete [Failed] and
+         keep tx/used accounting balanced. *)
+      check_int "descriptor id surfaced" 7 d.Ring.d_id;
+      Ring.complete r ~id:d.Ring.d_id ~len:0 ~status:Ring.Failed
+  | _ -> Alcotest.fail "expected Take_bad Bad_range");
+  check_int "fault counted" 1 (Ring.take_faults r Ring.Bad_range);
+  (match Ring.pop_used r with
+  | Some u -> check_bool "failed completion" true (u.Ring.u_status = Ring.Failed)
+  | None -> Alcotest.fail "expected used entry");
+  Alcotest.(check (option string)) "host indices sane" None (Ring.check_host r)
+
+let test_take_checked_rollback () =
+  let r = mk_ring ~slots:4 () in
+  for i = 0 to 2 do
+    Ring.post_raw r ~now:T.zero ~id:i ~off:(i * 64) ~len:64
+  done;
+  (match Ring.take_checked r with
+  | Ring.Take_ok d -> Ring.complete r ~id:d.Ring.d_id ~len:64 ~status:Ring.Complete
+  | _ -> Alcotest.fail "expected Take_ok");
+  (* The guest's avail index regresses below what the host observed. *)
+  Ring.set_avail_raw r 1;
+  (match Ring.take_checked r with
+  | Ring.Take_stop Ring.Rollback -> ()
+  | _ -> Alcotest.fail "expected Take_stop Rollback");
+  check_int "one verdict covers the regression" 1
+    (Ring.take_faults r Ring.Rollback);
+  (* The shadow resyncs, but never below [taken]: the host really
+     consumed that entry and its record of it must survive. *)
+  Alcotest.(check (option string)) "host indices sane" None (Ring.check_host r);
+  (match Ring.take_checked r with
+  | Ring.Take_empty -> ()
+  | _ -> Alcotest.fail "expected Take_empty after resync");
+  check_int "no second rollback verdict" 1 (Ring.take_faults r Ring.Rollback);
+  (* When the guest's index grows again the drain resumes where the
+     host left off. *)
+  Ring.set_avail_raw r 3;
+  (match Ring.take_checked r with
+  | Ring.Take_ok d -> check_int "drain resumes" 1 d.Ring.d_id
+  | _ -> Alcotest.fail "expected Take_ok after recovery")
+
+let test_take_checked_runahead_and_overcommit () =
+  (* avail jumps far past capacity over slots no descriptor was ever
+     written to: each unwritten slot drains as a counted drop until the
+     overcommit guard refuses to take further. *)
+  let r = mk_ring ~slots:4 () in
+  Ring.set_avail_raw r 9;
+  let drops = ref 0 and stopped = ref false in
+  for _ = 1 to 6 do
+    match Ring.take_checked r with
+    | Ring.Take_drop Ring.Empty_slot -> incr drops
+    | Ring.Take_stop Ring.Overcommit -> stopped := true
+    | _ -> Alcotest.fail "expected drop or overcommit stop"
+  done;
+  check_int "one drop per slot up to capacity" 4 !drops;
+  check_bool "then the host refuses to take" true !stopped;
+  check_int "drops counted" 4 (Ring.take_faults r Ring.Empty_slot);
+  check_bool "overcommit counted" true (Ring.take_faults r Ring.Overcommit > 0);
+  Alcotest.(check (option string)) "host indices sane" None (Ring.check_host r)
+
+let test_take_checked_reap_withhold () =
+  (* Well-formed descriptors, used entries never reaped: after [cap]
+     takes the ring is overcommitted and the host stops consuming, so a
+     hostile guest cannot force used entries onto uncollected slots. *)
+  let r = mk_ring ~slots:4 () in
+  for i = 0 to 5 do
+    Ring.post_raw r ~now:T.zero ~id:i ~off:0 ~len:64
+  done;
+  for _ = 0 to 3 do
+    match Ring.take_checked r with
+    | Ring.Take_ok d -> Ring.complete r ~id:d.Ring.d_id ~len:64 ~status:Ring.Complete
+    | _ -> Alcotest.fail "expected Take_ok"
+  done;
+  (match Ring.take_checked r with
+  | Ring.Take_stop Ring.Overcommit -> ()
+  | _ -> Alcotest.fail "expected Take_stop Overcommit");
+  check_int "in flight bounded by capacity" 4 (Ring.used_idx r);
+  (* Reaping unblocks the ring. *)
+  ignore (Ring.pop_used r);
+  (match Ring.take_checked r with
+  | Ring.Take_ok _ -> ()
+  | _ -> Alcotest.fail "expected Take_ok after reap");
+  Alcotest.(check (option string)) "host indices sane" None (Ring.check_host r)
+
+let test_ring_raw_wrap_around () =
+  (* The raw surface drives the free-running indices several times
+     around a tiny ring; the host-safety monitor must stay quiet. *)
+  let r = mk_ring ~slots:2 () in
+  let monitor = Ring.monitor r in
+  for i = 0 to 19 do
+    Ring.post_raw r ~now:T.zero ~id:i ~off:(i mod 2 * 64) ~len:64;
+    (match Ring.take_checked r with
+    | Ring.Take_ok d ->
+        check_int "ids survive the wrap" i d.Ring.d_id;
+        Ring.complete r ~id:d.Ring.d_id ~len:64 ~status:Ring.Complete
+    | _ -> Alcotest.fail "expected Take_ok");
+    ignore (Ring.pop_used r);
+    Alcotest.(check (option string)) "monitor happy" None (monitor ())
+  done;
+  check_int "taken wrapped far past capacity" 20 (Ring.taken_idx r);
+  check_int "no faults on a clean raw driver" 0
+    (List.fold_left
+       (fun acc f -> acc + Ring.take_faults r f)
+       0
+       [ Ring.Bad_range; Ring.Empty_slot; Ring.Rollback; Ring.Overcommit ])
+
+(* Fuzz the trust boundary: an arbitrary byte-driven guest throws
+   random checked posts, raw posts, index writes, and reaps at the
+   ring while the host drains with [take_checked].  Whatever the guest
+   does, the host side must never raise, host-owned indices must stay
+   sane, and completions must balance takes. *)
+let ring_prop_hostile_guest =
+  QCheck.Test.make ~name:"take_checked never raises, host indices stay sane"
+    ~count:300
+    QCheck.(list (pair (int_bound 5) (pair small_int small_signed_int)))
+    (fun cmds ->
+      let r = mk_ring ~slots:4 () in
+      let completes = ref 0 in
+      let host_drain () =
+        match Ring.take_checked r with
+        | Ring.Take_ok d ->
+            Ring.complete r ~id:d.Ring.d_id ~len:d.Ring.d_len
+              ~status:Ring.Complete;
+            incr completes
+        | Ring.Take_bad (_, d) ->
+            Ring.complete r ~id:d.Ring.d_id ~len:0 ~status:Ring.Failed;
+            incr completes
+        | Ring.Take_empty | Ring.Take_drop _ | Ring.Take_stop _ -> ()
+      in
+      List.iter
+        (fun (op, (a, b)) ->
+          (match op with
+          | 0 -> ignore (Ring.post r ~now:T.zero ~id:a ~off:b ~len:(a * 16))
+          | 1 -> Ring.post_raw r ~now:T.zero ~id:a ~off:b ~len:(b * 3)
+          | 2 -> Ring.set_avail_raw r (Ring.avail_idx r + b)
+          | 3 -> ignore (Ring.pop_used r)
+          | 4 -> Ring.kick_raw r
+          | _ -> host_drain ());
+          (* The host services the ring between guest actions. *)
+          host_drain ();
+          match Ring.check_host r with
+          | None -> ()
+          | Some msg -> QCheck.Test.fail_reportf "host invariant: %s" msg)
+        cmds;
+      (* Every take that yielded a descriptor was completed; used can
+         never run ahead of taken no matter what the guest wrote. *)
+      Ring.used_idx r = !completes && Ring.used_idx r <= Ring.taken_idx r)
 
 let test_ring_notifiers () =
   let r = mk_ring () in
@@ -300,6 +468,103 @@ let test_mux_force_detach () =
   | None -> Alcotest.fail "mux missing");
   Memory.Pool.assert_quiesced (PE.op_pool h_guest.Snap.Host.pony)
 
+let test_mux_quarantine_hostile_tenant () =
+  (* A hostile tenant hammers its tx ring through the raw surface while
+     a well-behaved neighbour echoes traffic.  The mux must score the
+     violations, quarantine and force-detach the attacker, and leave
+     the neighbour untouched. *)
+  let loop = Sim.Loop.create ~seed:11 () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let dir = PE.Directory.create () in
+  let mk addr =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr
+      ~mode:(Engine.Dedicating { cores = 2 })
+      ()
+  in
+  let h_guest = mk 0 in
+  let h_srv = mk 1 in
+  ignore
+    (Snap.Host.enable_guests ~suspect_after:2 ~quarantine_after:5 h_guest);
+  ignore
+    (Snap.Host.spawn_app h_srv ~name:"echo" ~spin:true (fun ctx ->
+         let c = PE.create_client ctx h_srv.Snap.Host.pony ~name:"echo" () in
+         while true do
+           let m = PE.await_message ctx c in
+           ignore (PE.send_message ctx m.PE.msg_conn ~bytes:m.PE.msg_bytes ())
+         done));
+  let evil = ref None and good = ref None in
+  ignore
+    (Snap.Host.spawn_app h_guest ~name:"evil" (fun ctx ->
+         Cpu.Thread.sleep ctx (T.us 100);
+         let tn =
+           Snap.Host.attach_tenant ctx h_guest ~name:"evil" ~dst_host:1
+             ~dst_name:"echo" ~ring_slots:8 ~buf_bytes:512 ()
+         in
+         evil := Some tn;
+         (* Garbage descriptors until well past the quarantine
+            threshold; keep posting after detach — frozen host indices
+            are the containment property, not guest silence. *)
+         let sz = Memory.Region.size tn.Tenant.region in
+         for i = 0 to 19 do
+           Ring.post_raw tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id:i ~off:sz
+             ~len:64;
+           Cpu.Thread.sleep ctx (T.us 50)
+         done));
+  ignore
+    (Snap.Host.spawn_app h_guest ~name:"good" (fun ctx ->
+         Cpu.Thread.sleep ctx (T.us 120);
+         let tn =
+           Snap.Host.attach_tenant ctx h_guest ~name:"good" ~dst_host:1
+             ~dst_name:"echo" ~ring_slots:8 ~buf_bytes:512 ()
+         in
+         for s = 0 to Ring.capacity tn.Tenant.rx - 1 do
+           ignore
+             (Ring.post tn.Tenant.rx ~now:(Cpu.Thread.now ctx) ~id:s
+                ~off:(Tenant.rx_buf_off tn s) ~len:512)
+         done;
+         for i = 0 to 2 do
+           ignore
+             (Ring.post tn.Tenant.tx ~now:(Cpu.Thread.now ctx) ~id:i
+                ~off:(Tenant.tx_buf_off tn i) ~len:256)
+         done;
+         let deadline = T.add (Cpu.Thread.now ctx) (T.ms 20) in
+         while
+           Tenant.tx_completed tn < 3 && Cpu.Thread.now ctx < deadline
+         do
+           (match Ring.pop_used tn.Tenant.tx with Some _ | None -> ());
+           ignore (Ring.pop_used tn.Tenant.rx);
+           Cpu.Thread.sleep ctx (T.us 5)
+         done;
+         Snap.Host.detach_tenant h_guest tn;
+         good := Some tn));
+  Sim.Loop.run ~until:(T.ms 40) loop;
+  (match !evil with
+  | None -> Alcotest.fail "hostile app never attached"
+  | Some tn ->
+      check_bool "attacker quarantined" true
+        (Tenant.health tn = Tenant.Quarantined);
+      check_bool "attacker force-detached" true
+        (Tenant.state tn = Tenant.Detached);
+      check_bool "violations scored" true
+        (Tenant.violations_by tn Tenant.Bad_range >= 5);
+      check_int "no charges left behind" 0 (Tenant.pool_usage tn));
+  (match !good with
+  | None -> Alcotest.fail "good app never finished"
+  | Some tn ->
+      check_bool "neighbour stayed healthy" true
+        (Tenant.health tn = Tenant.Healthy);
+      check_int "neighbour unaffected" 3 (Tenant.tx_completed tn);
+      check_int "neighbour scored no violations" 0 (Tenant.violations tn));
+  (match Snap.Host.guest_mux h_guest with
+  | Some mux ->
+      check_int "one quarantine" 1 (Guest.Mux.quarantines mux);
+      check_bool "suspect escalation preceded it" true
+        (Guest.Mux.suspects mux >= 1);
+      check_int "no in-flight ops" 0 (Guest.Mux.inflight_ops mux);
+      check_int "all tenants gone from mux" 0 (Guest.Mux.attached mux)
+  | None -> Alcotest.fail "mux missing");
+  Memory.Pool.assert_quiesced (PE.op_pool h_guest.Snap.Host.pony)
+
 let () =
   Alcotest.run "guest"
     [
@@ -311,8 +576,22 @@ let () =
           Alcotest.test_case "full until reaped" `Quick
             test_ring_fullness_until_reaped;
           Alcotest.test_case "wrap indices" `Quick test_ring_wrap_indices;
-          Alcotest.test_case "bounds raise" `Quick test_ring_bounds_raise;
+          Alcotest.test_case "bad post counted" `Quick
+            test_ring_bad_post_counted;
           Alcotest.test_case "notifiers" `Quick test_ring_notifiers;
+        ] );
+      ( "trust-boundary",
+        [
+          Alcotest.test_case "bad range completes Failed" `Quick
+            test_take_checked_bad_range;
+          Alcotest.test_case "avail rollback stops the drain" `Quick
+            test_take_checked_rollback;
+          Alcotest.test_case "runahead drops then overcommit" `Quick
+            test_take_checked_runahead_and_overcommit;
+          Alcotest.test_case "reap withholding bounded" `Quick
+            test_take_checked_reap_withhold;
+          Alcotest.test_case "raw wrap-around" `Quick test_ring_raw_wrap_around;
+          QCheck_alcotest.to_alcotest ring_prop_hostile_guest;
         ] );
       ( "tenant",
         [
@@ -324,5 +603,7 @@ let () =
         [
           Alcotest.test_case "echo end-to-end" `Quick test_mux_echo_and_detach;
           Alcotest.test_case "force detach" `Quick test_mux_force_detach;
+          Alcotest.test_case "hostile tenant quarantined" `Quick
+            test_mux_quarantine_hostile_tenant;
         ] );
     ]

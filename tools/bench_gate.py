@@ -15,7 +15,7 @@ tolerances; everything else is tight.
 Intentional changes update the baseline: regenerate with
 
     dune exec bench/main.exe -- \
-        chaos,chaos_upgrade,overload,partition,tenants \
+        chaos,chaos_upgrade,overload,partition,tenants,hostile \
         --bench-out BENCH_8.json
 
 and commit the diff alongside the change that caused it.
