@@ -428,8 +428,11 @@ let bench8_begin () =
   clear_stage_hists ();
   (engine_batch_cost_sum (), Gc.minor_words ())
 
-let bench8_end ~sec ~ops ~goodput_gbps ~latencies (cost0, gc0) =
-  (* Measure before printing: the report itself allocates. *)
+let bench8_end ?cpu_ns_per_op ?gc_words_per_op ~sec ~ops ~goodput_gbps
+    ~latencies (cost0, gc0) =
+  (* Measure before printing: the report itself allocates.  Sections
+     that measure a steady-state window in-workload (churn) pass their
+     own per-op figures; the default is the whole-section delta. *)
   let cost1 = engine_batch_cost_sum () and gc1 = Gc.minor_words () in
   let per x = x /. float_of_int (max 1 ops) in
   print_stage_breakdown ();
@@ -440,8 +443,14 @@ let bench8_end ~sec ~ops ~goodput_gbps ~latencies (cost0, gc0) =
       b_goodput_gbps = goodput_gbps;
       b_p50_ns = Stats.Histogram.percentile latencies 50.;
       b_p99_ns = Stats.Histogram.percentile latencies 99.;
-      b_cpu_ns_per_op = per (float_of_int (cost1 - cost0));
-      b_gc_words_per_op = per (gc1 -. gc0);
+      b_cpu_ns_per_op =
+        (match cpu_ns_per_op with
+        | Some v -> v
+        | None -> per (float_of_int (cost1 - cost0)));
+      b_gc_words_per_op =
+        (match gc_words_per_op with
+        | Some v -> v
+        | None -> per (gc1 -. gc0));
     }
     :: !bench8_rows;
   if !slow_wanted then
@@ -554,7 +563,17 @@ let chaos_upgrade () =
             if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
           r.CU.fault_counters));
   Printf.printf "groups consistent: %b\n" r.CU.groups_consistent;
-  bench8_end ~sec:"chaos_upgrade" ~ops:r.CU.ops_completed ~goodput_gbps:0.0
+  (* Echo workload: each completed op moves op_bytes out and the echo
+     back, over the virtual time of the last completion. *)
+  let goodput =
+    if r.CU.completion_time = 0 then 0.0
+    else
+      float_of_int
+        (r.CU.ops_completed * CU.default_config.CU.op_bytes * 2 * 8)
+      /. float_of_int r.CU.completion_time
+  in
+  Printf.printf "goodput: %.2f Gbps\n" goodput;
+  bench8_end ~sec:"chaos_upgrade" ~ops:r.CU.ops_completed ~goodput_gbps:goodput
     ~latencies:r.CU.latencies b8;
   let r2 = CU.run CU.default_config in
   Printf.printf "deterministic across runs: %b\n"
@@ -640,7 +659,16 @@ let partition () =
             if v = 0 then None else Some (Printf.sprintf "%s=%d" name v))
           r.P.fault_counters));
   Printf.printf "hygiene: %d pool bytes leaked\n" r.P.pool_leak_bytes;
-  bench8_end ~sec:"partition" ~ops:r.P.ops_resolved ~goodput_gbps:0.0
+  (* Echoes move the op's bytes out and back; failed episodes move
+     nothing that completes. *)
+  let goodput =
+    if r.P.last_echo_done = 0 then 0.0
+    else
+      float_of_int (r.P.echo_ok * P.default_config.P.bytes * 2 * 8)
+      /. float_of_int r.P.last_echo_done
+  in
+  Printf.printf "goodput: %.2f Gbps\n" goodput;
+  bench8_end ~sec:"partition" ~ops:r.P.ops_resolved ~goodput_gbps:goodput
     ~latencies:r.P.latencies b8;
   let r2 = P.run P.default_config in
   Printf.printf "deterministic across runs: %b\n"
@@ -694,6 +722,44 @@ let tenants () =
   let r2 = G.run G.default_config in
   Printf.printf "deterministic across runs: %b\n"
     (String.equal (G.fingerprint r) (G.fingerprint r2));
+  flush stdout
+
+(* -- Connection-scaling churn ---------------------------------------------- *)
+
+let churn () =
+  section "Million-connection churn (Workloads.Churn)";
+  let module C = Workloads.Churn in
+  let b8 = bench8_begin () in
+  let r = C.run C.default_config in
+  Printf.printf "mesh: %d drivers x %d sinks = %d conns; live at steady: %d\n"
+    r.C.n_drivers r.C.n_drivers r.C.conns_target r.C.live_at_steady;
+  Printf.printf
+    "ops: %d ok, %d failed, %d strays; storms: %d closes, %d reconnects, \
+     %d/%d burst ops ok\n"
+    r.C.ops_ok r.C.ops_failed r.C.stray_completions r.C.closes r.C.reconnects
+    r.C.burst_ok (r.C.burst_ok + r.C.burst_failed);
+  Printf.printf
+    "steady window (%d ops): %.1f minor-GC words/op, %.1f engine ns/op\n"
+    r.C.steady_ops r.C.steady_gc_words_per_op r.C.steady_cpu_ns_per_op;
+  let pct h p = T.to_float_us (Stats.Histogram.percentile h p) in
+  Printf.printf "latency: p50 %.1fus p99 %.1fus; goodput %.2f Gbps\n"
+    (pct r.C.latencies 50.0) (pct r.C.latencies 99.0) (C.goodput_gbps r);
+  Printf.printf
+    "lifecycle: %d halves established, %d closed, %d resets, %d deaths\n"
+    r.C.conns_established r.C.conns_closed r.C.conn_resets r.C.peer_deaths;
+  Printf.printf "all conns live at steady: %b\n"
+    (r.C.live_at_steady = r.C.conns_target && r.C.ramp_failures = 0);
+  Printf.printf "no failed ops: %b\n"
+    (r.C.ops_failed = 0 && r.C.burst_failed = 0);
+  Printf.printf "hygiene: %d pool bytes leaked\n" r.C.pool_leak_bytes;
+  bench8_end ~sec:"churn"
+    ~ops:(r.C.ops_ok + r.C.burst_ok)
+    ~goodput_gbps:(C.goodput_gbps r) ~latencies:r.C.latencies
+    ~cpu_ns_per_op:r.C.steady_cpu_ns_per_op
+    ~gc_words_per_op:r.C.steady_gc_words_per_op b8;
+  let r2 = C.run C.default_config in
+  Printf.printf "deterministic across runs: %b\n"
+    (String.equal (C.fingerprint r) (C.fingerprint r2));
   flush stdout
 
 (* -- Hostile-guest hardening ----------------------------------------------- *)
@@ -828,6 +894,16 @@ let sweep () =
            (H.run
               { H.default_config with H.seed; tie_salt = salt;
                 tenants = 12; victim_ops = 6 }))
+       ());
+  let module Ch = Workloads.Churn in
+  report "churn"
+    (Check.Explore.sweep ~seeds ~randomize_hash:true
+       ~run:(fun ~seed ~salt ->
+         Ch.fingerprint
+           (Ch.run
+              { Ch.default_config with Ch.seed; tie_salt = salt;
+                clients_per_side = 16; ops_per_driver = 12;
+                stop_at = T.ms 30; run_cap = T.ms 60 }))
        ());
   Printf.printf "invariants registered (last run): %d, evaluations: %d\n"
     (Check.Invariant.registered ())
@@ -966,6 +1042,7 @@ let all_benches =
     ("overload", overload);
     ("partition", partition);
     ("tenants", tenants);
+    ("churn", churn);
     ("hostile", hostile);
     ("sweep", sweep);
     ("micro", micro);

@@ -1,0 +1,116 @@
+(* Int-indexed flat arena with generation-tagged handles.
+
+   Mirrors the [Pool.release_owner] generation idiom at object
+   granularity: every slot carries a generation counter, bumped on
+   free, and a handle minted under an older generation simply misses —
+   [get] returns [None], [free] returns [false].  Stale access is a
+   checked no-op, never a use-after-free.
+
+   Iteration walks slots in ascending index order, which depends only
+   on the allocation/free history — never on hash seeds — so scans
+   stay deterministic under [OCAMLRUNPARAM=R]. *)
+
+type handle = { a_idx : int; a_gen : int }
+
+type 'a t = {
+  mutable data : 'a option array;
+  mutable gens : int array;
+  (* LIFO free list of slot indices; [free_top] entries are valid. *)
+  mutable free_slots : int array;
+  mutable free_top : int;
+  mutable high : int;  (* slots [0, high) have been minted at least once *)
+  mutable live : int;
+}
+
+let create ?(initial = 64) () =
+  let initial = max 8 initial in
+  {
+    data = Array.make initial None;
+    gens = Array.make initial 0;
+    free_slots = Array.make initial 0;
+    free_top = 0;
+    high = 0;
+    live = 0;
+  }
+
+let capacity t = Array.length t.data
+let live t = t.live
+let high_water t = t.high
+
+let grow t =
+  let cap = Array.length t.data in
+  let cap' = cap * 2 in
+  let data' = Array.make cap' None in
+  Array.blit t.data 0 data' 0 cap;
+  t.data <- data';
+  let gens' = Array.make cap' 0 in
+  Array.blit t.gens 0 gens' 0 cap;
+  t.gens <- gens';
+  let free' = Array.make cap' 0 in
+  Array.blit t.free_slots 0 free' 0 t.free_top;
+  t.free_slots <- free'
+
+let alloc t v =
+  let idx =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free_slots.(t.free_top)
+    end
+    else begin
+      if t.high = Array.length t.data then grow t;
+      let i = t.high in
+      t.high <- t.high + 1;
+      i
+    end
+  in
+  t.data.(idx) <- Some v;
+  t.live <- t.live + 1;
+  { a_idx = idx; a_gen = t.gens.(idx) }
+
+let is_live t h =
+  h.a_idx >= 0 && h.a_idx < t.high
+  && t.gens.(h.a_idx) = h.a_gen
+  && t.data.(h.a_idx) <> None
+
+let get t h = if is_live t h then t.data.(h.a_idx) else None
+
+let get_exn t h =
+  match get t h with
+  | Some v -> v
+  | None -> invalid_arg "Arena.get_exn: stale handle"
+
+let free t h =
+  if not (is_live t h) then false
+  else begin
+    t.data.(h.a_idx) <- None;
+    (* Bump the generation so handles minted for this slot's previous
+       occupant miss forever. *)
+    t.gens.(h.a_idx) <- t.gens.(h.a_idx) + 1;
+    t.free_slots.(t.free_top) <- h.a_idx;
+    t.free_top <- t.free_top + 1;
+    t.live <- t.live - 1;
+    true
+  end
+
+let iter t f =
+  for i = 0 to t.high - 1 do
+    match t.data.(i) with
+    | Some v -> f { a_idx = i; a_gen = t.gens.(i) } v
+    | None -> ()
+  done
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun h v -> acc := f !acc h v);
+  !acc
+
+let clear t =
+  for i = 0 to t.high - 1 do
+    if t.data.(i) <> None then begin
+      t.data.(i) <- None;
+      t.gens.(i) <- t.gens.(i) + 1
+    end
+  done;
+  t.free_top <- 0;
+  t.high <- 0;
+  t.live <- 0

@@ -1,0 +1,52 @@
+(** Int-indexed flat arena with generation-tagged handles.
+
+    The object-granularity cousin of [Pool]'s owner generations: every
+    slot carries a generation counter bumped on free, and a handle
+    minted under an older generation is simply stale — [get] returns
+    [None] and [free] returns [false].  Stale access is a checked
+    no-op, never a use-after-free.
+
+    Iteration order is ascending slot index, a pure function of the
+    allocation/free history — deterministic under [OCAMLRUNPARAM=R],
+    unlike [Hashtbl] folds. *)
+
+type handle
+(** A generation-tagged reference to an arena slot. *)
+
+type 'a t
+
+val create : ?initial:int -> unit -> 'a t
+(** [create ()] makes an empty arena.  [initial] (default 64) sizes the
+    backing arrays; they double as needed. *)
+
+val alloc : 'a t -> 'a -> handle
+(** O(1) amortized.  Reuses the most recently freed slot first. *)
+
+val free : 'a t -> handle -> bool
+(** O(1).  Returns [false] (and does nothing) if the handle is stale —
+    the slot was already freed, possibly reused by a newer occupant. *)
+
+val get : 'a t -> handle -> 'a option
+(** O(1).  [None] if the handle is stale. *)
+
+val get_exn : 'a t -> handle -> 'a
+(** @raise Invalid_argument on a stale handle. *)
+
+val is_live : 'a t -> handle -> bool
+
+val live : 'a t -> int
+(** Number of occupied slots. *)
+
+val capacity : 'a t -> int
+
+val high_water : 'a t -> int
+(** Highest slot count ever minted (iteration scans this range). *)
+
+val iter : 'a t -> (handle -> 'a -> unit) -> unit
+(** Ascending slot-index order; skips free slots. *)
+
+val fold : 'a t -> ('b -> handle -> 'a -> 'b) -> 'b -> 'b
+
+val clear : 'a t -> unit
+(** Free every slot (bumping generations) and reset the high-water
+    mark. *)

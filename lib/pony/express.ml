@@ -37,9 +37,13 @@ let conn_state_to_string = function
 
 (* Opt-in dead-peer detection: probe a conn silent for [ka_interval];
    declare the peer dead after [ka_interval * (ka_miss_budget + 1)] of
-   silence.  Off by default — a keepalive timer keeps an otherwise idle
-   host from quiescing, so only workloads that expect peer failure arm
-   it. *)
+   silence.  Arming is quiesce-aware: a conn only keeps a wheel timer
+   while it has a reason to watch the peer — recent traffic, parked or
+   outstanding ops, or unacked flow state — so an idle host with
+   keepalives configured still drains to zero pending events and
+   [Pool.assert_quiesced] workloads need not turn them off.  Detection
+   stays bounded: any stranded op holds interest, so probing continues
+   until the death budget declares the peer dead. *)
 type keepalive = { ka_interval : Time.t; ka_miss_budget : int }
 
 type command =
@@ -110,6 +114,19 @@ and conn = {
   mutable state : conn_state;
   mutable last_heard : Time.t;  (* any item for this conn counts as life *)
   mutable ka_sent_at : Time.t;  (* last keepalive probe we enqueued *)
+  (* Intrusive bookkeeping that keeps the datapath off full-table
+     scans: live one-sided ops and reassembly entries attributed to
+     this conn (so teardown only walks the client/engine tables when
+     there is something to find), and per-conn wheel timers for the
+     waiting-head deadline and the keepalive probe cycle. *)
+  mutable n_outstanding : int;
+  mutable n_assembly : int;
+  mutable dl_timer : Sim.Wheel.timer option;
+  mutable dl_at : Time.t;
+  mutable dl_queued : bool;
+  mutable ka_timer : Sim.Wheel.timer option;
+  mutable ka_queued : bool;
+  mutable ka_base : Time.t;  (* watch epoch: silence measured from here *)
   (* Latency-attribution stage transitions observed on this conn (both
      the submit side of local ops and the receive side of remote ones),
      indexed by [Sim.Optrace.stage_index].  Only advanced while Optrace
@@ -136,10 +153,29 @@ and eng = {
   mutable eclients : client list;
   flows : (Wire.flow_key, Flow.t) Hashtbl.t;
   mutable flow_list : Flow.t list;
-  conns : (Wire.conn_key * bool, conn) Hashtbl.t;
+  (* Flows as a flat array for the per-pass datapath folds; rebuilt only
+     when the flow set changes (rare), never per pass. *)
+  mutable flow_arr : Flow.t array;
+  (* Conn storage is a generation-tagged flat arena; the hashtables map
+     wire keys to arena handles for lookup only.  No datapath walks
+     them — sorted iteration survives solely in cold paths (snapshots,
+     peer teardown, checker invariants). *)
+  conn_arena : conn Memory.Arena.t;
+  conns : (Wire.conn_key * bool, Memory.Arena.handle) Hashtbl.t;
+  (* O(1) supersede on connect: endpoints (init host, init client,
+     target host, target client) -> the conn currently installed for
+     them, matching [Wire.conn_same_endpoints]'s directional compare. *)
+  by_endpoints : (Packet.addr * int * Packet.addr * int, Memory.Arena.handle) Hashtbl.t;
   (* Reassembly of messages and one-sided responses, keyed by
      (conn, from_initiator, op id). *)
   assembly : (Wire.conn_key * bool * int, asm) Hashtbl.t;
+  (* Per-engine timing wheel: per-conn deadline and keepalive timers
+     arm/cancel O(1) here instead of rescanning the conn table.  Fired
+     timers enqueue their conn on a due queue and poke the engine; the
+     engine pass drains the queues. *)
+  wheel : Sim.Wheel.t;
+  deadline_due : conn Queue.t;
+  ka_due : conn Queue.t;
   mutable timer : Loop.handle option;
   mutable served_one_sided : int;
   mutable tx_rr : int;
@@ -165,7 +201,11 @@ and t = {
      alias items still in flight from a dead predecessor.  Unique
      within this host; [initiator_host] in the key makes it global. *)
   mutable next_session : int;
-  clients_tbl : (int, client) Hashtbl.t;
+  (* Clients live in a flat arena (ascending-index iteration is cid
+     order, so folds are deterministic without sorting); the table maps
+     cid -> handle for lookup. *)
+  clients_arena : client Memory.Arena.t;
+  clients_tbl : (int, Memory.Arena.handle) Hashtbl.t;
   gen : Packet.Id_gen.t;
   mutable rr_assign : int;
   (* Registry counters are cumulative across host instances sharing an
@@ -275,8 +315,16 @@ let sorted_tbl tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Arena index order is cid order (allocation order, slots never reused
+   until a crash clears the arena), so this fold is deterministic under
+   randomized hashing without any sort. *)
 let fold_clients t f init =
-  List.fold_left (fun acc (_, c) -> f acc c) init (sorted_tbl t.clients_tbl)
+  Memory.Arena.fold t.clients_arena (fun acc _ c -> f acc c) init
+
+let find_client t cid =
+  match Hashtbl.find_opt t.clients_tbl cid with
+  | None -> None
+  | Some h -> Memory.Arena.get t.clients_arena h
 let client_ops_shed c = Stats.Counter.value c.c_shed - c.shed_base
 let client_ops_expired c = Stats.Counter.value c.c_expired - c.expired_base
 let client_admission c = c.adm
@@ -415,7 +463,10 @@ let debug_snapshot t =
                        (match ot_oldest_age c ~now with
                        | Some age -> Printf.sprintf " oldest=%dns" age
                        | None -> ""))
-                   (sorted_tbl e.conns))))
+                   (Memory.Arena.fold e.conn_arena
+                      (fun acc _ c -> ((c.ckey, c.we_are_initiator), c) :: acc)
+                      []
+                   |> List.sort (fun (a, _) (b, _) -> compare a b)))))
          t.engs)
   ^
   match t.ce with
@@ -473,6 +524,7 @@ let get_flow eng key =
       in
       Hashtbl.add eng.flows key f;
       eng.flow_list <- eng.flow_list @ [ f ];
+      eng.flow_arr <- Array.of_list eng.flow_list;
       Flow.set_window_provider f (fun () -> advertised_window eng);
       f
 
@@ -656,7 +708,36 @@ let exec_one_sided eng cost client (op : Wire.one_sided) =
 
 (* -- Receive-side upper layer ------------------------------------------- *)
 
-let find_conn eng ckey ~we_init = Hashtbl.find_opt eng.conns (ckey, we_init)
+let find_conn eng ckey ~we_init =
+  match Hashtbl.find_opt eng.conns (ckey, we_init) with
+  | None -> None
+  | Some h -> Memory.Arena.get eng.conn_arena h
+
+let endpoints_key (ckey : Wire.conn_key) =
+  ( ckey.Wire.initiator_host,
+    ckey.Wire.initiator_client,
+    ckey.Wire.target_host,
+    ckey.Wire.target_client )
+
+(* Install a conn into the arena and lookup tables. *)
+let add_conn eng conn =
+  let h = Memory.Arena.alloc eng.conn_arena conn in
+  Hashtbl.replace eng.conns (conn.ckey, conn.we_are_initiator) h;
+  Hashtbl.replace eng.by_endpoints (endpoints_key conn.ckey) h
+
+(* Cancel a conn's wheel timers; every terminal transition funnels
+   through here so dead conns never wake the wheel again. *)
+let cancel_conn_timers conn =
+  (match conn.dl_timer with
+  | Some w ->
+      Sim.Wheel.cancel w;
+      conn.dl_timer <- None
+  | None -> ());
+  match conn.ka_timer with
+  | Some w ->
+      Sim.Wheel.cancel w;
+      conn.ka_timer <- None
+  | None -> ()
 
 let rx_copy_cost eng cost bytes =
   let costs = eng.e_host.cost in
@@ -770,6 +851,7 @@ let kill_conn cost conn ~reason =
     let now = Loop.now t.lp in
     let eng = conn.local.c_eng in
     conn.state <- Dead;
+    cancel_conn_timers conn;
     Stats.Counter.incr t.c_peer_death;
     Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony" "conn %s dead: %s"
       (conn_label conn) reason;
@@ -793,24 +875,31 @@ let kill_conn cost conn ~reason =
          dead peer; flight entries stay (removing them would punch holes
          in the go-back-N sequence space). *)
       ignore (Flow.purge_queue conn.c_flow ~drop:(item_for_conn conn.ckey));
-      (* One-sided ops stranded without a response. *)
-      List.iter
-        (fun (op_id, (issued, ck)) ->
-          if ck = conn.ckey then begin
-            Hashtbl.remove conn.local.outstanding op_id;
-            ot_finish conn (ot_key conn op_id) ~status:Wire.Peer_dead;
-            push_completion eng cost conn.local
-              (peer_dead_completion conn.local ~op_id ~bytes:0 ~issued ~now)
-          end)
-        (sorted_tbl conn.local.outstanding);
+      (* One-sided ops stranded without a response.  The per-conn count
+         lets the common case — a dying conn with nothing outstanding —
+         skip the table walk entirely. *)
+      if conn.n_outstanding > 0 then
+        List.iter
+          (fun (op_id, (issued, ck)) ->
+            if ck = conn.ckey then begin
+              Hashtbl.remove conn.local.outstanding op_id;
+              conn.n_outstanding <- conn.n_outstanding - 1;
+              ot_finish conn (ot_key conn op_id) ~status:Wire.Peer_dead;
+              push_completion eng cost conn.local
+                (peer_dead_completion conn.local ~op_id ~bytes:0 ~issued ~now)
+            end)
+          (sorted_tbl conn.local.outstanding);
       (* Partially reassembled messages from the dead peer. *)
-      List.iter
-        (fun (((ck, _, _) as akey), a) ->
-          if ck = conn.ckey then begin
-            Hashtbl.remove eng.assembly akey;
-            free_assembly a
-          end)
-        (sorted_tbl eng.assembly)
+      if conn.n_assembly > 0 then begin
+        List.iter
+          (fun (((ck, _, _) as akey), a) ->
+            if ck = conn.ckey then begin
+              Hashtbl.remove eng.assembly akey;
+              free_assembly a
+            end)
+          (sorted_tbl eng.assembly);
+        conn.n_assembly <- 0
+      end
     end;
     (* Attribution: ops on this conn still being traced — transmitted
        but undelivered sends included — can never complete normally.
@@ -844,17 +933,21 @@ let finalize_close conn =
       let t = conn.local.c_host in
       let eng = conn.local.c_eng in
       conn.state <- Closed;
+      cancel_conn_timers conn;
       Stats.Counter.incr t.c_conn_closed;
       Stats.Counter.incr t.c_conn_reset;
       Flow.enqueue conn.c_flow (Wire.Conn_reset { conn = conn.ckey })
         ~payload_bytes:0;
-      List.iter
-        (fun (((ck, _, _) as akey), a) ->
-          if ck = conn.ckey then begin
-            Hashtbl.remove eng.assembly akey;
-            free_assembly a
-          end)
-        (sorted_tbl eng.assembly)
+      if conn.n_assembly > 0 then begin
+        List.iter
+          (fun (((ck, _, _) as akey), a) ->
+            if ck = conn.ckey then begin
+              Hashtbl.remove eng.assembly akey;
+              free_assembly a
+            end)
+          (sorted_tbl eng.assembly);
+        conn.n_assembly <- 0
+      end
   | Established | Dead | Closed -> ()
 
 let reset_back eng ckey ~reverse_flow =
@@ -867,17 +960,18 @@ let reset_back eng ckey ~reverse_flow =
 let forget_peer cost t ~peer ~reason =
   List.iter
     (fun eng ->
-      List.iter
-        (fun (_, conn) ->
-          if conn.remote_host = peer then kill_conn cost conn ~reason)
-        (sorted_tbl eng.conns);
+      (* Arena index order = conn creation order: deterministic without
+         a sort even under randomized hashing. *)
+      Memory.Arena.iter eng.conn_arena (fun _ conn ->
+          if conn.remote_host = peer then kill_conn cost conn ~reason);
       let doomed, kept =
         List.partition
           (fun f -> (Flow.key f).Wire.dst_host = peer)
           eng.flow_list
       in
       List.iter (fun f -> Hashtbl.remove eng.flows (Flow.key f)) doomed;
-      eng.flow_list <- kept)
+      eng.flow_list <- kept;
+      eng.flow_arr <- Array.of_list kept)
     t.engs
 
 (* Record the incarnation [peer] is speaking.  [`Stale] means the packet
@@ -937,12 +1031,90 @@ let check_peer_reclaim t =
                       (Printf.sprintf "conn %s: reassembly state on a dead conn"
                          (conn_label conn))
                   else None)
-            None (sorted_tbl eng.conns))
+            None
+            (Memory.Arena.fold eng.conn_arena
+               (fun acc _ c -> (((c.ckey, c.we_are_initiator), c) : _ * conn) :: acc)
+               []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)))
     None t.engs
 
 let maybe_finalize_close conn =
   if conn.state = Draining && Queue.is_empty conn.waiting then
     finalize_close conn
+
+(* -- Per-conn wheel timers ----------------------------------------------- *)
+
+(* Timer callbacks run in loop context, between engine passes: they only
+   flag the conn onto the engine's due queue and poke the engine, so all
+   real work — and all its determinism-sensitive ordering — stays inside
+   the engine pass. *)
+
+(* Keep the deadline timer in sync with the head of the credit-waiting
+   queue.  Called after any mutation of [conn.waiting]; O(1). *)
+let rearm_deadline eng conn =
+  let head =
+    if conn_is_dead conn then None
+    else
+      match Queue.peek_opt conn.waiting with
+      | Some (C_send { deadline = Some d; _ }) -> Some d
+      | Some _ | None -> None
+  in
+  match (head, conn.dl_timer) with
+  | None, None -> ()
+  | None, Some w ->
+      Sim.Wheel.cancel w;
+      conn.dl_timer <- None
+  | Some d, Some w when conn.dl_at = d && Sim.Wheel.is_armed w -> ()
+  | Some d, prev ->
+      (match prev with Some w -> Sim.Wheel.cancel w | None -> ());
+      conn.dl_at <- d;
+      conn.dl_timer <-
+        Some
+          (Sim.Wheel.arm eng.wheel
+             ~at:(Time.add d 1) (* expiry is strict: fire once now > d *)
+             (fun () ->
+               conn.dl_timer <- None;
+               if (not conn.dl_queued) && not (conn_is_dead conn) then begin
+                 conn.dl_queued <- true;
+                 Queue.add conn eng.deadline_due;
+                 Engine.notify eng.core
+               end))
+
+(* Does this conn still have a reason to watch its peer?  Quiesce-aware
+   keepalive arms only while the answer is yes; an idle healthy conn
+   runs one probe cycle after its last traffic and then goes silent. *)
+let conn_has_interest conn =
+  (not (Queue.is_empty conn.waiting))
+  || conn.n_outstanding > 0
+  || Flow.in_flight conn.c_flow > 0
+  || Flow.pending conn.c_flow > 0
+
+(* Continue an existing watch epoch: arm the next probe-cycle wheel
+   timer without touching [ka_base] (silence keeps accruing, so the
+   death budget still runs out on a dead peer). *)
+let rearm_ka eng conn ~at =
+  conn.ka_timer <-
+    Some
+      (Sim.Wheel.arm eng.wheel ~at (fun () ->
+           conn.ka_timer <- None;
+           if (not conn.ka_queued) && not (conn_is_dead conn) then begin
+             conn.ka_queued <- true;
+             Queue.add conn eng.ka_due;
+             Engine.notify eng.core
+           end))
+
+(* Start (or resume) the keepalive watch if the host configured one and
+   the conn has none running.  [ka_base] records when this watch epoch
+   began so a resumed watch never counts silence accrued while we
+   deliberately weren't watching. *)
+let ensure_ka eng conn ~now =
+  match eng.e_host.ka with
+  | None -> ()
+  | Some { ka_interval; _ } ->
+      if conn.ka_timer = None && not (conn_is_dead conn) then begin
+        conn.ka_base <- now;
+        rearm_ka eng conn ~at:(Time.add now ka_interval)
+      end
 
 let drain_waiting eng cost conn =
   let t = eng.e_host in
@@ -983,17 +1155,23 @@ let drain_waiting eng cost conn =
           }
     | Some _ | None -> continue := false
   done;
-  maybe_finalize_close conn
+  maybe_finalize_close conn;
+  rearm_deadline eng conn
 
 (* Drop deadline-expired ops parked at the head of the credit-waiting
-   queue.  [drain_waiting] does the same when credit arrives; this
-   sweep covers the case where no credit ever does. *)
-let expire_waiting eng cost ~now =
+   queue.  [drain_waiting] does the same when credit arrives; this path
+   covers the case where no credit ever does — the conn's wheel timer
+   fired and flagged it onto [eng.deadline_due], so only conns with an
+   actually-expired head are visited (never the whole table).  Wheel
+   firing order is salted exactly like the loop heap, and the due queue
+   preserves it, so expiry completions keep a deterministic order under
+   randomized hashing. *)
+let process_deadline_due eng cost ~now =
   let expired = ref 0 in
-  (* Sorted: expiry completions land in client queues in key order, not
-     hash-iteration order. *)
-  List.iter
-    (fun (_, conn) ->
+  while not (Queue.is_empty eng.deadline_due) do
+    let conn = Queue.pop eng.deadline_due in
+    conn.dl_queued <- false;
+    if not (conn_is_dead conn) then begin
       let continue = ref true in
       while !continue do
         match Queue.peek_opt conn.waiting with
@@ -1013,8 +1191,10 @@ let expire_waiting eng cost ~now =
               }
         | Some _ | None -> continue := false
       done;
-      maybe_finalize_close conn)
-    (sorted_tbl eng.conns);
+      maybe_finalize_close conn;
+      rearm_deadline eng conn
+    end
+  done;
   !expired
 
 let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
@@ -1034,7 +1214,18 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
   (match item_ckey item with
   | Some ckey -> (
       match live_conn ckey with
-      | Some c -> c.last_heard <- now
+      | Some c -> (
+          c.last_heard <- now;
+          (* Traffic (re)starts the quiesce-aware keepalive watch —
+             except the probe cycle itself.  A probe or its answer is
+             proof of life, not interest: feeding it back into
+             [ensure_ka] would let the watches on two idle hosts
+             restart each other forever (probe restarts the peer's
+             watch, whose probe restarts ours), and the pair never
+             quiesces. *)
+          match item with
+          | Wire.Keepalive _ | Wire.Keepalive_ack _ -> ()
+          | _ -> ensure_ka eng c ~now)
       | None -> ())
   | None -> ());
   match item with
@@ -1148,6 +1339,7 @@ let handle_item eng cost ~from_host (item : Wire.item) ~reverse_flow =
               match Hashtbl.find_opt conn.local.outstanding op_id with
               | Some (ts, _) ->
                   Hashtbl.remove conn.local.outstanding op_id;
+                  conn.n_outstanding <- conn.n_outstanding - 1;
                   ts
               | None -> now
             in
@@ -1277,6 +1469,7 @@ let handle_command eng cost cmd =
         match cmd with
         | C_send { cmd_conn = conn; op_id; stream; bytes; issued; _ } ->
             ot_dequeued conn op_id;
+            ensure_ka eng conn ~now;
             if bytes <= conn.credit then begin
               conn.credit <- conn.credit - bytes;
               ot_stamp conn (ot_key conn op_id) Sim.Optrace.Credit;
@@ -1291,10 +1484,15 @@ let handle_command eng cost cmd =
                   completed_at = Loop.now t.lp;
                 }
             end
-            else Queue.add cmd conn.waiting
+            else begin
+              Queue.add cmd conn.waiting;
+              rearm_deadline eng conn
+            end
         | C_one_sided { cmd_conn = conn; op_id; op; issued; _ } ->
             ot_dequeued conn op_id;
+            ensure_ka eng conn ~now;
             Hashtbl.replace conn.local.outstanding op_id (issued, conn.ckey);
+            conn.n_outstanding <- conn.n_outstanding + 1;
             Flow.enqueue conn.c_flow
               (Wire.One_sided_req { conn = conn.ckey; op_id; op })
               ~payload_bytes:0
@@ -1302,6 +1500,10 @@ let handle_command eng cost cmd =
 
 (* -- The engine loop ----------------------------------------------------- *)
 
+(* Re-arm the engine's pacing/retransmit wake-up.  Only flow deadlines
+   are folded here — per-conn send deadlines and keepalives live on the
+   engine's timing wheel and wake the engine themselves, so this is
+   O(flows), not O(conns). *)
 let arm_timer eng =
   let t = eng.e_host in
   (match eng.timer with
@@ -1309,51 +1511,17 @@ let arm_timer eng =
       Loop.cancel h;
       eng.timer <- None
   | None -> ());
-  let deadline =
-    List.fold_left
-      (fun acc f ->
-        match Flow.next_deadline f with
-        | None -> acc
-        | Some d -> ( match acc with None -> Some d | Some a -> Some (Time.min a d)))
-      None eng.flow_list
-  in
-  (* Credit-starved ops with deadlines must still time out even if no
-     credit (and hence no engine work) ever arrives. *)
-  let deadline =
-    List.fold_left
-      (fun acc (_, conn) ->
-        match Queue.peek_opt conn.waiting with
-        | Some (C_send { deadline = Some d; _ }) -> (
-            match acc with None -> Some d | Some a -> Some (Time.min a d))
-        | _ -> acc)
-      deadline (sorted_tbl eng.conns)
-  in
-  (* With keepalives armed, the engine must wake for the next probe or
-     dead-peer declaration even on an otherwise idle conn. *)
-  let deadline =
-    match t.ka with
-    | None -> deadline
-    | Some ka ->
-        let death_after = ka.ka_interval * (ka.ka_miss_budget + 1) in
-        List.fold_left
-          (fun acc (_, conn) ->
-            match conn.state with
-            | Dead | Closed -> acc
-            | Established | Draining ->
-                let probe_at =
-                  Time.add
-                    (Time.max conn.last_heard conn.ka_sent_at)
-                    ka.ka_interval
-                in
-                let next =
-                  Time.min probe_at (Time.add conn.last_heard death_after)
-                in
-                (match acc with
-                | None -> Some next
-                | Some a -> Some (Time.min a next)))
-          deadline (sorted_tbl eng.conns)
-  in
-  match deadline with
+  let deadline = ref None in
+  Array.iter
+    (fun f ->
+      match Flow.next_deadline f with
+      | None -> ()
+      | Some d -> (
+          match !deadline with
+          | None -> deadline := Some d
+          | Some a -> if d < a then deadline := Some d))
+    eng.flow_arr;
+  match !deadline with
   | Some d when d > Loop.now t.lp ->
       eng.timer <- Some (Loop.at t.lp d (fun () -> Engine.notify eng.core))
   | Some _ | None -> ()
@@ -1506,29 +1674,43 @@ let engine_run eng () =
         | None -> go := false
       done)
     eng.eclients;
-  if expire_waiting eng cost ~now > 0 then worked := true;
-  (* 2b. Dead-peer detection (opt-in keepalives, §4.3): probe conns
-     silent for the interval; declare the peer dead once the silence
-     exceeds the full miss budget.  Detection is therefore bounded by
-     ka_interval * (ka_miss_budget + 1) plus one engine wake-up. *)
+  if process_deadline_due eng cost ~now > 0 then worked := true;
+  (* 2b. Dead-peer detection (opt-in keepalives, §4.3): conns surface
+     on [eng.ka_due] when their wheel timer fires — only watched conns
+     are visited, never the whole table.  Probe a conn silent for the
+     interval; declare the peer dead once the silence exceeds the full
+     miss budget, so detection stays bounded by
+     ka_interval * (ka_miss_budget + 1) plus one engine wake-up.  The
+     watch re-arms only while the conn still has interest (see
+     [conn_has_interest]): an unanswered probe keeps flow state in
+     flight and therefore keeps the watch alive until the death budget
+     runs out, while an acked probe on an idle conn lets the watch — and
+     with it the host — quiesce. *)
   (match t.ka with
   | None -> ()
   | Some ka ->
       let death_after = ka.ka_interval * (ka.ka_miss_budget + 1) in
-      List.iter
-        (fun (_, conn) ->
-          match conn.state with
-          | Dead | Closed -> ()
-          | Established | Draining ->
-              let silence = Time.sub now conn.last_heard in
-              if silence >= death_after then begin
-                worked := true;
-                kill_conn cost conn
-                  ~reason:
-                    (Printf.sprintf "keepalive: %d probes unanswered"
-                       ka.ka_miss_budget)
-              end
-              else if
+      while not (Queue.is_empty eng.ka_due) do
+        let conn = Queue.pop eng.ka_due in
+        conn.ka_queued <- false;
+        match conn.state with
+        | Dead | Closed -> ()
+        | Established | Draining ->
+            (* Silence counts from the later of the last packet heard
+               and the start of this watch epoch: a watch resumed after
+               a quiet spell must not inherit that spell as misses. *)
+            let anchor = Time.max conn.last_heard conn.ka_base in
+            let silence = Time.sub now anchor in
+            if silence >= death_after then begin
+              worked := true;
+              kill_conn cost conn
+                ~reason:
+                  (Printf.sprintf "keepalive: %d probes unanswered"
+                     ka.ka_miss_budget)
+            end
+            else begin
+              let probed_this_epoch = conn.ka_sent_at >= conn.ka_base in
+              if
                 silence >= ka.ka_interval
                 && Time.sub now conn.ka_sent_at >= ka.ka_interval
               then begin
@@ -1537,14 +1719,30 @@ let engine_run eng () =
                 worked := true;
                 Flow.enqueue conn.c_flow (Wire.Keepalive { conn = conn.ckey })
                   ~payload_bytes:0
-              end)
-        (sorted_tbl eng.conns));
+              end;
+              (* Sustain the watch while the conn has interest or an
+                 unanswered probe cycle is in progress (silence at the
+                 interval).  A fire that lands before the silence
+                 reaches the interval — traffic refreshed [last_heard]
+                 mid-epoch — re-arms for when it will, so every epoch
+                 completes at least one probe cycle.  Only a
+                 proven-alive idle conn (this epoch's probe answered,
+                 nothing stranded) lets the watch stop. *)
+              if conn.ka_timer = None then
+                if conn_has_interest conn || silence >= ka.ka_interval then
+                  rearm_ka eng conn ~at:(Time.add now ka.ka_interval)
+                else if not probed_this_epoch then
+                  rearm_ka eng conn ~at:(Time.add anchor ka.ka_interval)
+            end
+      done);
   (* 3. Retransmission timeouts. *)
-  List.iter
+  Array.iter
     (fun f -> if Flow.check_timeout f ~now > 0 then worked := true)
-    eng.flow_list;
-  (* 4. Just-in-time transmission against NIC descriptor slots (§3.1). *)
-  let flows = Array.of_list eng.flow_list in
+    eng.flow_arr;
+  (* 4. Just-in-time transmission against NIC descriptor slots (§3.1).
+     [flow_arr] is maintained at flow add/remove, so the hot path does
+     no per-pass list-to-array conversion. *)
+  let flows = eng.flow_arr in
   let nf = Array.length flows in
   if nf > 0 then begin
     let idle_rounds = ref 0 in
@@ -1636,8 +1834,14 @@ let new_engine t =
       eclients = [];
       flows = Hashtbl.create 16;
       flow_list = [];
+      flow_arr = [||];
+      conn_arena = Memory.Arena.create ~initial:64 ();
       conns = Hashtbl.create 32;
+      by_endpoints = Hashtbl.create 32;
       assembly = Hashtbl.create 32;
+      wheel = Sim.Wheel.create ~loop:t.lp ();
+      deadline_due = Queue.create ();
+      ka_due = Queue.create ();
       timer = None;
       served_one_sided = 0;
       tx_rr = 0;
@@ -1745,6 +1949,7 @@ let create ~directory ~control ~machine ~nic ~group ?(engines = 1)
       engs = [];
       next_cid = 0;
       next_session = 0;
+      clients_arena = Memory.Arena.create ~initial:32 ();
       clients_tbl = Hashtbl.create 32;
       gen = Packet.Id_gen.create ();
       rr_assign = 0;
@@ -1861,19 +2066,29 @@ let crash_host t =
           (sorted_tbl eng.assembly);
         Hashtbl.reset eng.flows;
         eng.flow_list <- [];
+        eng.flow_arr <- [||];
+        (* Per-conn wheel timers die with their conns; stale fires on
+           timers already past cancellation are checked no-ops. *)
+        Memory.Arena.iter eng.conn_arena (fun _ conn ->
+            cancel_conn_timers conn);
+        Memory.Arena.clear eng.conn_arena;
         Hashtbl.reset eng.conns;
+        Hashtbl.reset eng.by_endpoints;
+        Queue.clear eng.deadline_due;
+        Queue.clear eng.ka_due;
         eng.eclients <- [];
         ignore
           (Memory.Pool.release_owner t.op_pool ~owner:(Engine.name eng.core)))
       t.engs;
-    List.iter
-      (fun (_, c) ->
+    fold_clients t
+      (fun () c ->
         c.c_dead <- true;
         Hashtbl.reset c.charges;
         Hashtbl.reset c.outstanding;
         ignore (Memory.Pool.release_owner t.op_pool ~owner:c.c_owner);
         match c.app_task with Some task -> Sched.kick task | None -> ())
-      (sorted_tbl t.clients_tbl);
+      ();
+    Memory.Arena.clear t.clients_arena;
     Hashtbl.reset t.clients_tbl;
     (* Host memory is gone — including what it knew of peer
        incarnations. *)
@@ -1962,7 +2177,7 @@ let create_client ctx t ~name ?(exclusive_engine = false) ?(max_ops = 65536)
     }
   in
   eng.eclients <- eng.eclients @ [ client ];
-  Hashtbl.replace t.clients_tbl cid client;
+  Hashtbl.replace t.clients_tbl cid (Memory.Arena.alloc t.clients_arena client);
   (* Admission accounting bounds and SPSC occupancy: outstanding counts
      stay within quota, every held charge is accounted, and the
      shared-memory queues never report more than their capacity. *)
@@ -2026,7 +2241,7 @@ let connect ctx client ~dst_host ~dst_client =
   if not remote_t.alive then
     failwith (Printf.sprintf "Pony.connect: host %d is down" dst_host);
   let remote_client =
-    match Hashtbl.find_opt remote_t.clients_tbl dst_client with
+    match find_client remote_t dst_client with
     | Some c -> c
     | None -> failwith "Pony.connect: unknown client"
   in
@@ -2061,16 +2276,21 @@ let connect ctx client ~dst_host ~dst_client =
   let remote_flow = get_flow remote_eng (Wire.reverse tx_key) in
   (* A reconnect gets a fresh session, but any predecessor between the
      same client pair still live must die — and reclaim its state — so
-     its charges cannot strand behind the new conn. *)
+     its charges cannot strand behind the new conn.  [by_endpoints]
+     tracks the latest conn per endpoint pair, making this O(1) instead
+     of a scan of every conn on the engine. *)
   let supersede eng =
-    List.iter
-      (fun (_, old) ->
-        match old.state with
-        | Established | Draining ->
-            if Wire.conn_same_endpoints old.ckey ckey then
-              kill_conn setup_cost old ~reason:"superseded by reconnect"
-        | Dead | Closed -> ())
-      (sorted_tbl eng.conns)
+    match Hashtbl.find_opt eng.by_endpoints (endpoints_key ckey) with
+    | None -> ()
+    | Some h -> (
+        match Memory.Arena.get eng.conn_arena h with
+        | Some old
+          when (match old.state with
+               | Established | Draining -> true
+               | Dead | Closed -> false)
+               && Wire.conn_same_endpoints old.ckey ckey ->
+            kill_conn setup_cost old ~reason:"superseded by reconnect"
+        | Some _ | None -> ())
   in
   supersede local_eng;
   supersede remote_eng;
@@ -2087,6 +2307,14 @@ let connect ctx client ~dst_host ~dst_client =
       state = Established;
       last_heard = Loop.now t.lp;
       ka_sent_at = Loop.now t.lp;
+      n_outstanding = 0;
+      n_assembly = 0;
+      dl_timer = None;
+      dl_at = 0;
+      dl_queued = false;
+      ka_timer = None;
+      ka_queued = false;
+      ka_base = Loop.now t.lp;
       stage_counts = Array.make Sim.Optrace.n_stages 0;
     }
   in
@@ -2103,11 +2331,23 @@ let connect ctx client ~dst_host ~dst_client =
       state = Established;
       last_heard = Loop.now t.lp;
       ka_sent_at = Loop.now t.lp;
+      n_outstanding = 0;
+      n_assembly = 0;
+      dl_timer = None;
+      dl_at = 0;
+      dl_queued = false;
+      ka_timer = None;
+      ka_queued = false;
+      ka_base = Loop.now t.lp;
       stage_counts = Array.make Sim.Optrace.n_stages 0;
     }
   in
-  Hashtbl.replace local_eng.conns (ckey, true) local_conn;
-  Hashtbl.replace remote_eng.conns (ckey, false) remote_conn;
+  add_conn local_eng local_conn;
+  add_conn remote_eng remote_conn;
+  (* Start the dead-peer watch on both halves right away: a conn whose
+     peer dies before any traffic must still be detected. *)
+  ensure_ka local_eng local_conn ~now:(Loop.now t.lp);
+  ensure_ka remote_eng remote_conn ~now:(Loop.now remote_t.lp);
   Stats.Counter.incr t.c_conn_est;
   Stats.Counter.incr remote_t.c_conn_est;
   (* Credit conservation: sends consume, grants and Busy-NACKs return.
@@ -2148,9 +2388,9 @@ let connect_by_name ctx client ~dst_host ~dst_name =
     | None -> failwith "Pony.connect: unknown host"
   in
   let matches =
-    Hashtbl.fold
-      (fun cid c acc -> if c.cname = dst_name then cid :: acc else acc)
-      remote_t.clients_tbl []
+    fold_clients remote_t
+      (fun acc c -> if c.cname = dst_name then c.cid :: acc else acc)
+      []
   in
   match matches with
   | [ cid ] -> connect ctx client ~dst_host ~dst_client:cid

@@ -20,6 +20,14 @@ type flight_entry = {
   mutable sent_at : Time.t;
 }
 
+(* Flight ring capacity: a power of two ≥ [max_flight] so the index
+   math is a mask.  The flight never exceeds [max_flight] (fresh sends
+   are window-gated; retransmissions reuse their slots). *)
+let flight_cap = 256
+let flight_mask = flight_cap - 1
+
+let dummy_fe = { f_seq = -1; f_item = Wire.Bare_ack; f_payload = 0; sent_at = 0 }
+
 type t = {
   lp : Loop.t;
   fkey : Wire.flow_key;
@@ -33,11 +41,15 @@ type t = {
   queue : (Wire.item * int * Time.t) Queue.t;  (* item, payload, enqueued *)
   retx : flight_entry Queue.t;
   mutable snd_nxt : int;
-  mutable flight : flight_entry list;  (* ascending seq *)
-  (* Cached [List.length flight].  The flight list is walked per packet
-     in the window check, pacer gating and ack processing; recomputing
-     the length each time is O(flight^2) per burst.  The invariant
-     checker asserts the cache equal to the real length. *)
+  (* Flight as a preallocated circular buffer of [flight_cap] slots:
+     entries live at ring indices [fl_head, fl_head + flight_len) mod
+     [flight_cap], in ascending (contiguous) seq order.  Appending a
+     fresh send and dropping the acked prefix are O(1) and allocate
+     nothing — the old list representation rebuilt the whole flight on
+     every send ([flight @ [fe]]) and every cumulative ack
+     ([List.filter]), which dominated per-packet allocation. *)
+  fl_ring : flight_entry array;
+  mutable fl_head : int;
   mutable flight_len : int;
   mutable next_release : Time.t;
   mutable dup_acks : int;
@@ -83,7 +95,8 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version)
     queue = Queue.create ();
     retx = Queue.create ();
     snd_nxt = 0;
-    flight = [];
+    fl_ring = Array.make flight_cap dummy_fe;
+    fl_head = 0;
     flight_len = 0;
     next_release = Time.zero;
     dup_acks = 0;
@@ -108,17 +121,34 @@ let create ~loop ~key ~max_rate_gbps ?(version = Wire.current_version)
   in
   Check.Invariant.register ~name:(Printf.sprintf "pony.flow.%s" fl_label)
     (fun () ->
-      let real = List.length t.flight in
-      if t.flight_len <> real then
+      if t.flight_len < 0 || t.flight_len > max_flight then
         Some
-          (Printf.sprintf "cached flight_len %d but flight holds %d entries"
-             t.flight_len real)
-      else if t.flight_len > max_flight then
-        Some
-          (Printf.sprintf "flight %d exceeds max_flight %d" t.flight_len
-             max_flight)
-      else None);
+          (Printf.sprintf "flight %d outside [0, %d]" t.flight_len max_flight)
+      else begin
+        (* Ring window must hold contiguous ascending seqs (go-back-N
+           never punches holes) and no occupied slot may be the dummy. *)
+        let bad = ref None in
+        for i = 0 to t.flight_len - 1 do
+          let fe = t.fl_ring.((t.fl_head + i) land flight_mask) in
+          if !bad = None then
+            if fe == dummy_fe then
+              bad := Some (Printf.sprintf "flight slot %d empty" i)
+            else begin
+              let base = t.fl_ring.(t.fl_head land flight_mask).f_seq in
+              if fe.f_seq <> base + i then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "flight seqs not contiguous: slot %d holds %d, head %d"
+                       i fe.f_seq base)
+            end
+        done;
+        !bad
+      end);
   t
+
+let fl_nth t i = t.fl_ring.((t.fl_head + i) land flight_mask)
+let fl_head_entry t = t.fl_ring.(t.fl_head land flight_mask)
 
 (* Flow events share one track per flow so chrome://tracing shows each
    flow as its own lane. *)
@@ -139,7 +169,7 @@ let effective_window t = min max_flight (max 0 t.peer_wnd)
    carries the peer's current window and reopens the flow. *)
 let zw_probe_due t ~now =
   effective_window t = 0
-  && t.flight = []
+  && t.flight_len = 0
   && (not (Queue.is_empty t.queue))
   && Time.sub now t.wnd_update_at >= zero_window_probe_interval
 
@@ -250,7 +280,7 @@ let rec emit t ~now ~gen =
         let seq = t.snd_nxt in
         t.snd_nxt <- seq + 1;
         let fe = { f_seq = seq; f_item = item; f_payload = payload; sent_at = now } in
-        t.flight <- t.flight @ [ fe ];
+        t.fl_ring.((t.fl_head + t.flight_len) land flight_mask) <- fe;
         t.flight_len <- t.flight_len + 1;
         t.owe_ack <- false;
         if Check.Invariant.enabled () && not probe then
@@ -285,17 +315,12 @@ let make_ack t ~now ~gen =
 
 let schedule_retransmit t n =
   (* Requeue up to [n] unacked head packets (bounded go-back-N). *)
-  let count = ref 0 in
-  List.iter
-    (fun fe ->
-      if !count < n then begin
-        incr count;
-        t.n_retx <- t.n_retx + 1;
-        Queue.add fe t.retx
-      end)
-    t.flight;
-  (* Avoid duplicating entries already queued for retransmission. *)
-  !count
+  let count = min n t.flight_len in
+  for i = 0 to count - 1 do
+    t.n_retx <- t.n_retx + 1;
+    Queue.add (fl_nth t i) t.retx
+  done;
+  count
 
 let resync t ~now =
   (* Engine-restart resynchronization (§4.3): after a crash or upgrade
@@ -334,16 +359,17 @@ let process_ack t ~now ~ack ~ts_echo ~pure =
     if ack > t.last_ack_seen then begin
       t.last_ack_seen <- ack;
       t.dup_acks <- 0;
-      let kept = ref 0 in
-      t.flight <-
-        List.filter
-          (fun fe ->
-            let keep = fe.f_seq >= ack in
-            if keep then incr kept;
-            keep)
-          t.flight;
-      t.n_acked <- t.n_acked + (t.flight_len - !kept);
-      t.flight_len <- !kept
+      (* The flight holds contiguous ascending seqs, so a cumulative
+         ack always strips a prefix: pop head slots in place.  Slots
+         are reset to the dummy so acked wire items are not retained. *)
+      while
+        t.flight_len > 0 && (fl_head_entry t).f_seq < ack
+      do
+        t.fl_ring.(t.fl_head land flight_mask) <- dummy_fe;
+        t.fl_head <- (t.fl_head + 1) land flight_mask;
+        t.flight_len <- t.flight_len - 1;
+        t.n_acked <- t.n_acked + 1
+      done
     end
     else if ack = t.last_ack_seen && pure then begin
       (* Only bare acks count as duplicates: every data packet
@@ -411,7 +437,7 @@ let on_receive t ~now pkt =
 let next_deadline t =
   let pace =
     if Queue.is_empty t.queue && Queue.is_empty t.retx then None
-    else if effective_window t = 0 && t.flight = [] && Queue.is_empty t.retx
+    else if effective_window t = 0 && t.flight_len = 0 && Queue.is_empty t.retx
     then
       (* Quenched: the next useful service time is the window probe,
          not the pacer release.  Without this the engine timer never
@@ -422,9 +448,8 @@ let next_deadline t =
     else Some t.next_release
   in
   let rto =
-    match t.flight with
-    | [] -> None
-    | fe :: _ -> Some (Time.add fe.sent_at t.rto)
+    if t.flight_len = 0 then None
+    else Some (Time.add (fl_head_entry t).sent_at t.rto)
   in
   match (pace, rto) with
   | None, None -> None
@@ -433,9 +458,9 @@ let next_deadline t =
   | Some a, Some b -> Some (Time.min a b)
 
 let check_timeout t ~now =
-  match t.flight with
-  | [] -> 0
-  | fe :: _ ->
+  if t.flight_len = 0 then 0
+  else
+    let fe = fl_head_entry t in
       if Time.sub now fe.sent_at >= t.rto && Queue.is_empty t.retx then begin
         let n = schedule_retransmit t gbn_window in
         Sim.Trace.emit t.lp Sim.Trace.Info ~component:"pony.flow"

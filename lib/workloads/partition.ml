@@ -102,6 +102,7 @@ type result = {
       (** Failed ops within [resolution_bound] and outages within
           [outage_bound]. *)
   pool_leak_bytes : int;
+  last_echo_done : Time.t;  (** Virtual time of the last successful echo. *)
   latencies : Stats.Histogram.t;  (** Successful request+echo round trips. *)
   fault_log : Fault.Log.t;
   fault_counters : (string * int) list;
@@ -202,6 +203,7 @@ let run (cfg : config) : result =
   let attempted = ref 0 in
   let resolved = ref 0 in
   let echo_ok = ref 0 in
+  let last_echo_done = ref Time.zero in
   let echo_timeouts = ref 0 in
   let peer_dead_failures = ref 0 in
   let retry_exhausted = ref 0 in
@@ -315,6 +317,7 @@ let run (cfg : config) : result =
                              if gap > !max_outage then max_outage := gap
                          | None -> ());
                          last_ok := Some now;
+                         last_echo_done := now;
                          incr echo_ok
                      | None -> incr echo_timeouts)
                  | Error comp ->
@@ -376,6 +379,7 @@ let run (cfg : config) : result =
     max_outage = !max_outage;
     outage_bound = o_bound;
     detection_ok = !max_failed <= bound && !max_outage <= o_bound;
+    last_echo_done = !last_echo_done;
     pool_leak_bytes;
     latencies = hist;
     fault_log = Fault.Injector.log inj;

@@ -84,6 +84,9 @@ type result = {
       (** Failed ops within [resolution_bound] and outages within
           [outage_bound]. *)
   pool_leak_bytes : int;
+  last_echo_done : Sim.Time.t;
+      (** Virtual time of the last successful echo; the bench harness
+          derives goodput from [echo_ok], the op size and this. *)
   latencies : Stats.Histogram.t;
       (** Successful request+echo round trips. *)
   fault_log : Fault.Log.t;

@@ -224,6 +224,13 @@ let test_keepalive_detection () =
          (match PE.send_with_retry ctx cn ~bytes:64 () with
          | Ok _ -> ()
          | Error _ -> ());
+         (* Keepalive watches are quiesce-aware: a proven-alive idle
+            conn stops probing.  Touch the conn shortly before the
+            crash so the watch is active when the peer goes silent. *)
+         sleep_until ctx (T.us 900);
+         (match PE.send_with_retry ctx cn ~bytes:64 () with
+         | Ok _ -> ()
+         | Error _ -> ());
          while !dead_at = None && Cpu.Thread.now ctx < T.ms 4 do
            if PE.conn_state cn = PE.Dead then
              dead_at := Some (Cpu.Thread.now ctx)

@@ -98,6 +98,84 @@ let test_region_nic_registration () =
   Memory.Region.register_for_nic r;
   check_bool "registered" true (Memory.Region.nic_registered r)
 
+(* -- Arena ------------------------------------------------------------- *)
+
+let test_arena_alloc_get_free () =
+  let a = Memory.Arena.create ~initial:2 () in
+  let h1 = Memory.Arena.alloc a "one" in
+  let h2 = Memory.Arena.alloc a "two" in
+  let h3 = Memory.Arena.alloc a "three" in
+  check_int "live" 3 (Memory.Arena.live a);
+  Alcotest.(check (option string)) "get" (Some "two") (Memory.Arena.get a h2);
+  check_bool "free" true (Memory.Arena.free a h2);
+  check_int "live after free" 2 (Memory.Arena.live a);
+  Alcotest.(check (option string)) "stale get" None (Memory.Arena.get a h2);
+  Alcotest.(check (list string))
+    "iteration is index order" [ "one"; "three" ]
+    (List.rev (Memory.Arena.fold a (fun acc _ v -> v :: acc) []));
+  ignore h1;
+  ignore h3
+
+let test_arena_stale_handle_is_noop () =
+  (* Mirrors Pool.release_owner: a handle minted under an older
+     generation must miss even after the slot is reused. *)
+  let a = Memory.Arena.create () in
+  let h = Memory.Arena.alloc a 1 in
+  check_bool "first free" true (Memory.Arena.free a h);
+  check_bool "double free is checked no-op" false (Memory.Arena.free a h);
+  let h' = Memory.Arena.alloc a 2 in
+  check_bool "slot reused" true (not (Memory.Arena.is_live a h));
+  Alcotest.(check (option int)) "old handle misses new occupant" None
+    (Memory.Arena.get a h);
+  check_bool "stale free does not evict new occupant" false
+    (Memory.Arena.free a h);
+  Alcotest.(check (option int)) "new handle still live" (Some 2)
+    (Memory.Arena.get a h')
+
+let test_arena_clear () =
+  let a = Memory.Arena.create () in
+  let hs = List.init 5 (fun i -> Memory.Arena.alloc a i) in
+  Memory.Arena.clear a;
+  check_int "empty" 0 (Memory.Arena.live a);
+  List.iter
+    (fun h -> check_bool "all handles stale" false (Memory.Arena.is_live a h))
+    hs;
+  let h = Memory.Arena.alloc a 9 in
+  Alcotest.(check (option int)) "usable after clear" (Some 9)
+    (Memory.Arena.get a h)
+
+let arena_prop_generations =
+  QCheck.Test.make ~name:"arena handles never alias across reuse" ~count:200
+    QCheck.(list (int_bound 9))
+    (fun ops ->
+      let a = Memory.Arena.create ~initial:2 () in
+      let live = Hashtbl.create 16 in
+      let freed = ref [] in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          if op < 6 then begin
+            let v = !next in
+            incr next;
+            Hashtbl.replace live (Memory.Arena.alloc a v) v;
+            true
+          end
+          else
+            match Hashtbl.fold (fun h v acc -> (h, v) :: acc) live [] with
+            | [] -> true
+            | (h, v) :: _ ->
+                Hashtbl.remove live h;
+                let ok =
+                  Memory.Arena.get a h = Some v && Memory.Arena.free a h
+                in
+                freed := h :: !freed;
+                ok
+                && List.for_all
+                     (fun h -> Memory.Arena.get a h = None)
+                     !freed)
+        ops
+      && Memory.Arena.live a = Hashtbl.length live)
+
 let () =
   Alcotest.run "memory"
     [
@@ -112,6 +190,14 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
           Alcotest.test_case "double free" `Quick test_pool_double_free;
           QCheck_alcotest.to_alcotest pool_prop_balance;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "alloc/get/free" `Quick test_arena_alloc_get_free;
+          Alcotest.test_case "stale handle no-op" `Quick
+            test_arena_stale_handle_is_noop;
+          Alcotest.test_case "clear" `Quick test_arena_clear;
+          QCheck_alcotest.to_alcotest arena_prop_generations;
         ] );
       ( "region",
         [

@@ -634,6 +634,137 @@ let test_completion_latency_fields () =
         (lat > T.us 4 && lat < T.us 30)
   | None -> Alcotest.fail "no completion"
 
+(* Deadline arming and expiry now run through the per-engine timing
+   wheel and the [deadline_due] queue: only conns whose waiting-head
+   deadline actually fired are visited, and firing order is salted
+   exactly like the event heap.  This scenario is the regression guard
+   for that path — several conns exhaust their connection credit at
+   once, park expiring and generous sends behind the blockage, and the
+   per-op outcomes must come out exactly, in the same order, on every
+   run (the suite runs under OCAMLRUNPARAM=R in CI, so any surviving
+   Hashtbl-iteration dependence would show up as a diff between the two
+   back-to-back runs below). *)
+
+let run_deadline_storm () =
+  let loop, hosts = mk_cluster () in
+  let a = List.nth hosts 0 and b = List.nth hosts 1 in
+  let drivers = 2 in
+  let big = 1 lsl 20 in
+  for i = 0 to drivers - 1 do
+    spawn b
+      (Printf.sprintf "sink%d" i)
+      (fun ctx ->
+        (* Distinct creation instants make client-id assignment (and so
+           [~dst_client:i]) independent of same-instant thread order. *)
+        Cpu.Thread.sleep ctx (T.us (10 * (i + 1)));
+        let c =
+          Pony.Express.create_client ctx b.pony ~name:(Printf.sprintf "sink%d" i) ()
+        in
+        for _ = 1 to 6 do
+          ignore (Pony.Express.await_message ctx c)
+        done)
+  done;
+  let outcomes = Array.make drivers [] in
+  for i = 0 to drivers - 1 do
+    spawn a
+      (Printf.sprintf "drv%d" i)
+      (fun ctx ->
+        let c =
+          Pony.Express.create_client ctx a.pony ~name:(Printf.sprintf "drv%d" i) ()
+        in
+        Cpu.Thread.sleep ctx (T.us (200 + (50 * i)));
+        let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:i in
+        (* Exactly exhaust the 4 MiB connection credit so everything
+           posted after this parks on the credit-waiting queue. *)
+        for _ = 1 to 4 do
+          ignore (Pony.Express.send_message ctx conn ~bytes:big ())
+        done;
+        let now = Cpu.Thread.now ctx in
+        (* Heads whose deadline passes long before any credit can
+           return (a 1 MiB delivery takes real virtual time), then
+           tails generous enough to ride out the blockage. *)
+        for _ = 1 to 3 do
+          ignore
+            (Pony.Express.send_message ctx conn
+               ~deadline:(T.add now (T.us 1)) ~bytes:64 ())
+        done;
+        for _ = 1 to 2 do
+          ignore
+            (Pony.Express.send_message ctx conn
+               ~deadline:(T.add now (T.ms 300)) ~bytes:64 ())
+        done;
+        for _ = 1 to 9 do
+          let comp = Pony.Express.await_completion ctx c in
+          outcomes.(i) <-
+            (comp.Pony.Express.comp_op, comp.Pony.Express.status) :: outcomes.(i)
+        done)
+  done;
+  Sim.Loop.run ~until:(T.ms 400) loop;
+  Array.map List.rev outcomes
+
+let test_deadline_expiry_deterministic () =
+  let first = run_deadline_storm () in
+  Array.iteri
+    (fun i os ->
+      let label s = Printf.sprintf "driver %d: %s" i s in
+      check_int (label "all ops completed") 9 (List.length os);
+      let count st = List.length (List.filter (fun (_, s) -> s = st) os) in
+      check_int (label "expired heads timed out") 3 (count Pony.Wire.Timed_out);
+      check_int (label "credit-backed ops ok") 6 (count Pony.Wire.Ok))
+    first;
+  (* Same scenario, fresh cluster: outcome vectors (op id, status, in
+     completion order) must be bit-identical. *)
+  let second = run_deadline_storm () in
+  check_bool "identical outcome order across runs" true (first = second)
+
+(* A keepalive-configured host pair must still quiesce when idle: the
+   watch on a proven-alive conn lapses instead of re-arming forever, so
+   after the last exchange the event heap drains and virtual time stops
+   far short of the horizon.  Guards the quiesce-aware arming that lets
+   [Pool.assert_quiesced]-style workloads keep keepalives on. *)
+let test_keepalive_idle_quiesce () =
+  let loop = Sim.Loop.create () in
+  let fab = Fabric.create ~loop ~config:Fabric.default_config ~hosts:2 in
+  let dir = Pony.Express.Directory.create () in
+  let keepalive = { Pony.Express.ka_interval = T.us 100; ka_miss_budget = 2 } in
+  let mk addr =
+    Snap.Host.create ~loop ~fabric:fab ~directory:dir ~addr
+      ~mode:(Engine.Dedicating { cores = 2 })
+      ~keepalive ()
+  in
+  let a = mk 0 and b = mk 1 in
+  let sent = ref false in
+  ignore
+    (Snap.Host.spawn_app b ~name:"b" (fun ctx ->
+         let c = Pony.Express.create_client ctx b.Snap.Host.pony ~name:"b" () in
+         while true do
+           ignore (Pony.Express.await_message ctx c)
+         done));
+  ignore
+    (Snap.Host.spawn_app a ~name:"a" (fun ctx ->
+         let c = Pony.Express.create_client ctx a.Snap.Host.pony ~name:"a" () in
+         Cpu.Thread.sleep ctx (T.us 200);
+         let conn = Pony.Express.connect ctx c ~dst_host:1 ~dst_client:0 in
+         ignore (Pony.Express.send_message ctx conn ~bytes:64 ());
+         let comp = Pony.Express.await_completion ctx c in
+         sent := comp.Pony.Express.status = Pony.Wire.Ok));
+  Sim.Loop.run ~until:(T.sec 1) loop;
+  check_bool "exchange completed" true !sent;
+  check_bool "conn still alive on both sides" true
+    (Pony.Express.peer_deaths a.Snap.Host.pony = 0
+    && Pony.Express.peer_deaths b.Snap.Host.pony = 0);
+  (* [run ~until] advances the clock to the horizon regardless, so
+     quiescence shows up as a drained event heap: an eternally
+     re-arming watch would keep timer events pending forever. *)
+  check_int "event heap drained — idle watches lapsed" 0
+    (Sim.Loop.pending_events loop);
+  (* The regression this guards (probe arrivals restarting the peer's
+     watch) probed ~10/ms forever; a quiescent pair sends at most a
+     couple of cycles around the exchange. *)
+  check_bool "probing stopped on both sides" true
+    (Pony.Express.keepalive_probes a.Snap.Host.pony <= 4
+    && Pony.Express.keepalive_probes b.Snap.Host.pony <= 4)
+
 let () =
   Alcotest.run "pony-extra"
     [
@@ -648,5 +779,12 @@ let () =
             test_pony_recovers_from_fabric_loss;
           Alcotest.test_case "completion stamps" `Quick
             test_completion_latency_fields;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "deadline expiry deterministic" `Quick
+            test_deadline_expiry_deterministic;
+          Alcotest.test_case "keepalive idle quiesce" `Quick
+            test_keepalive_idle_quiesce;
         ] );
     ]

@@ -342,6 +342,120 @@ let test_span_on_off_transitions () =
       check_bool "clear keeps capture active" true (Sim.Span.enabled ());
       check_int "cleared" 0 (List.length (Sim.Span.events ())))
 
+(* -- Wheel ------------------------------------------------------------- *)
+
+let test_wheel_fires_in_order () =
+  let loop = Sim.Loop.create () in
+  let wheel = Sim.Wheel.create ~loop () in
+  let out = ref [] in
+  List.iter
+    (fun d ->
+      ignore
+        (Sim.Wheel.arm wheel ~at:d (fun () ->
+             out := (d, Sim.Loop.now loop) :: !out)))
+    [ 900; 5; 70_000; 5; 1_000_000; 300; 70_000 ];
+  Sim.Loop.run loop;
+  let fired = List.rev !out in
+  Alcotest.(check (list int))
+    "due order"
+    [ 5; 5; 300; 900; 70_000; 70_000; 1_000_000 ]
+    (List.map fst fired);
+  List.iter
+    (fun (d, at) -> check_int "fires at exact due time" d at)
+    fired;
+  check_int "all fired" 0 (Sim.Wheel.live_timers wheel)
+
+let test_wheel_cancel () =
+  let loop = Sim.Loop.create () in
+  let wheel = Sim.Wheel.create ~loop () in
+  let fired = ref 0 in
+  let a = Sim.Wheel.arm wheel ~at:100 (fun () -> incr fired) in
+  let _b = Sim.Wheel.arm wheel ~at:200 (fun () -> incr fired) in
+  Sim.Wheel.cancel a;
+  Sim.Wheel.cancel a;
+  check_int "live count after cancel" 1 (Sim.Wheel.live_timers wheel);
+  Sim.Loop.run loop;
+  check_int "only the live timer fired" 1 !fired
+
+let test_wheel_idle_quiesces () =
+  let loop = Sim.Loop.create () in
+  let wheel = Sim.Wheel.create ~loop () in
+  Alcotest.(check (option int)) "no wake when empty" None
+    (Sim.Wheel.next_wake wheel);
+  let a = Sim.Wheel.arm wheel ~at:5_000 (fun () -> ()) in
+  check_bool "wake pending while armed" true
+    (Sim.Wheel.next_wake wheel <> None);
+  Sim.Wheel.cancel a;
+  (* The lazily-cancelled timer costs at most one spurious wake, then
+     the wheel schedules nothing more: the loop drains. *)
+  Sim.Loop.run loop;
+  Alcotest.(check (option int)) "quiescent after drain" None
+    (Sim.Wheel.next_wake wheel);
+  check_int "no live timers" 0 (Sim.Wheel.live_timers wheel)
+
+let test_wheel_rearm_from_callback () =
+  let loop = Sim.Loop.create () in
+  let wheel = Sim.Wheel.create ~loop () in
+  let times = ref [] in
+  let rec tick n =
+    times := Sim.Loop.now loop :: !times;
+    if n > 0 then
+      ignore
+        (Sim.Wheel.arm wheel
+           ~at:(Sim.Loop.now loop + 250)
+           (fun () -> tick (n - 1)))
+  in
+  ignore (Sim.Wheel.arm wheel ~at:100 (fun () -> tick 3));
+  Sim.Loop.run loop;
+  Alcotest.(check (list int))
+    "chained re-arms" [ 100; 350; 600; 850 ] (List.rev !times)
+
+let test_wheel_cascade_far_future () =
+  let loop = Sim.Loop.create () in
+  let wheel = Sim.Wheel.create ~loop () in
+  (* Spans several wheel levels: 1ns, ~4us, ~1ms, ~0.3s. *)
+  let due = [ 1; 4_096; 1_048_577; 300_000_000 ] in
+  let out = ref [] in
+  List.iter
+    (fun d ->
+      ignore
+        (Sim.Wheel.arm wheel ~at:d (fun () ->
+             out := Sim.Loop.now loop :: !out)))
+    (List.rev due);
+  Sim.Loop.run loop;
+  Alcotest.(check (list int)) "cascades land on time" due (List.rev !out)
+
+(* For the same salt, same-instant wheel timers must fire in exactly the
+   order the reference heap pops same-key entries. *)
+let wheel_prop_matches_heap =
+  QCheck.Test.make ~name:"wheel matches salted heap order and times" ~count:100
+    QCheck.(pair small_int (list (pair (int_bound 5_000) unit)))
+    (fun (salt, pts) ->
+      let dues = List.map (fun (d, ()) -> d + 1) pts in
+      let heap = Sim.Heap.create ~salt () in
+      List.iteri (fun i d -> Sim.Heap.add heap ~key:d (d, i)) dues;
+      let expect =
+        let rec drain acc =
+          match Sim.Heap.pop heap with
+          | Some v -> drain (v :: acc)
+          | None -> List.rev acc
+        in
+        drain []
+      in
+      let loop = Sim.Loop.create ~tie_salt:salt () in
+      let wheel = Sim.Wheel.create ~loop () in
+      let got = ref [] in
+      List.iteri
+        (fun i d ->
+          ignore
+            (Sim.Wheel.arm wheel ~at:d (fun () ->
+                 if Sim.Loop.now loop <> d then
+                   failwith "wheel fired at wrong time";
+                 got := (d, i) :: !got)))
+        dues;
+      Sim.Loop.run loop;
+      List.rev !got = expect)
+
 (* -- Time -------------------------------------------------------------- *)
 
 let test_time_units () =
@@ -399,6 +513,17 @@ let () =
           Alcotest.test_case "chrome export" `Quick test_span_chrome_export;
           Alcotest.test_case "on/off transitions" `Quick
             test_span_on_off_transitions;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "fires in order" `Quick test_wheel_fires_in_order;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "idle quiesces" `Quick test_wheel_idle_quiesces;
+          Alcotest.test_case "re-arm from callback" `Quick
+            test_wheel_rearm_from_callback;
+          Alcotest.test_case "cascades far future" `Quick
+            test_wheel_cascade_far_future;
+          QCheck_alcotest.to_alcotest wheel_prop_matches_heap;
         ] );
       ("time", [ Alcotest.test_case "units" `Quick test_time_units ]);
     ]
